@@ -1,0 +1,67 @@
+// Ablation: power-model learner capacity — decision-tree depth sweep and
+// campaign-size sweep for the Sec. 4.5 TH+SS model. Quantifies why the
+// paper's data-driven approach needs both its features and enough walking
+// data.
+#include <iostream>
+
+#include "bench_common.h"
+#include "power/campaign.h"
+#include "power/fitting.h"
+#include "radio/ue.h"
+
+using namespace wild5g;
+
+int main() {
+  bench::banner("Ablation", "Power-model capacity and data requirements");
+
+  power::WalkingCampaignConfig campaign;
+  campaign.network = {radio::Carrier::kVerizon, radio::Band::kNrMmWave,
+                      radio::DeploymentMode::kNsa};
+  campaign.ue = radio::galaxy_s20u();
+  const auto device = power::DevicePowerProfile::s20u();
+  Rng rng(bench::kBenchSeed);
+  const auto full = power::run_walking_campaign(campaign, device, rng);
+
+  // --- Tree depth sweep. ---
+  {
+    Table table("DTR max depth (TH+SS features, held-out MAPE)");
+    table.set_header({"max depth", "MAPE %"});
+    for (const int depth : {1, 2, 4, 8, 12, 16}) {
+      ml::TreeConfig tree;
+      tree.max_depth = depth;
+      tree.min_samples_leaf = 4;
+      tree.min_samples_split = 8;
+      power::PowerModelFit fit(power::FeatureSet::kThroughputAndSignal,
+                               tree);
+      Rng split(bench::kBenchSeed + 1);
+      fit.fit(full, split);
+      table.add_row({std::to_string(depth),
+                     Table::num(fit.test_mape_percent(), 2)});
+    }
+    table.print(std::cout);
+  }
+
+  // --- Campaign-size sweep. ---
+  {
+    Table table("Campaign length (walking minutes of training data)");
+    table.set_header({"minutes", "samples", "MAPE %"});
+    for (const double minutes : {1.0, 3.0, 6.0, 12.0, 20.0}) {
+      const auto count = static_cast<std::size_t>(minutes * 60.0 * 10.0);
+      const std::span<const power::CampaignSample> subset(
+          full.data(), std::min(count, full.size()));
+      power::PowerModelFit fit(power::FeatureSet::kThroughputAndSignal);
+      Rng split(bench::kBenchSeed + 2);
+      fit.fit(subset, split);
+      table.add_row({Table::num(minutes, 0),
+                     std::to_string(subset.size()),
+                     Table::num(fit.test_mape_percent(), 2)});
+    }
+    table.print(std::cout);
+  }
+
+  bench::measured_note(
+      "accuracy saturates around depth ~8 and a few minutes of walking"
+      " data; depth-1 trees (a single split) cannot express the joint"
+      " throughput+signal dependence, mirroring the Fig. 15 ablations.");
+  return 0;
+}

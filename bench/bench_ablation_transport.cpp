@@ -1,0 +1,53 @@
+// Ablation: send-buffer (tcp_wmem) sweep vs RTT — the BDP law behind
+// Fig. 8's "tuned" result. Shows exactly where the window cap stops binding
+// and loss/CUBIC dynamics take over.
+#include <iostream>
+
+#include "bench_common.h"
+#include "net/speedtest.h"
+#include "transport/tcp.h"
+
+using namespace wild5g;
+
+int main() {
+  bench::banner("Ablation", "tcp_wmem sweep vs RTT (single connection)");
+  bench::paper_note(
+      "Sec. 3.2: the sender's buffer must at least cover the path BDP;"
+      " beyond that, throughput is loss/CUBIC-limited. The sweep shows the"
+      " knee moving with RTT.");
+
+  Table table("Single-conn goodput (Mbps) on a 2 Gbps mmWave path");
+  table.set_header({"wmem MB", "BDP-limited @", "rtt 10ms", "rtt 30ms",
+                    "rtt 60ms", "rtt 90ms"});
+
+  for (const double wmem_mb : {0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0}) {
+    std::vector<std::string> row{Table::num(wmem_mb, 1), ""};
+    // RTT at which this buffer equals the 2 Gbps BDP.
+    const double knee_rtt_ms = wmem_mb * 8.0 * 1000.0 / 2000.0;
+    row[1] = Table::num(knee_rtt_ms, 0) + " ms";
+    for (const double rtt : {10.0, 30.0, 60.0, 90.0}) {
+      transport::PathConfig path;
+      path.rtt_ms = rtt;
+      path.capacity_mbps = 2000.0;
+      path.loss_event_rate_per_s = net::loss_event_rate_per_s(rtt);
+      path.loss_per_packet = net::loss_per_packet(rtt);
+      transport::TcpOptions options;
+      options.wmem_bytes = wmem_mb * 1e6;
+      double total = 0.0;
+      const int reps = 5;
+      for (int rep = 0; rep < reps; ++rep) {
+        Rng rng(bench::kBenchSeed + static_cast<std::uint64_t>(rep));
+        total += transport::simulate_tcp(1, path, options, 15.0, rng)
+                     .aggregate_goodput_mbps;
+      }
+      row.push_back(Table::num(total / reps, 0));
+    }
+    table.add_row(std::move(row));
+  }
+  table.print(std::cout);
+
+  bench::measured_note(
+      "below the knee, goodput ~ wmem/RTT (halving RTT doubles it); above"
+      " the knee, extra buffer buys nothing — the Fig. 8 'tuned' plateau.");
+  return 0;
+}

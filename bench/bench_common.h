@@ -1,0 +1,30 @@
+// Shared helpers for the benchmark binaries. Each bench regenerates one of
+// the paper's tables or figures from the simulated substrate and prints the
+// paper's reported values alongside for comparison.
+#pragma once
+
+#include <iostream>
+#include <string>
+
+#include "core/table.h"
+
+namespace wild5g::bench {
+
+/// Fixed seed so every bench run is reproducible bit-for-bit.
+inline constexpr std::uint64_t kBenchSeed = 20210823;  // SIGCOMM'21 opening day
+
+inline void banner(const std::string& id, const std::string& title) {
+  std::cout << "\n################################################################\n"
+            << "# " << id << ": " << title << "\n"
+            << "################################################################\n";
+}
+
+inline void paper_note(const std::string& text) {
+  std::cout << "[paper] " << text << "\n";
+}
+
+inline void measured_note(const std::string& text) {
+  std::cout << "[repro] " << text << "\n";
+}
+
+}  // namespace wild5g::bench

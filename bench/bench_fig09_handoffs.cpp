@@ -1,0 +1,76 @@
+// Figure 9: handoff frequency while driving a 10 km route under five radio
+// band-enable settings (T-Mobile).
+#include <iostream>
+
+#include "bench_common.h"
+#include "mobility/drive.h"
+#include "mobility/route.h"
+
+using namespace wild5g;
+
+int main() {
+  bench::banner("Fig. 9",
+                "[T-Mobile] handoffs while driving, five band settings");
+  bench::paper_note(
+      "Paper counts: SA-only 13, NSA+LTE 110 (~90 vertical), LTE-only 30,"
+      " SA+LTE 38, all bands 64. SA's big low-band cells and standalone"
+      " control plane give it by far the fewest handoffs.");
+
+  const std::vector<std::pair<mobility::BandSetting, int>> settings = {
+      {mobility::BandSetting::kSaOnly, 13},
+      {mobility::BandSetting::kNsaPlusLte, 110},
+      {mobility::BandSetting::kLteOnly, 30},
+      {mobility::BandSetting::kSaPlusLte, 38},
+      {mobility::BandSetting::kAllBands, 64},
+  };
+
+  Table table("Handoffs per 10 km / 600 s drive (mean of 4 drives: 2x per"
+              " direction)");
+  table.set_header({"setting", "total", "horizontal", "vertical",
+                    "%time 4G", "%time NSA-5G", "%time SA-5G", "paper total"});
+
+  for (const auto& [setting, paper_total] : settings) {
+    double total = 0.0;
+    double horizontal = 0.0;
+    double vertical = 0.0;
+    double f_lte = 0.0;
+    double f_nsa = 0.0;
+    double f_sa = 0.0;
+    const int drives = 4;
+    for (int d = 0; d < drives; ++d) {
+      Rng rng(bench::kBenchSeed + static_cast<std::uint64_t>(d));
+      const auto route = mobility::driving_route(rng);
+      const auto result = mobility::simulate_drive(setting, route, {}, rng);
+      total += result.total_handoffs();
+      horizontal += result.horizontal_handoffs();
+      vertical += result.vertical_handoffs();
+      f_lte += result.time_fraction(mobility::ActiveRadio::kLte);
+      f_nsa += result.time_fraction(mobility::ActiveRadio::kNsa5g);
+      f_sa += result.time_fraction(mobility::ActiveRadio::kSa5g);
+    }
+    table.add_row({mobility::to_string(setting),
+                   Table::num(total / drives, 1),
+                   Table::num(horizontal / drives, 1),
+                   Table::num(vertical / drives, 1),
+                   Table::num(100.0 * f_lte / drives, 0),
+                   Table::num(100.0 * f_nsa / drives, 0),
+                   Table::num(100.0 * f_sa / drives, 0),
+                   std::to_string(paper_total)});
+  }
+  table.print(std::cout);
+
+  // One representative timeline, as in the figure's horizontal bars.
+  Rng rng(bench::kBenchSeed);
+  const auto route = mobility::driving_route(rng);
+  const auto result = mobility::simulate_drive(
+      mobility::BandSetting::kNsaPlusLte, route, {}, rng);
+  std::cout << "Representative NSA-5G + LTE timeline (first 12 segments):\n";
+  for (std::size_t i = 0; i < std::min<std::size_t>(12, result.segments.size());
+       ++i) {
+    const auto& seg = result.segments[i];
+    std::cout << "  " << Table::num(seg.start_s, 1) << "s - "
+              << Table::num(seg.end_s, 1) << "s  "
+              << mobility::to_string(seg.radio) << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,148 @@
+// Microbenchmarks (google-benchmark) for the library's hot primitives:
+// event queue, CART training/prediction, CUBIC stepping, waveform
+// synthesis, channel evolution, and the streaming engine.
+#include <benchmark/benchmark.h>
+
+#include "abr/algorithms.h"
+#include "abr/video.h"
+#include "core/rng.h"
+#include "ml/decision_tree.h"
+#include "power/waveform.h"
+#include "radio/channel.h"
+#include "rrc/state_machine.h"
+#include "sim/simulator.h"
+#include "traces/traces.h"
+#include "transport/tcp.h"
+
+using namespace wild5g;
+
+namespace {
+
+void BM_SimulatorEventChurn(benchmark::State& state) {
+  for (auto _ : state) {
+    sim::Simulator sim;
+    int count = 0;
+    for (int i = 0; i < state.range(0); ++i) {
+      sim.schedule_at(static_cast<double>(i % 97), [&count] { ++count; });
+    }
+    sim.run();
+    benchmark::DoNotOptimize(count);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SimulatorEventChurn)->Arg(1000)->Arg(10000);
+
+ml::Dataset make_dataset(int rows) {
+  Rng rng(1);
+  ml::Dataset data;
+  data.feature_names = {"a", "b", "c"};
+  for (int i = 0; i < rows; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    data.add({a, b, rng.uniform(0.0, 1.0)}, std::sin(5.0 * a) + b);
+  }
+  return data;
+}
+
+void BM_DecisionTreeFit(benchmark::State& state) {
+  const auto data = make_dataset(static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    ml::DecisionTreeRegressor tree;
+    tree.fit(data);
+    benchmark::DoNotOptimize(tree.node_count());
+  }
+}
+BENCHMARK(BM_DecisionTreeFit)->Arg(1000)->Arg(5000);
+
+void BM_DecisionTreePredict(benchmark::State& state) {
+  const auto data = make_dataset(5000);
+  ml::DecisionTreeRegressor tree;
+  tree.fit(data);
+  Rng rng(2);
+  const std::vector<double> row{rng.uniform(0.0, 1.0), rng.uniform(0.0, 1.0),
+                                rng.uniform(0.0, 1.0)};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree.predict(row));
+  }
+}
+BENCHMARK(BM_DecisionTreePredict);
+
+void BM_CubicFlows(benchmark::State& state) {
+  transport::PathConfig path;
+  path.rtt_ms = 40.0;
+  path.capacity_mbps = 2000.0;
+  path.loss_event_rate_per_s = 0.1;
+  for (auto _ : state) {
+    Rng rng(3);
+    benchmark::DoNotOptimize(
+        transport::simulate_tcp(static_cast<int>(state.range(0)), path,
+                                transport::tuned_tcp_options(), 15.0, rng)
+            .aggregate_goodput_mbps);
+  }
+}
+BENCHMARK(BM_CubicFlows)->Arg(1)->Arg(20);
+
+void BM_WaveformSynthesis(benchmark::State& state) {
+  const auto profile = rrc::profile_by_name("Verizon NSA mmWave");
+  const std::vector<rrc::ActivityBurst> bursts = {{1000.0, 5000.0, 400.0,
+                                                   10.0}};
+  const auto timeline =
+      rrc::build_timeline(profile.config, bursts, 30000.0);
+  power::WaveformSynthesizer synth(profile, power::DevicePowerProfile::s20u(),
+                                   static_cast<double>(state.range(0)));
+  for (auto _ : state) {
+    Rng rng(4);
+    benchmark::DoNotOptimize(synth.synthesize(timeline, rng).energy_j());
+  }
+}
+BENCHMARK(BM_WaveformSynthesis)->Arg(1000)->Arg(5000);
+
+void BM_ChannelProcess(benchmark::State& state) {
+  radio::ChannelProcess process(
+      radio::default_channel_process(radio::Band::kNrMmWave), Rng(5));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(process.step(0.1).rsrp_dbm);
+  }
+}
+BENCHMARK(BM_ChannelProcess);
+
+void BM_MpcDecision(benchmark::State& state) {
+  const auto video = abr::video_ladder_5g();
+  abr::HarmonicMeanPredictor predictor;
+  abr::ModelPredictiveAbr mpc(abr::ModelPredictiveAbr::Variant::kFast,
+                              predictor);
+  const std::vector<double> history{150.0, 90.0, 200.0, 120.0, 160.0};
+  abr::AbrContext context;
+  context.video = &video;
+  context.next_chunk = 10;
+  context.chunk_count = 60;
+  context.buffer_s = 12.0;
+  context.max_buffer_s = 30.0;
+  context.last_track = 3;
+  context.past_chunk_mbps = history;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(mpc.choose_track(context));
+  }
+}
+BENCHMARK(BM_MpcDecision);
+
+void BM_StreamingSession(benchmark::State& state) {
+  Rng rng(6);
+  auto config = traces::lumos5g_mmwave_config();
+  config.count = 1;
+  const auto traces = traces::generate_traces(config, rng);
+  const auto video = abr::video_ladder_5g();
+  abr::SessionOptions options;
+  options.chunk_count = 60;
+  for (auto _ : state) {
+    abr::TraceSource source(traces[0]);
+    abr::BbaAbr bba;
+    benchmark::DoNotOptimize(
+        abr::stream(video, source, bba, options).total_stall_s);
+  }
+}
+BENCHMARK(BM_StreamingSession);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,152 @@
+// Sec. 4.5, "Validation on Real Applications": the TH+SS power model's
+// energy estimate vs hardware ground truth for two real workloads —
+// YouTube-style video streaming and Chrome-style web browsing. The paper
+// reports 3.7% (video) and 2.1% (web) average relative error.
+#include <cmath>
+#include <iostream>
+
+#include "bench_common.h"
+#include "abr/algorithms.h"
+#include "abr/video.h"
+#include "power/campaign.h"
+#include "power/fitting.h"
+#include "radio/ue.h"
+#include "traces/traces.h"
+#include "web/page_load.h"
+
+using namespace wild5g;
+
+namespace {
+
+/// Ground-truth radio energy of a per-second downlink series (what the
+/// Monsoon-minus-offline-baseline subtraction isolates in the paper).
+double ground_truth_energy_j(const power::DevicePowerProfile& device,
+                             power::RailKey rail,
+                             std::span<const double> dl_mbps,
+                             std::span<const double> rsrp_dbm) {
+  double energy = 0.0;
+  for (std::size_t s = 0; s < dl_mbps.size(); ++s) {
+    energy += device.transfer_power_mw(rail, dl_mbps[s], dl_mbps[s] * 0.03,
+                                       rsrp_dbm[s]) /
+              1000.0;
+  }
+  return energy;
+}
+
+}  // namespace
+
+int main() {
+  bench::banner("Sec. 4.5", "Power-model validation on real applications");
+  bench::paper_note(
+      "Feeding application packet traces into the TH+SS model reproduces"
+      " measured energy within 3.7% (video streaming) and 2.1% (web"
+      " browsing) average relative error.");
+
+  // Fit the model once from a walking campaign (the paper's procedure).
+  power::WalkingCampaignConfig campaign;
+  campaign.network = {radio::Carrier::kVerizon, radio::Band::kNrMmWave,
+                      radio::DeploymentMode::kNsa};
+  campaign.ue = radio::galaxy_s20u();
+  const auto device = power::DevicePowerProfile::s20u();
+  Rng rng(bench::kBenchSeed);
+  auto samples = power::run_walking_campaign(campaign, device, rng);
+  // The paper trains on both in-the-wild and controlled data; the
+  // controlled sweep covers the low-throughput/good-signal region
+  // applications actually live in.
+  power::ControlledSweepConfig sweep;
+  sweep.network = campaign.network;
+  sweep.ue = campaign.ue;
+  Rng sweep_rng(bench::kBenchSeed + 10);
+  const auto controlled = power::run_controlled_sweep(sweep, device,
+                                                      sweep_rng);
+  samples.insert(samples.end(), controlled.begin(), controlled.end());
+  power::PowerModelFit model(power::FeatureSet::kThroughputAndSignal);
+  Rng split(bench::kBenchSeed + 1);
+  model.fit(samples, split);
+
+  Table table("Estimated vs measured radio energy");
+  table.set_header({"application", "runs", "mean measured J",
+                    "mean estimated J", "avg relative error %",
+                    "paper error %"});
+
+  // --- Video streaming (robustMPC over generated mmWave traces). ---
+  {
+    Rng trace_rng(bench::kBenchSeed + 2);
+    auto config = traces::lumos5g_mmwave_config();
+    config.count = 20;
+    const auto video_traces = traces::generate_traces(config, trace_rng);
+    const auto video = abr::video_ladder_5g();
+    abr::SessionOptions options;
+    options.chunk_count = 60;
+
+    Rng rsrp_rng(bench::kBenchSeed + 3);
+    double measured_sum = 0.0;
+    double estimated_sum = 0.0;
+    double rel_err_sum = 0.0;
+    for (const auto& trace : video_traces) {
+      abr::HarmonicMeanPredictor predictor;
+      abr::ModelPredictiveAbr robust(
+          abr::ModelPredictiveAbr::Variant::kRobust, predictor);
+      abr::TraceSource source(trace);
+      const auto session = abr::stream(video, source, robust, options);
+
+      std::vector<double> rsrp(session.per_second_dl_mbps.size());
+      for (auto& r : rsrp) r = rsrp_rng.uniform(-92.0, -74.0);
+      const double measured = ground_truth_energy_j(
+          device, power::RailKey::kNsaMmWave, session.per_second_dl_mbps,
+          rsrp);
+      std::vector<power::PowerModelFit::UsageSlot> usage;
+      for (std::size_t s = 0; s < session.per_second_dl_mbps.size(); ++s) {
+        usage.push_back({session.per_second_dl_mbps[s],
+                         session.per_second_dl_mbps[s] * 0.03, rsrp[s], 1.0});
+      }
+      const double estimated = model.estimate_energy_j(usage);
+      measured_sum += measured;
+      estimated_sum += estimated;
+      rel_err_sum += std::abs(estimated - measured) / measured;
+    }
+    const double n = 20.0;
+    table.add_row({"video streaming (2K/4K ABR)", "20",
+                   Table::num(measured_sum / n, 1),
+                   Table::num(estimated_sum / n, 1),
+                   Table::num(100.0 * rel_err_sum / n, 2), "3.7"});
+  }
+
+  // --- Web browsing (page loads over mmWave). ---
+  {
+    Rng web_rng(bench::kBenchSeed + 4);
+    const auto corpus = web::generate_corpus(40, web_rng);
+    const auto config = web::mmwave_page_config();
+    double measured_sum = 0.0;
+    double estimated_sum = 0.0;
+    double rel_err_sum = 0.0;
+    for (const auto& site : corpus) {
+      const auto load = web::load_page(site, config, device, web_rng);
+      std::vector<double> rsrp(load.per_second_dl_mbps.size(),
+                               config.rsrp_dbm);
+      const double measured = ground_truth_energy_j(
+          device, power::RailKey::kNsaMmWave, load.per_second_dl_mbps, rsrp);
+      std::vector<power::PowerModelFit::UsageSlot> usage;
+      for (std::size_t s = 0; s < load.per_second_dl_mbps.size(); ++s) {
+        usage.push_back({load.per_second_dl_mbps[s],
+                         load.per_second_dl_mbps[s] * 0.03, rsrp[s], 1.0});
+      }
+      const double estimated = model.estimate_energy_j(usage);
+      measured_sum += measured;
+      estimated_sum += estimated;
+      rel_err_sum += std::abs(estimated - measured) / measured;
+    }
+    const double n = static_cast<double>(corpus.size());
+    table.add_row({"web browsing (page loads)", "40",
+                   Table::num(measured_sum / n, 2),
+                   Table::num(estimated_sum / n, 2),
+                   Table::num(100.0 * rel_err_sum / n, 2), "2.1"});
+  }
+  table.print(std::cout);
+
+  bench::measured_note(
+      "the data-driven model transfers from the walking campaign to unseen"
+      " application workloads with single-digit relative error, as in the"
+      " paper's validation.");
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Power model tool: run a walking campaign, fit the TH+SS power model, and
+// compare against the TH-only and SS-only ablations (the Sec. 4.5 method),
+// then use the model to cost out an application workload.
+//
+//   ./build/examples/power_model_tool [network]
+//   where network is one of: mmwave (default), lowband, sa
+#include <iostream>
+#include <string>
+
+#include "power/campaign.h"
+#include "power/fitting.h"
+#include "radio/ue.h"
+
+using namespace wild5g;
+
+int main(int argc, char** argv) {
+  const std::string choice = argc > 1 ? argv[1] : "mmwave";
+  power::WalkingCampaignConfig campaign;
+  campaign.ue = radio::galaxy_s20u();
+  if (choice == "lowband") {
+    campaign.network = {radio::Carrier::kVerizon, radio::Band::kNrLowBand,
+                        radio::DeploymentMode::kNsa};
+  } else if (choice == "sa") {
+    campaign.network = {radio::Carrier::kTMobile, radio::Band::kNrLowBand,
+                        radio::DeploymentMode::kSa};
+  } else {
+    campaign.network = {radio::Carrier::kVerizon, radio::Band::kNrMmWave,
+                        radio::DeploymentMode::kNsa};
+  }
+
+  std::cout << "Walking campaign on " << radio::to_string(campaign.network)
+            << " (20 min, 10 Hz logging + 5 kHz power)...\n";
+  const auto device = power::DevicePowerProfile::s20u();
+  Rng rng(7);
+  const auto samples = power::run_walking_campaign(campaign, device, rng);
+
+  std::cout << "Fitting decision-tree power models (70/30 split):\n";
+  for (const auto features :
+       {power::FeatureSet::kThroughputAndSignal,
+        power::FeatureSet::kThroughputOnly, power::FeatureSet::kSignalOnly}) {
+    power::PowerModelFit fit(features);
+    Rng split_rng(8);
+    fit.fit(samples, split_rng);
+    std::cout << "  " << power::to_string(features) << ": MAPE "
+              << fit.test_mape_percent() << "%\n";
+  }
+
+  // Cost out a bursty application with the TH+SS model.
+  power::PowerModelFit model(power::FeatureSet::kThroughputAndSignal);
+  Rng split_rng(8);
+  model.fit(samples, split_rng);
+  std::vector<power::PowerModelFit::UsageSlot> workload;
+  for (int s = 0; s < 60; ++s) {
+    const bool burst = s % 12 < 4;
+    workload.push_back({burst ? 600.0 : 2.0, burst ? 18.0 : 0.2, -82.0, 1.0});
+  }
+  std::cout << "60 s bursty workload (4/12 duty at 600 Mbps): "
+            << model.estimate_energy_j(workload) << " J estimated\n";
+  return 0;
+}

@@ -1,0 +1,61 @@
+// Quickstart: the wild5g public API in one sitting.
+//
+// Creates a UE on Verizon's NSA mmWave network, runs a speedtest against
+// the nearest carrier-hosted server, infers the network's RRC timers with
+// RRC-Probe, and estimates the radio power of a bulk download.
+//
+//   ./build/examples/quickstart
+#include <iostream>
+
+#include "geo/geo.h"
+#include "net/speedtest.h"
+#include "power/power_model.h"
+#include "radio/ue.h"
+#include "rrc/probe.h"
+
+using namespace wild5g;
+
+int main() {
+  // 1. A phone on a network, standing in Minneapolis with LoS to a panel.
+  net::SpeedtestConfig config;
+  config.network = {radio::Carrier::kVerizon, radio::Band::kNrMmWave,
+                    radio::DeploymentMode::kNsa};
+  config.ue = radio::galaxy_s20u();
+  config.ue_location = geo::minneapolis().point;
+
+  // 2. Speedtest against the nearest carrier-hosted server.
+  net::SpeedtestHarness harness(config);
+  const auto servers = net::carrier_server_pool();
+  Rng rng(42);
+  const auto result =
+      harness.peak_of(servers.front(), net::ConnectionMode::kMultiple,
+                      /*repeats=*/5, rng);
+  std::cout << "Speedtest vs " << servers.front().name << ":\n"
+            << "  downlink " << result.downlink_mbps << " Mbps, uplink "
+            << result.uplink_mbps << " Mbps, RTT " << result.rtt_ms
+            << " ms\n\n";
+
+  // 3. Infer the network's RRC timers without root or chipset diagnostics.
+  const auto& profile = rrc::profile_by_name("Verizon NSA mmWave");
+  Rng probe_rng(43);
+  const auto samples = rrc::run_probe(
+      profile.config, rrc::schedule_for(profile.config), probe_rng);
+  const auto inferred = rrc::infer_rrc_parameters(samples);
+  std::cout << "RRC-Probe on " << profile.config.name << ":\n"
+            << "  UE-inactivity (tail) timer ~ " << inferred.tail_timer_ms
+            << " ms\n"
+            << "  5G promotion delay ~ " << inferred.promotion_estimate_ms
+            << " ms\n\n";
+
+  // 4. What does a 1.5 Gbps download cost in radio power on this phone?
+  const auto device = power::DevicePowerProfile::s20u();
+  const double watts =
+      device.transfer_power_mw(power::RailKey::kNsaMmWave, 1500.0, 40.0,
+                               -78.0) /
+      1000.0;
+  std::cout << "1.5 Gbps mmWave download burns ~" << watts
+            << " W of radio power ("
+            << power::efficiency_uj_per_bit(watts * 1000.0, 1500.0)
+            << " uJ/bit)\n";
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Web advisor: train the Sec. 6.2 interface selectors (M1..M5) and query
+// them for a few example websites — which radio should load this page?
+//
+//   ./build/examples/web_advisor
+#include <iostream>
+
+#include "web/selector.h"
+
+using namespace wild5g;
+
+int main() {
+  std::cout << "Measuring a 600-site corpus on both radios...\n";
+  Rng rng(99);
+  const auto corpus = web::generate_corpus(600, rng);
+  const auto device = power::DevicePowerProfile::s10();
+  auto measurements = web::measure_corpus(corpus, 3, device, rng);
+  rng.shuffle(std::span<web::SiteMeasurement>(measurements));
+  const auto train_count = static_cast<std::size_t>(0.7 * measurements.size());
+  const std::span<const web::SiteMeasurement> train(measurements.data(),
+                                                    train_count);
+  const std::span<const web::SiteMeasurement> test(
+      measurements.data() + train_count, measurements.size() - train_count);
+
+  // A few archetypal pages to advise on.
+  std::vector<web::Website> pages(3);
+  pages[0].domain = "text-blog.example";       // tiny, static
+  pages[0].object_count = 12;
+  pages[0].image_count = 3;
+  pages[0].total_page_size_mb = 0.4;
+  pages[0].dynamic_object_count = 1;
+  pages[0].dynamic_size_fraction = 0.05;
+  pages[1].domain = "news-portal.example";     // heavy, ad-laden
+  pages[1].object_count = 450;
+  pages[1].image_count = 220;
+  pages[1].video_count = 2;
+  pages[1].total_page_size_mb = 18.0;
+  pages[1].dynamic_object_count = 380;
+  pages[1].dynamic_size_fraction = 0.8;
+  pages[2].domain = "photo-gallery.example";   // big but static
+  pages[2].object_count = 90;
+  pages[2].image_count = 80;
+  pages[2].total_page_size_mb = 12.0;
+  pages[2].dynamic_object_count = 5;
+  pages[2].dynamic_size_fraction = 0.04;
+
+  for (const auto& weights : web::paper_qoe_models()) {
+    web::InterfaceSelector selector(weights);
+    Rng train_rng(100);
+    selector.train(train, train_rng);
+    const auto outcome = selector.outcome(test);
+    std::cout << "\n" << weights.id << " (" << weights.description
+              << ", alpha=" << weights.alpha << " beta=" << weights.beta
+              << "): test accuracy "
+              << 100.0 * selector.accuracy(test) << "%, energy saving "
+              << outcome.energy_saving_percent << "%\n";
+    for (const auto& page : pages) {
+      std::cout << "  " << page.domain << " -> "
+                << (selector.predict(page) == web::RadioChoice::kUse5g
+                        ? "use mmWave 5G"
+                        : "use 4G")
+                << "\n";
+    }
+  }
+
+  std::cout << "\nM1's learned tree:\n";
+  web::InterfaceSelector m1(web::paper_qoe_models()[0]);
+  Rng train_rng(100);
+  m1.train(train, train_rng);
+  std::cout << m1.describe_tree();
+  return 0;
+}

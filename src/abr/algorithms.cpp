@@ -1,0 +1,186 @@
+#include "abr/algorithms.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "core/error.h"
+
+namespace wild5g::abr {
+
+namespace {
+
+/// Highest track with bitrate <= budget; 0 when none fit.
+int highest_track_within(const VideoProfile& video, double budget_mbps) {
+  int track = 0;
+  for (int i = 0; i < video.track_count(); ++i) {
+    if (video.bitrate(i) <= budget_mbps) track = i;
+  }
+  return track;
+}
+
+}  // namespace
+
+int RateBasedAbr::choose_track(const AbrContext& context) {
+  const double estimate = recent_harmonic_mean(
+      context.past_chunk_mbps, window_, context.video->track_mbps.front());
+  return highest_track_within(*context.video, estimate);
+}
+
+int BbaAbr::choose_track(const AbrContext& context) {
+  const auto& video = *context.video;
+  const double cushion_top = context.max_buffer_s * cushion_fraction_;
+  if (context.buffer_s <= reservoir_s_) return 0;
+  if (context.buffer_s >= cushion_top) return video.track_count() - 1;
+  const double fraction = (context.buffer_s - reservoir_s_) /
+                          (cushion_top - reservoir_s_);
+  return static_cast<int>(fraction *
+                          static_cast<double>(video.track_count() - 1));
+}
+
+int BolaAbr::choose_track(const AbrContext& context) {
+  const auto& video = *context.video;
+  const double r_min = video.track_mbps.front();
+  const double u_top = std::log(video.top_mbps() / r_min);
+  const double q_max = context.max_buffer_s / video.chunk_s;
+  const double v = (q_max - 1.0) / (u_top + gp_);
+  const double q = context.buffer_s / video.chunk_s;
+
+  int best = 0;
+  double best_score = -std::numeric_limits<double>::infinity();
+  for (int k = 0; k < video.track_count(); ++k) {
+    const double u = std::log(video.bitrate(k) / r_min);
+    const double score = (v * (u + gp_) - q) / video.bitrate(k);
+    if (score > best_score) {
+      best_score = score;
+      best = k;
+    }
+  }
+  return best;
+}
+
+int FestiveAbr::choose_track(const AbrContext& context) {
+  const auto& video = *context.video;
+  const double estimate = recent_harmonic_mean(
+      context.past_chunk_mbps, window_, video.track_mbps.front());
+  const int reference = highest_track_within(video, safety_ * estimate);
+  const int last = context.last_track < 0 ? 0 : context.last_track;
+
+  // Gradual switching: at most one level per chunk.
+  int candidate = std::clamp(reference, last - 1, last + 1);
+
+  // Stability brake: if we switched a lot recently, hold.
+  const int recent_switch_count = static_cast<int>(
+      std::count(recent_switches_.begin(), recent_switches_.end(), true));
+  if (recent_switch_count >= 3 && candidate != last) candidate = last;
+
+  recent_switches_.push_back(candidate != last);
+  if (recent_switches_.size() > 10) recent_switches_.pop_front();
+  return candidate;
+}
+
+ModelPredictiveAbr::ModelPredictiveAbr(Variant variant,
+                                       ThroughputPredictor& predictor,
+                                       int horizon)
+    : variant_(variant), predictor_(&predictor), horizon_(horizon) {
+  require(horizon_ >= 1 && horizon_ <= 12,
+          "ModelPredictiveAbr: horizon out of range");
+}
+
+int ModelPredictiveAbr::horizon_for_chunk_length(double chunk_s) {
+  require(chunk_s > 0.0, "horizon_for_chunk_length: bad chunk length");
+  return std::clamp(static_cast<int>(std::round(20.0 / chunk_s)), 5, 12);
+}
+
+std::string ModelPredictiveAbr::name() const {
+  return variant_ == Variant::kFast ? "fastMPC" : "robustMPC";
+}
+
+void ModelPredictiveAbr::reset() {
+  relative_errors_.clear();
+  last_prediction_mbps_ = -1.0;
+}
+
+double ModelPredictiveAbr::plan_qoe(const AbrContext& context, int first_track,
+                                    double predicted_mbps) const {
+  const auto& video = *context.video;
+  const double rebuffer_penalty = video.top_mbps();
+  const int steps =
+      std::min(horizon_, context.chunk_count - context.next_chunk);
+
+  // Depth-first enumeration over track sequences with the first fixed.
+  double best = -std::numeric_limits<double>::infinity();
+  struct Frame {
+    int depth;
+    double buffer;
+    double prev_bitrate;
+    double qoe;
+    int next_track;
+  };
+  std::vector<Frame> stack;
+  const double last_bitrate = context.last_track >= 0
+                                  ? video.bitrate(context.last_track)
+                                  : video.bitrate(first_track);
+  stack.push_back({0, context.buffer_s, last_bitrate, 0.0, first_track});
+
+  while (!stack.empty()) {
+    Frame frame = stack.back();
+    stack.pop_back();
+
+    const double bitrate = video.bitrate(frame.next_track);
+    const double download_s = bitrate * video.chunk_s / predicted_mbps;
+    const double stall = std::max(0.0, download_s - frame.buffer);
+    double buffer = std::max(0.0, frame.buffer - download_s) + video.chunk_s;
+    buffer = std::min(buffer, context.max_buffer_s);
+    const double qoe = frame.qoe + bitrate - rebuffer_penalty * stall -
+                       std::abs(bitrate - frame.prev_bitrate);
+
+    if (frame.depth + 1 >= steps) {
+      best = std::max(best, qoe);
+      continue;
+    }
+    // Prune: beyond the first step only consider one-level moves. Optimal
+    // plans are near-monotone in track, and the pruning keeps long horizons
+    // (needed for short chunks) tractable.
+    const int lo = std::max(0, frame.next_track - 1);
+    const int hi = std::min(video.track_count() - 1, frame.next_track + 1);
+    for (int track = lo; track <= hi; ++track) {
+      stack.push_back({frame.depth + 1, buffer, bitrate, qoe, track});
+    }
+  }
+  return best;
+}
+
+int ModelPredictiveAbr::choose_track(const AbrContext& context) {
+  // Update the prediction-error history with the realized throughput.
+  if (last_prediction_mbps_ > 0.0 && !context.past_chunk_mbps.empty()) {
+    const double actual = context.past_chunk_mbps.back();
+    const double err =
+        std::abs(last_prediction_mbps_ - actual) / std::max(0.01, actual);
+    // Cap at 100%: one outage prediction miss should halve the estimate,
+    // not zero it for the next five chunks.
+    relative_errors_.push_back(std::min(err, 0.7));
+    if (relative_errors_.size() > 5) relative_errors_.pop_front();
+  }
+
+  double predicted = std::max(0.05, predictor_->predict_mbps(context));
+  last_prediction_mbps_ = predicted;
+  if (variant_ == Variant::kRobust && !relative_errors_.empty()) {
+    const double max_err =
+        *std::max_element(relative_errors_.begin(), relative_errors_.end());
+    predicted /= 1.0 + max_err;
+  }
+
+  int best_track = 0;
+  double best_qoe = -std::numeric_limits<double>::infinity();
+  for (int track = 0; track < context.video->track_count(); ++track) {
+    const double qoe = plan_qoe(context, track, predicted);
+    if (qoe > best_qoe) {
+      best_qoe = qoe;
+      best_track = track;
+    }
+  }
+  return best_track;
+}
+
+}  // namespace wild5g::abr

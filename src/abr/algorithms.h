@@ -1,0 +1,108 @@
+// wild5g/abr: the seven ABR algorithms evaluated in Sec. 5.2.
+//
+//   Buffer-based:      BBA [32], BOLA [56]
+//   Throughput-based:  RB (simple rate-based), FESTIVE [33]
+//   Control-theoretic: fastMPC, robustMPC [62]
+//   Learning-based:    PensieveLike (see pensieve_like.h)
+#pragma once
+
+#include <deque>
+#include <string>
+
+#include "abr/predictor.h"
+#include "abr/session.h"
+
+namespace wild5g::abr {
+
+/// Simple rate-based: highest track whose bitrate fits the recent harmonic
+/// mean throughput. No safety margin — the aggressive baseline.
+class RateBasedAbr final : public AbrAlgorithm {
+ public:
+  explicit RateBasedAbr(int window = 3) : window_(window) {}
+  [[nodiscard]] std::string name() const override { return "RB"; }
+  [[nodiscard]] int choose_track(const AbrContext& context) override;
+
+ private:
+  int window_;
+};
+
+/// Buffer-Based Adaptation (BBA-0): bitrate is a linear function of buffer
+/// occupancy between a reservoir and a cushion.
+class BbaAbr final : public AbrAlgorithm {
+ public:
+  BbaAbr(double reservoir_s = 5.0, double cushion_fraction = 0.9)
+      : reservoir_s_(reservoir_s), cushion_fraction_(cushion_fraction) {}
+  [[nodiscard]] std::string name() const override { return "BBA"; }
+  [[nodiscard]] int choose_track(const AbrContext& context) override;
+
+ private:
+  double reservoir_s_;
+  double cushion_fraction_;
+};
+
+/// BOLA (basic): Lyapunov utility maximization over buffer level.
+class BolaAbr final : public AbrAlgorithm {
+ public:
+  explicit BolaAbr(double gp = 5.0) : gp_(gp) {}
+  [[nodiscard]] std::string name() const override { return "BOLA"; }
+  [[nodiscard]] int choose_track(const AbrContext& context) override;
+
+ private:
+  double gp_;
+};
+
+/// FESTIVE: conservative harmonic-mean estimate with gradual (one-level)
+/// switching and a stability brake.
+class FestiveAbr final : public AbrAlgorithm {
+ public:
+  FestiveAbr(int window = 20, double safety = 0.85)
+      : window_(window), safety_(safety) {}
+  [[nodiscard]] std::string name() const override { return "FESTIVE"; }
+  [[nodiscard]] int choose_track(const AbrContext& context) override;
+  void reset() override { recent_switches_.clear(); }
+
+ private:
+  int window_;
+  double safety_;
+  std::deque<bool> recent_switches_;
+};
+
+/// MPC family: maximizes the linear QoE over a receding horizon using a
+/// plug-in throughput predictor. kFast trusts the prediction; kRobust
+/// discounts it by the recent maximum prediction error (robustMPC).
+class ModelPredictiveAbr final : public AbrAlgorithm,
+                                 public SourceAwareAlgorithm {
+ public:
+  enum class Variant { kFast, kRobust };
+
+  ModelPredictiveAbr(Variant variant, ThroughputPredictor& predictor,
+                     int horizon = 5);
+
+  /// Horizon (in chunks) that keeps the paper's ~20 s lookahead across
+  /// chunk lengths (5 chunks at 4 s; more chunks for shorter chunks).
+  [[nodiscard]] static int horizon_for_chunk_length(double chunk_s);
+
+  [[nodiscard]] std::string name() const override;
+  [[nodiscard]] int choose_track(const AbrContext& context) override;
+  void on_session_start(const BandwidthSource& source) override {
+    predictor_->on_session_start(source);
+  }
+  void reset() override;
+
+  /// The raw (undiscounted) prediction made for the last decision.
+  [[nodiscard]] double last_prediction_mbps() const {
+    return last_prediction_mbps_;
+  }
+
+ private:
+  Variant variant_;
+  ThroughputPredictor* predictor_;
+  int horizon_;
+  std::deque<double> relative_errors_;
+  double last_prediction_mbps_ = -1.0;
+
+  [[nodiscard]] double plan_qoe(const AbrContext& context, int first_track,
+                                double predicted_mbps) const;
+};
+
+}  // namespace wild5g::abr

@@ -1,0 +1,93 @@
+// wild5g/abr: throughput predictors for MPC-style ABR (Sec. 5.3, Fig. 18a).
+//
+// Three predictors are compared in the paper: the harmonic mean of recent
+// chunks (fastMPC's default), a gradient-boosted-tree predictor after
+// Lumos5G (MPC_GDBT), and the ground-truth future throughput (truthMPC,
+// the oracle upper bound).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "abr/session.h"
+#include "core/rng.h"
+#include "ml/gbdt.h"
+
+namespace wild5g::abr {
+
+/// Mixin for algorithms/predictors that need the session's bandwidth source
+/// (only the oracle does; everything causal ignores it).
+class SourceAwareAlgorithm {
+ public:
+  virtual ~SourceAwareAlgorithm() = default;
+  virtual void on_session_start(const BandwidthSource& source) = 0;
+};
+
+class ThroughputPredictor {
+ public:
+  virtual ~ThroughputPredictor() = default;
+  [[nodiscard]] virtual std::string name() const = 0;
+  virtual void on_session_start(const BandwidthSource& /*source*/) {}
+  /// Predicted average throughput (Mbps) over the next chunk download.
+  [[nodiscard]] virtual double predict_mbps(const AbrContext& context) = 0;
+};
+
+/// Harmonic mean of the last `window` chunk throughputs.
+class HarmonicMeanPredictor final : public ThroughputPredictor {
+ public:
+  explicit HarmonicMeanPredictor(int window = 5) : window_(window) {}
+  [[nodiscard]] std::string name() const override { return "harmonic-mean"; }
+  [[nodiscard]] double predict_mbps(const AbrContext& context) override;
+
+ private:
+  int window_;
+};
+
+/// Oracle: true mean bandwidth over the next `horizon_s` of the trace.
+class OraclePredictor final : public ThroughputPredictor {
+ public:
+  explicit OraclePredictor(double horizon_s = 4.0) : horizon_s_(horizon_s) {}
+  [[nodiscard]] std::string name() const override { return "ground-truth"; }
+  void on_session_start(const BandwidthSource& source) override {
+    source_ = &source;
+  }
+  [[nodiscard]] double predict_mbps(const AbrContext& context) override;
+
+ private:
+  double horizon_s_;
+  const BandwidthSource* source_ = nullptr;
+};
+
+/// Gradient-boosted-tree predictor trained on throughput traces: features
+/// are the last `window` one-second samples, the target is the mean
+/// bandwidth over the following `horizon_s` seconds.
+class GbdtPredictor final : public ThroughputPredictor {
+ public:
+  explicit GbdtPredictor(int window = 5, double horizon_s = 4.0);
+
+  /// Trains on sliding windows drawn from `traces`.
+  void train(const std::vector<traces::Trace>& traces, Rng& rng);
+
+  [[nodiscard]] std::string name() const override { return "gbdt"; }
+  void on_session_start(const BandwidthSource& source) override;
+  [[nodiscard]] double predict_mbps(const AbrContext& context) override;
+  [[nodiscard]] bool is_trained() const { return model_.is_fitted(); }
+
+ private:
+  int window_;
+  double horizon_s_;
+  ml::GradientBoostedRegressor model_;
+  double smoothed_log2_ = 0.0;  // EMA over predictions (anti-jitter)
+  bool has_smoothed_ = false;
+
+  [[nodiscard]] std::vector<double> features_from(
+      std::span<const double> past) const;
+};
+
+/// Shared helper: last-`window` harmonic mean with sane fallbacks when the
+/// history is short.
+[[nodiscard]] double recent_harmonic_mean(std::span<const double> past,
+                                          int window, double fallback_mbps);
+
+}  // namespace wild5g::abr

@@ -1,0 +1,38 @@
+#include "abr/video.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace wild5g::abr {
+
+double VideoProfile::bitrate(int track) const {
+  require(track >= 0 && track < track_count(),
+          "VideoProfile::bitrate: track out of range");
+  return track_mbps[static_cast<std::size_t>(track)];
+}
+
+VideoProfile make_ladder(double top_mbps, int tracks, double chunk_s,
+                         double ratio) {
+  require(top_mbps > 0.0 && tracks >= 2 && chunk_s > 0.0 && ratio > 1.0,
+          "make_ladder: invalid parameters");
+  VideoProfile profile;
+  profile.chunk_s = chunk_s;
+  profile.track_mbps.resize(static_cast<std::size_t>(tracks));
+  double rate = top_mbps;
+  for (int i = tracks - 1; i >= 0; --i) {
+    profile.track_mbps[static_cast<std::size_t>(i)] = rate;
+    rate /= ratio;
+  }
+  return profile;
+}
+
+VideoProfile video_ladder_5g(double chunk_s) {
+  return make_ladder(160.0, 6, chunk_s);
+}
+
+VideoProfile video_ladder_4g(double chunk_s) {
+  return make_ladder(20.0, 6, chunk_s);
+}
+
+}  // namespace wild5g::abr

@@ -1,0 +1,33 @@
+// wild5g/abr: video encoding ladders (Sec. 5.1).
+//
+// Six tracks with a ~1.5x encoded-bitrate ratio between adjacent tracks.
+// The top track matches the median throughput of the trace population:
+// 160 Mbps for the 5G ladder, 20 Mbps for 4G.
+#pragma once
+
+#include <vector>
+
+namespace wild5g::abr {
+
+struct VideoProfile {
+  double chunk_s = 4.0;
+  std::vector<double> track_mbps;  // ascending
+
+  [[nodiscard]] int track_count() const {
+    return static_cast<int>(track_mbps.size());
+  }
+  [[nodiscard]] double top_mbps() const { return track_mbps.back(); }
+  [[nodiscard]] double bitrate(int track) const;
+};
+
+/// The 5G ladder: top track 160 Mbps, ratio ~1.5, six tracks.
+[[nodiscard]] VideoProfile video_ladder_5g(double chunk_s = 4.0);
+
+/// The 4G ladder: top track 20 Mbps, ratio ~1.5, six tracks.
+[[nodiscard]] VideoProfile video_ladder_4g(double chunk_s = 4.0);
+
+/// Generic ladder with `tracks` tracks ending at `top_mbps`.
+[[nodiscard]] VideoProfile make_ladder(double top_mbps, int tracks,
+                                       double chunk_s, double ratio = 1.5);
+
+}  // namespace wild5g::abr

@@ -1,0 +1,23 @@
+// wild5g/core: error type and precondition helpers used across the library.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace wild5g {
+
+/// Exception type thrown by all wild5g components on contract violations or
+/// unrecoverable configuration errors.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws wild5g::Error with `message` when `condition` is false.
+/// Used to validate public-API preconditions (never for internal invariants,
+/// which use assert-style checks in tests).
+inline void require(bool condition, const std::string& message) {
+  if (!condition) throw Error(message);
+}
+
+}  // namespace wild5g

@@ -1,0 +1,89 @@
+// wild5g/core: deterministic random number generation.
+//
+// Every stochastic component in the library draws from an explicitly threaded
+// Rng so that campaigns, traces, and benchmarks are reproducible bit-for-bit
+// from a seed. Components that need independent streams fork() a child rng.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <span>
+
+#include "core/error.h"
+
+namespace wild5g {
+
+/// Seeded pseudo-random source wrapping std::mt19937_64 with the
+/// distributions used throughout the library.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) {
+    require(lo <= hi, "Rng::uniform: lo > hi");
+    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
+    require(lo <= hi, "Rng::uniform_int: lo > hi");
+    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Log-normal parameterized by the underlying normal's mu/sigma.
+  double lognormal(double mu, double sigma) {
+    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+  }
+
+  /// Exponential with the given mean (= 1/rate).
+  double exponential(double mean) {
+    require(mean > 0.0, "Rng::exponential: mean must be positive");
+    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+  }
+
+  /// True with probability p.
+  bool bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Uniformly chosen element of a non-empty span.
+  template <typename T>
+  const T& pick(std::span<const T> items) {
+    require(!items.empty(), "Rng::pick: empty span");
+    return items[static_cast<std::size_t>(
+        uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
+  }
+
+  /// Derives an independent child stream; deterministic in (seed, salt).
+  [[nodiscard]] Rng fork(std::uint64_t salt) const {
+    // SplitMix64-style mix so nearby salts give uncorrelated streams.
+    std::uint64_t z = seed_ + salt * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::span<T> items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      const auto j = static_cast<std::size_t>(
+          uniform_int(0, static_cast<std::int64_t>(i) - 1));
+      std::swap(items[i - 1], items[j]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+  std::uint64_t seed_;
+};
+
+}  // namespace wild5g

@@ -1,0 +1,107 @@
+#include "core/stats.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/error.h"
+
+namespace wild5g::stats {
+
+double mean(std::span<const double> xs) {
+  require(!xs.empty(), "stats::mean: empty sample");
+  return std::accumulate(xs.begin(), xs.end(), 0.0) /
+         static_cast<double>(xs.size());
+}
+
+double stddev(std::span<const double> xs) {
+  if (xs.size() < 2) return 0.0;
+  const double m = mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size() - 1));
+}
+
+double harmonic_mean(std::span<const double> xs) {
+  require(!xs.empty(), "stats::harmonic_mean: empty sample");
+  double inv_sum = 0.0;
+  for (double x : xs) {
+    require(x > 0.0, "stats::harmonic_mean: non-positive value");
+    inv_sum += 1.0 / x;
+  }
+  return static_cast<double>(xs.size()) / inv_sum;
+}
+
+double percentile(std::span<const double> xs, double p) {
+  require(!xs.empty(), "stats::percentile: empty sample");
+  require(p >= 0.0 && p <= 100.0, "stats::percentile: p out of [0,100]");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  if (sorted.size() == 1) return sorted.front();
+  const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(std::floor(rank));
+  const auto hi = static_cast<std::size_t>(std::ceil(rank));
+  const double frac = rank - std::floor(rank);
+  return sorted[lo] + frac * (sorted[hi] - sorted[lo]);
+}
+
+double median(std::span<const double> xs) { return percentile(xs, 50.0); }
+double p95(std::span<const double> xs) { return percentile(xs, 95.0); }
+
+std::vector<CdfPoint> empirical_cdf(std::span<const double> xs) {
+  require(!xs.empty(), "stats::empirical_cdf: empty sample");
+  std::vector<double> sorted(xs.begin(), xs.end());
+  std::sort(sorted.begin(), sorted.end());
+  std::vector<CdfPoint> cdf;
+  cdf.reserve(sorted.size());
+  const auto n = static_cast<double>(sorted.size());
+  for (std::size_t i = 0; i < sorted.size(); ++i) {
+    cdf.push_back({sorted[i], static_cast<double>(i + 1) / n});
+  }
+  return cdf;
+}
+
+LinearFit linear_fit(std::span<const double> x, std::span<const double> y) {
+  require(x.size() == y.size(), "stats::linear_fit: size mismatch");
+  require(x.size() >= 2, "stats::linear_fit: need >= 2 points");
+  const double mx = mean(x);
+  const double my = mean(y);
+  double sxx = 0.0;
+  double sxy = 0.0;
+  double syy = 0.0;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    sxx += (x[i] - mx) * (x[i] - mx);
+    sxy += (x[i] - mx) * (y[i] - my);
+    syy += (y[i] - my) * (y[i] - my);
+  }
+  require(sxx > 0.0, "stats::linear_fit: constant x");
+  LinearFit fit;
+  fit.slope = sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  fit.r_squared = (syy > 0.0) ? (sxy * sxy) / (sxx * syy) : 1.0;
+  return fit;
+}
+
+double mape_percent(std::span<const double> truth,
+                    std::span<const double> predicted) {
+  require(truth.size() == predicted.size(), "stats::mape: size mismatch");
+  require(!truth.empty(), "stats::mape: empty sample");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    require(truth[i] != 0.0, "stats::mape: zero ground-truth value");
+    acc += std::abs((truth[i] - predicted[i]) / truth[i]);
+  }
+  return 100.0 * acc / static_cast<double>(truth.size());
+}
+
+double mae(std::span<const double> truth, std::span<const double> predicted) {
+  require(truth.size() == predicted.size(), "stats::mae: size mismatch");
+  require(!truth.empty(), "stats::mae: empty sample");
+  double acc = 0.0;
+  for (std::size_t i = 0; i < truth.size(); ++i) {
+    acc += std::abs(truth[i] - predicted[i]);
+  }
+  return acc / static_cast<double>(truth.size());
+}
+
+}  // namespace wild5g::stats

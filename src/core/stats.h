@@ -1,0 +1,59 @@
+// wild5g/core: descriptive statistics and simple regression used by the
+// measurement campaigns and model-evaluation code.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace wild5g::stats {
+
+/// Arithmetic mean of a non-empty sample.
+[[nodiscard]] double mean(std::span<const double> xs);
+
+/// Sample standard deviation (n-1 denominator); 0 for samples of size < 2.
+[[nodiscard]] double stddev(std::span<const double> xs);
+
+/// Harmonic mean of a non-empty, strictly positive sample. Used by the
+/// harmonic-mean throughput predictor (Sec. 5.3 of the paper).
+[[nodiscard]] double harmonic_mean(std::span<const double> xs);
+
+/// Linear-interpolated percentile, p in [0, 100]. p=50 is the median.
+[[nodiscard]] double percentile(std::span<const double> xs, double p);
+
+/// Convenience wrappers.
+[[nodiscard]] double median(std::span<const double> xs);
+[[nodiscard]] double p95(std::span<const double> xs);
+
+/// One point of an empirical CDF.
+struct CdfPoint {
+  double value = 0.0;
+  double cumulative_probability = 0.0;
+};
+
+/// Empirical CDF of the sample, one point per observation, sorted by value.
+[[nodiscard]] std::vector<CdfPoint> empirical_cdf(std::span<const double> xs);
+
+/// Ordinary least squares fit of y = slope * x + intercept.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+  double r_squared = 0.0;
+
+  [[nodiscard]] double at(double x) const { return slope * x + intercept; }
+};
+
+/// Fits y = slope*x + intercept by least squares; requires >= 2 points and
+/// non-constant x.
+[[nodiscard]] LinearFit linear_fit(std::span<const double> x,
+                                   std::span<const double> y);
+
+/// Mean absolute percentage error, in percent. Ground-truth entries must be
+/// nonzero. This is the model-accuracy metric the paper reports (Fig. 15).
+[[nodiscard]] double mape_percent(std::span<const double> truth,
+                                  std::span<const double> predicted);
+
+/// Mean absolute error.
+[[nodiscard]] double mae(std::span<const double> truth,
+                         std::span<const double> predicted);
+
+}  // namespace wild5g::stats

@@ -1,0 +1,42 @@
+// wild5g/core: console table and CSV rendering for benchmark reports.
+//
+// Every bench binary regenerates one of the paper's tables or figures; this
+// renderer keeps their output uniform and diff-friendly.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace wild5g {
+
+/// A simple column-aligned text table with an optional title.
+class Table {
+ public:
+  explicit Table(std::string title) : title_(std::move(title)) {}
+
+  /// Sets the header row; must be called before add_row.
+  void set_header(std::vector<std::string> header);
+
+  /// Appends a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Formats a double with `digits` fractional digits.
+  [[nodiscard]] static std::string num(double value, int digits = 2);
+
+  /// Renders the table with box-drawing-free ASCII alignment.
+  void print(std::ostream& out) const;
+
+  /// Renders as CSV (header + rows), for machine consumption.
+  void write_csv(std::ostream& out) const;
+
+  [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
+  [[nodiscard]] const std::string& title() const { return title_; }
+
+ private:
+  std::string title_;
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace wild5g

@@ -1,0 +1,79 @@
+#include "geo/geo.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace wild5g::geo {
+
+namespace {
+constexpr double kEarthRadiusKm = 6371.0;
+
+double deg_to_rad(double deg) { return deg * std::numbers::pi / 180.0; }
+}  // namespace
+
+double haversine_km(const GeoPoint& a, const GeoPoint& b) {
+  const double lat1 = deg_to_rad(a.lat_deg);
+  const double lat2 = deg_to_rad(b.lat_deg);
+  const double dlat = lat2 - lat1;
+  const double dlon = deg_to_rad(b.lon_deg - a.lon_deg);
+  const double h = std::sin(dlat / 2) * std::sin(dlat / 2) +
+                   std::cos(lat1) * std::cos(lat2) * std::sin(dlon / 2) *
+                       std::sin(dlon / 2);
+  return 2.0 * kEarthRadiusKm * std::asin(std::min(1.0, std::sqrt(h)));
+}
+
+Place minneapolis() { return {"Minneapolis, MN", {44.9778, -93.2650}}; }
+Place ann_arbor() { return {"Ann Arbor, MI", {42.2808, -83.7430}}; }
+
+std::span<const Place> metro_cities() {
+  static const std::vector<Place> kCities = {
+      {"Minneapolis, MN", {44.9778, -93.2650}},
+      {"Chicago, IL", {41.8781, -87.6298}},
+      {"Kansas City, MO", {39.0997, -94.5786}},
+      {"Denver, CO", {39.7392, -104.9903}},
+      {"Detroit, MI", {42.3314, -83.0458}},
+      {"St. Louis, MO", {38.6270, -90.1994}},
+      {"Dallas, TX", {32.7767, -96.7970}},
+      {"Houston, TX", {29.7604, -95.3698}},
+      {"Atlanta, GA", {33.7490, -84.3880}},
+      {"New York, NY", {40.7128, -74.0060}},
+      {"Boston, MA", {42.3601, -71.0589}},
+      {"Washington, DC", {38.9072, -77.0369}},
+      {"Charlotte, NC", {35.2271, -80.8431}},
+      {"Miami, FL", {25.7617, -80.1918}},
+      {"Nashville, TN", {36.1627, -86.7816}},
+      {"Phoenix, AZ", {33.4484, -112.0740}},
+      {"Salt Lake City, UT", {40.7608, -111.8910}},
+      {"Las Vegas, NV", {36.1699, -115.1398}},
+      {"Los Angeles, CA", {34.0522, -118.2437}},
+      {"San Francisco, CA", {37.7749, -122.4194}},
+      {"Seattle, WA", {47.6062, -122.3321}},
+      {"Portland, OR", {45.5152, -122.6784}},
+      {"Philadelphia, PA", {39.9526, -75.1652}},
+      {"Pittsburgh, PA", {40.4406, -79.9959}},
+      {"Cleveland, OH", {41.4993, -81.6944}},
+      {"Omaha, NE", {41.2565, -95.9345}},
+      {"New Orleans, LA", {29.9511, -90.0715}},
+      {"San Antonio, TX", {29.4241, -98.4936}},
+      {"Tampa, FL", {27.9506, -82.4572}},
+      {"San Diego, CA", {32.7157, -117.1611}},
+  };
+  return kCities;
+}
+
+std::span<const AzureRegion> azure_regions() {
+  // Quoted distances are the Fig. 8 x-axis annotations for a Minneapolis UE.
+  static const std::vector<AzureRegion> kRegions = {
+      {"Central", {41.5868, -93.6250}, 374.0},        // Des Moines, IA
+      {"North Central", {41.8781, -87.6298}, 563.0},  // Chicago, IL
+      {"East", {36.6676, -78.3875}, 1393.0},          // Boydton, VA
+      {"West Central", {41.1400, -104.8202}, 1444.0}, // Cheyenne, WY
+      {"East2", {36.8529, -75.9780}, 1539.0},         // Virginia Beach, VA
+      {"South Central", {29.4241, -98.4936}, 1779.0}, // San Antonio, TX
+      {"West2", {47.2343, -119.8526}, 2044.0},        // Quincy, WA
+      {"West", {37.3541, -121.9552}, 2532.0},         // Santa Clara, CA
+  };
+  return kRegions;
+}
+
+}  // namespace wild5g::geo

@@ -1,0 +1,46 @@
+// wild5g/geo: geographic primitives and the location catalogs used by the
+// measurement campaigns (UE cities, speedtest server cities, Azure regions).
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+namespace wild5g::geo {
+
+/// A WGS84 latitude/longitude pair in degrees.
+struct GeoPoint {
+  double lat_deg = 0.0;
+  double lon_deg = 0.0;
+};
+
+/// Great-circle distance between two points in kilometers (haversine).
+[[nodiscard]] double haversine_km(const GeoPoint& a, const GeoPoint& b);
+
+/// A named location (city or datacenter site).
+struct Place {
+  std::string name;
+  GeoPoint point;
+};
+
+/// The two UE cities of the study.
+[[nodiscard]] Place minneapolis();
+[[nodiscard]] Place ann_arbor();
+
+/// Major US metropolitan areas where carriers host speedtest servers
+/// (paper Sec. 3.1: "mainly located in major metropolitan U.S. cities").
+[[nodiscard]] std::span<const Place> metro_cities();
+
+/// One Azure region of the Fig. 8 campaign. `quoted_distance_km` is the
+/// UE-server distance the paper reports for a Minneapolis UE; coordinates are
+/// the region's actual datacenter metro and agree with the quote to ~10%.
+struct AzureRegion {
+  std::string name;
+  GeoPoint point;
+  double quoted_distance_km = 0.0;
+};
+
+/// All US Azure regions of Fig. 8, ordered by quoted UE-server distance.
+[[nodiscard]] std::span<const AzureRegion> azure_regions();
+
+}  // namespace wild5g::geo

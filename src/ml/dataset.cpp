@@ -1,0 +1,47 @@
+#include "ml/dataset.h"
+
+#include <numeric>
+
+#include "core/error.h"
+
+namespace wild5g::ml {
+
+void Dataset::add(std::vector<double> features, double target) {
+  require(features.size() == feature_names.size(),
+          "Dataset::add: feature arity mismatch");
+  rows.push_back(std::move(features));
+  targets.push_back(target);
+}
+
+void Dataset::validate() const {
+  require(rows.size() == targets.size(),
+          "Dataset: rows/targets size mismatch");
+  for (const auto& row : rows) {
+    require(row.size() == feature_names.size(),
+            "Dataset: row arity mismatch");
+  }
+}
+
+TrainTestSplit train_test_split(const Dataset& data, double train_fraction,
+                                Rng& rng) {
+  require(train_fraction > 0.0 && train_fraction < 1.0,
+          "train_test_split: fraction out of (0,1)");
+  data.validate();
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+  rng.shuffle(std::span<std::size_t>(order));
+
+  const auto train_count = static_cast<std::size_t>(
+      train_fraction * static_cast<double>(data.size()));
+  TrainTestSplit split;
+  split.train.feature_names = data.feature_names;
+  split.test.feature_names = data.feature_names;
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    auto& dest = (i < train_count) ? split.train : split.test;
+    dest.rows.push_back(data.rows[order[i]]);
+    dest.targets.push_back(data.targets[order[i]]);
+  }
+  return split;
+}
+
+}  // namespace wild5g::ml

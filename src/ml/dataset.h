@@ -1,0 +1,43 @@
+// wild5g/ml: tabular dataset container shared by the tree learners.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace wild5g::ml {
+
+/// A dense feature matrix with one target per row. Feature names are kept so
+/// learned trees can be rendered readably (Fig. 22 of the paper).
+struct Dataset {
+  std::vector<std::string> feature_names;
+  std::vector<std::vector<double>> rows;  // rows[i].size() == feature_names.size()
+  std::vector<double> targets;            // regression target or class label
+
+  [[nodiscard]] std::size_t size() const { return rows.size(); }
+  [[nodiscard]] std::size_t feature_count() const {
+    return feature_names.size();
+  }
+
+  /// Appends one observation; `features` must match feature_count().
+  void add(std::vector<double> features, double target);
+
+  /// Validates internal consistency; throws wild5g::Error on violation.
+  void validate() const;
+};
+
+/// Result of a random split.
+struct TrainTestSplit {
+  Dataset train;
+  Dataset test;
+};
+
+/// Randomly partitions `data` into train/test with `train_fraction` of rows
+/// in train (the paper uses 7:3). Deterministic in `rng`.
+[[nodiscard]] TrainTestSplit train_test_split(const Dataset& data,
+                                              double train_fraction, Rng& rng);
+
+}  // namespace wild5g::ml

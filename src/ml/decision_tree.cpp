@@ -1,0 +1,367 @@
+#include "ml/decision_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace wild5g::ml {
+
+namespace {
+
+/// Mutable state while growing one tree. Handles both criteria:
+/// squared error (regression) and Gini (classification).
+enum class Criterion { kSquaredError, kGini };
+
+struct SplitChoice {
+  bool found = false;
+  int feature = -1;
+  double threshold = 0.0;
+  double impurity_decrease = 0.0;
+  std::vector<std::size_t> left;
+  std::vector<std::size_t> right;
+};
+
+class Grower {
+ public:
+  Grower(const Dataset& data, const TreeConfig& config, Criterion criterion,
+         int class_count)
+      : data_(data),
+        config_(config),
+        criterion_(criterion),
+        class_count_(class_count),
+        importance_(data.feature_count(), 0.0) {}
+
+  std::vector<TreeNode> grow() {
+    std::vector<std::size_t> all(data_.size());
+    std::iota(all.begin(), all.end(), 0);
+    grow_node(all, 0);
+    return std::move(nodes_);
+  }
+
+  std::vector<double> take_importance() { return std::move(importance_); }
+
+ private:
+  // Impurity of a node given its member rows: sum of squared deviations for
+  // regression, n * Gini for classification (both "weighted" impurities so
+  // decreases are additive).
+  double node_impurity(std::span<const std::size_t> idx) const {
+    if (criterion_ == Criterion::kSquaredError) {
+      double sum = 0.0;
+      double sq = 0.0;
+      for (auto i : idx) {
+        sum += data_.targets[i];
+        sq += data_.targets[i] * data_.targets[i];
+      }
+      const auto n = static_cast<double>(idx.size());
+      return sq - sum * sum / n;
+    }
+    std::vector<double> counts(static_cast<std::size_t>(class_count_), 0.0);
+    for (auto i : idx) counts[static_cast<std::size_t>(data_.targets[i])]++;
+    const auto n = static_cast<double>(idx.size());
+    double sum_p2 = 0.0;
+    for (double c : counts) sum_p2 += (c / n) * (c / n);
+    return n * (1.0 - sum_p2);
+  }
+
+  double leaf_value(std::span<const std::size_t> idx) const {
+    if (criterion_ == Criterion::kSquaredError) {
+      double sum = 0.0;
+      for (auto i : idx) sum += data_.targets[i];
+      return sum / static_cast<double>(idx.size());
+    }
+    std::vector<std::size_t> counts(static_cast<std::size_t>(class_count_), 0);
+    for (auto i : idx) counts[static_cast<std::size_t>(data_.targets[i])]++;
+    const auto best =
+        std::max_element(counts.begin(), counts.end()) - counts.begin();
+    return static_cast<double>(best);
+  }
+
+  SplitChoice best_split(std::span<const std::size_t> idx,
+                         double parent_impurity) const {
+    SplitChoice best;
+    std::vector<std::size_t> sorted(idx.begin(), idx.end());
+    for (std::size_t f = 0; f < data_.feature_count(); ++f) {
+      std::sort(sorted.begin(), sorted.end(), [&](std::size_t a,
+                                                  std::size_t b) {
+        return data_.rows[a][f] < data_.rows[b][f];
+      });
+      scan_feature(sorted, static_cast<int>(f), parent_impurity, best);
+    }
+    if (best.found) {
+      best.left.clear();
+      best.right.clear();
+      for (auto i : idx) {
+        auto& side = (data_.rows[i][static_cast<std::size_t>(best.feature)] <
+                      best.threshold)
+                         ? best.left
+                         : best.right;
+        side.push_back(i);
+      }
+    }
+    return best;
+  }
+
+  // Scans all split positions of one (pre-sorted) feature with running
+  // sufficient statistics; updates `best` in place.
+  void scan_feature(std::span<const std::size_t> sorted, int feature,
+                    double parent_impurity, SplitChoice& best) const {
+    const auto f = static_cast<std::size_t>(feature);
+    const auto n = sorted.size();
+    if (criterion_ == Criterion::kSquaredError) {
+      double total_sum = 0.0;
+      double total_sq = 0.0;
+      for (auto i : sorted) {
+        total_sum += data_.targets[i];
+        total_sq += data_.targets[i] * data_.targets[i];
+      }
+      double left_sum = 0.0;
+      double left_sq = 0.0;
+      for (std::size_t k = 0; k + 1 < n; ++k) {
+        const double y = data_.targets[sorted[k]];
+        left_sum += y;
+        left_sq += y * y;
+        const double v_here = data_.rows[sorted[k]][f];
+        const double v_next = data_.rows[sorted[k + 1]][f];
+        if (v_here == v_next) continue;
+        const auto nl = static_cast<double>(k + 1);
+        const auto nr = static_cast<double>(n - k - 1);
+        if (nl < static_cast<double>(config_.min_samples_leaf) ||
+            nr < static_cast<double>(config_.min_samples_leaf)) {
+          continue;
+        }
+        const double imp_l = left_sq - left_sum * left_sum / nl;
+        const double right_sum = total_sum - left_sum;
+        const double imp_r =
+            (total_sq - left_sq) - right_sum * right_sum / nr;
+        consider(parent_impurity - imp_l - imp_r, feature,
+                 0.5 * (v_here + v_next), best);
+      }
+      return;
+    }
+    // Gini criterion.
+    std::vector<double> total(static_cast<std::size_t>(class_count_), 0.0);
+    for (auto i : sorted) total[static_cast<std::size_t>(data_.targets[i])]++;
+    std::vector<double> left(static_cast<std::size_t>(class_count_), 0.0);
+    for (std::size_t k = 0; k + 1 < n; ++k) {
+      left[static_cast<std::size_t>(data_.targets[sorted[k]])]++;
+      const double v_here = data_.rows[sorted[k]][f];
+      const double v_next = data_.rows[sorted[k + 1]][f];
+      if (v_here == v_next) continue;
+      const auto nl = static_cast<double>(k + 1);
+      const auto nr = static_cast<double>(n - k - 1);
+      if (nl < static_cast<double>(config_.min_samples_leaf) ||
+          nr < static_cast<double>(config_.min_samples_leaf)) {
+        continue;
+      }
+      double sum_l2 = 0.0;
+      double sum_r2 = 0.0;
+      for (std::size_t c = 0; c < left.size(); ++c) {
+        sum_l2 += (left[c] / nl) * (left[c] / nl);
+        const double rc = total[c] - left[c];
+        sum_r2 += (rc / nr) * (rc / nr);
+      }
+      const double imp_l = nl * (1.0 - sum_l2);
+      const double imp_r = nr * (1.0 - sum_r2);
+      consider(parent_impurity - imp_l - imp_r, feature,
+               0.5 * (v_here + v_next), best);
+    }
+  }
+
+  static void consider(double decrease, int feature, double threshold,
+                       SplitChoice& best) {
+    if (decrease > best.impurity_decrease ||
+        (!best.found && decrease > 0.0)) {
+      best.found = true;
+      best.feature = feature;
+      best.threshold = threshold;
+      best.impurity_decrease = decrease;
+    }
+  }
+
+  std::int32_t grow_node(std::span<const std::size_t> idx, int depth) {
+    const auto node_id = static_cast<std::int32_t>(nodes_.size());
+    nodes_.emplace_back();
+    nodes_[static_cast<std::size_t>(node_id)].sample_count = idx.size();
+
+    const double impurity = node_impurity(idx);
+    const bool can_split = depth < config_.max_depth &&
+                           idx.size() >= config_.min_samples_split &&
+                           impurity > 0.0;
+    SplitChoice split;
+    if (can_split) split = best_split(idx, impurity);
+    if (!split.found ||
+        split.impurity_decrease < config_.min_impurity_decrease) {
+      nodes_[static_cast<std::size_t>(node_id)].is_leaf = true;
+      nodes_[static_cast<std::size_t>(node_id)].value = leaf_value(idx);
+      return node_id;
+    }
+
+    importance_[static_cast<std::size_t>(split.feature)] +=
+        split.impurity_decrease;
+    // Children are grown after the parent so the parent's fields must be set
+    // via index (the vector may reallocate during recursion).
+    const auto left_id = grow_node(split.left, depth + 1);
+    const auto right_id = grow_node(split.right, depth + 1);
+    auto& node = nodes_[static_cast<std::size_t>(node_id)];
+    node.is_leaf = false;
+    node.feature = split.feature;
+    node.threshold = split.threshold;
+    node.left = left_id;
+    node.right = right_id;
+    return node_id;
+  }
+
+  const Dataset& data_;
+  const TreeConfig& config_;
+  Criterion criterion_;
+  int class_count_;
+  std::vector<TreeNode> nodes_;
+  std::vector<double> importance_;
+};
+
+double tree_predict(const std::vector<TreeNode>& nodes,
+                    std::span<const double> features) {
+  require(!nodes.empty(), "decision tree: not fitted");
+  std::size_t at = 0;
+  while (!nodes[at].is_leaf) {
+    const auto& node = nodes[at];
+    require(static_cast<std::size_t>(node.feature) < features.size(),
+            "decision tree: feature arity mismatch");
+    at = static_cast<std::size_t>(
+        features[static_cast<std::size_t>(node.feature)] < node.threshold
+            ? node.left
+            : node.right);
+  }
+  return nodes[at].value;
+}
+
+std::vector<double> normalized(std::vector<double> raw) {
+  const double total = std::accumulate(raw.begin(), raw.end(), 0.0);
+  if (total > 0.0) {
+    for (auto& v : raw) v /= total;
+  }
+  return raw;
+}
+
+int tree_depth_from(const std::vector<TreeNode>& nodes, std::size_t at) {
+  if (nodes[at].is_leaf) return 0;
+  return 1 + std::max(
+                 tree_depth_from(nodes, static_cast<std::size_t>(nodes[at].left)),
+                 tree_depth_from(nodes,
+                                 static_cast<std::size_t>(nodes[at].right)));
+}
+
+}  // namespace
+
+void DecisionTreeRegressor::fit(const Dataset& data) {
+  data.validate();
+  require(!data.rows.empty(), "DecisionTreeRegressor::fit: empty dataset");
+  feature_count_ = data.feature_count();
+  Grower grower(data, config_, Criterion::kSquaredError, 0);
+  nodes_ = grower.grow();
+  importance_raw_ = grower.take_importance();
+}
+
+double DecisionTreeRegressor::predict(std::span<const double> features) const {
+  return tree_predict(nodes_, features);
+}
+
+std::vector<double> DecisionTreeRegressor::predict_all(
+    const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (const auto& row : data.rows) out.push_back(predict(row));
+  return out;
+}
+
+std::vector<double> DecisionTreeRegressor::feature_importances() const {
+  require(is_fitted(), "DecisionTreeRegressor: not fitted");
+  return normalized(importance_raw_);
+}
+
+int DecisionTreeRegressor::depth() const {
+  require(is_fitted(), "DecisionTreeRegressor: not fitted");
+  return tree_depth_from(nodes_, 0);
+}
+
+void DecisionTreeClassifier::fit(const Dataset& data) {
+  data.validate();
+  require(!data.rows.empty(), "DecisionTreeClassifier::fit: empty dataset");
+  feature_count_ = data.feature_count();
+  int max_label = 0;
+  for (double t : data.targets) {
+    require(t >= 0.0 && t == std::floor(t),
+            "DecisionTreeClassifier::fit: labels must be non-negative ints");
+    max_label = std::max(max_label, static_cast<int>(t));
+  }
+  class_count_ = max_label + 1;
+  Grower grower(data, config_, Criterion::kGini, class_count_);
+  nodes_ = grower.grow();
+  importance_raw_ = grower.take_importance();
+}
+
+int DecisionTreeClassifier::predict(std::span<const double> features) const {
+  return static_cast<int>(tree_predict(nodes_, features));
+}
+
+std::vector<int> DecisionTreeClassifier::predict_all(
+    const Dataset& data) const {
+  std::vector<int> out;
+  out.reserve(data.size());
+  for (const auto& row : data.rows) out.push_back(predict(row));
+  return out;
+}
+
+double DecisionTreeClassifier::accuracy(const Dataset& data) const {
+  require(!data.rows.empty(), "DecisionTreeClassifier::accuracy: empty set");
+  std::size_t hits = 0;
+  for (std::size_t i = 0; i < data.size(); ++i) {
+    if (predict(data.rows[i]) == static_cast<int>(data.targets[i])) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(data.size());
+}
+
+std::vector<double> DecisionTreeClassifier::feature_importances() const {
+  require(is_fitted(), "DecisionTreeClassifier: not fitted");
+  return normalized(importance_raw_);
+}
+
+std::string DecisionTreeClassifier::describe(
+    std::span<const std::string> feature_names,
+    std::span<const std::string> class_names) const {
+  require(is_fitted(), "DecisionTreeClassifier: not fitted");
+  std::ostringstream os;
+  // Iterative preorder render with explicit depth bookkeeping.
+  struct Frame {
+    std::size_t node;
+    int depth;
+    std::string prefix;
+  };
+  std::vector<Frame> stack{{0, 0, ""}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    const auto& node = nodes_[frame.node];
+    os << std::string(static_cast<std::size_t>(frame.depth) * 2, ' ')
+       << frame.prefix;
+    if (node.is_leaf) {
+      const auto cls = static_cast<std::size_t>(node.value);
+      os << "-> " << (cls < class_names.size() ? class_names[cls] : "?")
+         << "  [n=" << node.sample_count << "]\n";
+    } else {
+      const auto f = static_cast<std::size_t>(node.feature);
+      os << "if " << (f < feature_names.size() ? feature_names[f] : "x")
+         << " < " << node.threshold << "  [n=" << node.sample_count << "]\n";
+      stack.push_back({static_cast<std::size_t>(node.right), frame.depth + 1,
+                       "else: "});
+      stack.push_back({static_cast<std::size_t>(node.left), frame.depth + 1,
+                       "then: "});
+    }
+  }
+  return os.str();
+}
+
+}  // namespace wild5g::ml

@@ -1,0 +1,62 @@
+#include "ml/gbdt.h"
+
+#include <numeric>
+
+#include "core/error.h"
+
+namespace wild5g::ml {
+
+void GradientBoostedRegressor::fit(const Dataset& data) {
+  data.validate();
+  require(!data.rows.empty(), "GradientBoostedRegressor::fit: empty dataset");
+  require(config_.tree_count > 0, "GradientBoostedRegressor: tree_count <= 0");
+  require(config_.learning_rate > 0.0,
+          "GradientBoostedRegressor: learning_rate <= 0");
+
+  stages_.clear();
+  base_prediction_ =
+      std::accumulate(data.targets.begin(), data.targets.end(), 0.0) /
+      static_cast<double>(data.targets.size());
+
+  std::vector<double> current(data.size(), base_prediction_);
+  Dataset residuals;
+  residuals.feature_names = data.feature_names;
+  residuals.rows = data.rows;
+  residuals.targets.resize(data.size());
+
+  for (int stage = 0; stage < config_.tree_count; ++stage) {
+    double sum_sq = 0.0;
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      residuals.targets[i] = data.targets[i] - current[i];
+      sum_sq += residuals.targets[i] * residuals.targets[i];
+    }
+    if (sum_sq < 1e-12) break;  // already fit exactly
+    DecisionTreeRegressor tree(config_.tree);
+    tree.fit(residuals);
+    for (std::size_t i = 0; i < data.size(); ++i) {
+      current[i] += config_.learning_rate * tree.predict(data.rows[i]);
+    }
+    stages_.push_back(std::move(tree));
+  }
+  fitted_ = true;
+}
+
+double GradientBoostedRegressor::predict(
+    std::span<const double> features) const {
+  require(fitted_, "GradientBoostedRegressor: not fitted");
+  double value = base_prediction_;
+  for (const auto& tree : stages_) {
+    value += config_.learning_rate * tree.predict(features);
+  }
+  return value;
+}
+
+std::vector<double> GradientBoostedRegressor::predict_all(
+    const Dataset& data) const {
+  std::vector<double> out;
+  out.reserve(data.size());
+  for (const auto& row : data.rows) out.push_back(predict(row));
+  return out;
+}
+
+}  // namespace wild5g::ml

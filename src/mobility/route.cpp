@@ -1,0 +1,98 @@
+#include "mobility/route.h"
+
+#include "core/error.h"
+
+namespace wild5g::mobility {
+
+Route::Route(std::vector<Leg> legs) : legs_(std::move(legs)) {
+  require(!legs_.empty(), "Route: needs at least one leg");
+  for (const auto& leg : legs_) {
+    require(leg.speed_mps >= 0.0 && leg.duration_s > 0.0,
+            "Route: invalid leg");
+    total_duration_s_ += leg.duration_s;
+    total_length_m_ += leg.speed_mps * leg.duration_s;
+  }
+}
+
+double Route::position_m(double t_s) const {
+  require(t_s >= 0.0, "Route::position_m: negative time");
+  double pos = 0.0;
+  double t = t_s;
+  for (const auto& leg : legs_) {
+    if (t <= leg.duration_s) return pos + leg.speed_mps * t;
+    pos += leg.speed_mps * leg.duration_s;
+    t -= leg.duration_s;
+  }
+  return total_length_m_;
+}
+
+Route walking_loop() {
+  // 1.6 km in 20 minutes -> ~1.33 m/s steady walk.
+  return Route({{1.6 * 1000.0 / (20.0 * 60.0), 20.0 * 60.0}});
+}
+
+Route driving_route(Rng& rng) {
+  // Three phases with fixed time budgets that together land on the paper's
+  // 10 km / 600 s journey: downtown stop-and-go, arterial, then freeway.
+  // Within each phase the micro-structure is randomized, then the phase's
+  // speeds are scaled (by a factor close to 1) to hit its distance target,
+  // so speeds always stay inside the 0-100 kph envelope.
+  std::vector<Route::Leg> legs;
+
+  // Appends a phase and returns its generated legs' index range.
+  auto add_phase = [&](double time_budget_s, double distance_target_m,
+                       double speed_lo, double speed_hi, double stop_lo,
+                       double stop_hi, double go_lo, double go_hi,
+                       bool with_stops) {
+    const std::size_t first = legs.size();
+    double t = 0.0;
+    double dist = 0.0;
+    while (t < time_budget_s - 1.0) {
+      if (with_stops && rng.bernoulli(0.5)) {
+        const double stop = std::min(rng.uniform(stop_lo, stop_hi),
+                                     time_budget_s - t);
+        legs.push_back({0.0, stop});
+        t += stop;
+        if (t >= time_budget_s - 1.0) break;
+      }
+      const double speed = rng.uniform(speed_lo, speed_hi);
+      const double go = std::min(rng.uniform(go_lo, go_hi),
+                                 time_budget_s - t);
+      legs.push_back({speed, go});
+      t += go;
+      dist += speed * go;
+    }
+    // Scale this phase's speeds onto the distance target (factor ~1).
+    if (dist > 0.0) {
+      const double scale = distance_target_m / dist;
+      for (std::size_t i = first; i < legs.size(); ++i) {
+        legs[i].speed_mps *= scale;
+      }
+    }
+  };
+
+  // Downtown: 180 s, 900 m, 6-10 m/s bursts between lights.
+  add_phase(180.0, 900.0, 6.0, 10.0, 5.0, 18.0, 10.0, 25.0, true);
+  // Arterial: 150 s, 1950 m, 11-15 m/s.
+  add_phase(150.0, 1950.0, 11.0, 15.0, 0.0, 0.0, 20.0, 45.0, false);
+  // Freeway: 270 s, 7150 m, 24-28 m/s (86-100 kph).
+  add_phase(270.0, 7150.0, 24.0, 28.0, 0.0, 0.0, 20.0, 40.0, false);
+
+  // Final exact normalization; both residual factors are within a few
+  // percent of 1, so the 0-100 kph envelope is preserved.
+  double duration = 0.0;
+  double length = 0.0;
+  for (const auto& leg : legs) {
+    duration += leg.duration_s;
+    length += leg.speed_mps * leg.duration_s;
+  }
+  const double time_scale = 600.0 / duration;
+  const double dist_scale = 10000.0 / length;
+  for (auto& leg : legs) {
+    leg.duration_s *= time_scale;
+    leg.speed_mps *= dist_scale / time_scale;
+  }
+  return Route(std::move(legs));
+}
+
+}  // namespace wild5g::mobility

@@ -1,0 +1,46 @@
+// wild5g/mobility: movement profiles for the walking and driving campaigns.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+
+namespace wild5g::mobility {
+
+/// A 1-D route traversed over time. Position is measured in meters from the
+/// route start; speed is piecewise constant between waypoints.
+class Route {
+ public:
+  /// One leg of the journey at a constant speed.
+  struct Leg {
+    double speed_mps = 0.0;
+    double duration_s = 0.0;
+  };
+
+  explicit Route(std::vector<Leg> legs);
+
+  /// Position along the route at time t (clamped to the journey's end).
+  [[nodiscard]] double position_m(double t_s) const;
+
+  /// Total journey duration.
+  [[nodiscard]] double duration_s() const { return total_duration_s_; }
+
+  /// Total distance covered.
+  [[nodiscard]] double length_m() const { return total_length_m_; }
+
+ private:
+  std::vector<Leg> legs_;
+  double total_duration_s_ = 0.0;
+  double total_length_m_ = 0.0;
+};
+
+/// The paper's walking loop: ~1.6 km covered in ~20 minutes (Sec. 4.1).
+[[nodiscard]] Route walking_loop();
+
+/// The paper's 10 km driving route through downtown and freeway segments
+/// with speeds from 0 to 100 kph, ~600 s end to end (Sec. 3.3). Stop-and-go
+/// segment lengths are randomized from `rng` but total distance/duration are
+/// preserved.
+[[nodiscard]] Route driving_route(Rng& rng);
+
+}  // namespace wild5g::mobility

@@ -1,0 +1,22 @@
+// wild5g/net: the 2019 "5Gophers" baseline (Narayanan et al., WWW'20).
+//
+// Sec. 3 measures 5G's evolution against the first commercial deployments of
+// October 2019. These are the baseline operating points the paper's
+// longitudinal claims are made against: ~2 Gbps downlink (4CC, X50 modems),
+// uplink in the tens of Mbps, and a ~12 ms best-case RTT.
+#pragma once
+
+namespace wild5g::net {
+
+struct Baseline2019 {
+  double mmwave_dl_multi_mbps = 2000.0;  // best multi-conn downlink
+  double mmwave_dl_single_mbps = 1100.0; // best single-conn downlink
+  double mmwave_ul_mbps = 60.0;          // uplink (1CC)
+  double min_rtt_ms = 12.2;              // best-case latency
+  int dl_component_carriers = 4;         // X50-era carrier aggregation
+};
+
+/// The October-2019 5Gophers operating point.
+[[nodiscard]] inline Baseline2019 baseline_5gophers() { return {}; }
+
+}  // namespace wild5g::net

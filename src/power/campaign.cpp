@@ -1,0 +1,85 @@
+#include "power/campaign.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace wild5g::power {
+
+std::vector<CampaignSample> run_walking_campaign(
+    const WalkingCampaignConfig& config, const DevicePowerProfile& device,
+    Rng& rng) {
+  require(config.duration_s > 0.0 && config.log_period_s > 0.0,
+          "run_walking_campaign: invalid durations");
+  const RailKey rail = rail_key(config.network);
+  require(device.has_rail(rail),
+          "run_walking_campaign: device lacks this network's rail");
+
+  radio::ChannelProcess channel(
+      radio::default_channel_process(config.network.band), rng.fork(1));
+  Rng noise = rng.fork(2);
+
+  std::vector<CampaignSample> samples;
+  samples.reserve(
+      static_cast<std::size_t>(config.duration_s / config.log_period_s));
+
+  // Link utilization wanders slowly around the mean (application pacing,
+  // server share, cross traffic).
+  double utilization = config.mean_utilization;
+  for (double t = 0.0; t < config.duration_s; t += config.log_period_s) {
+    const auto sample = channel.step(config.log_period_s);
+    // Unconstrained walk over (0.05, 1]: campaigns cover idle-ish seconds
+    // too, so fitted models have support at low throughput (the Sec. 4.5
+    // app-validation workloads spend much of their time there).
+    utilization = std::clamp(
+        utilization + noise.normal(0.0, 0.012), 0.05, 1.0);
+    const double capacity = radio::link_capacity_mbps(
+        config.network, config.ue, radio::Direction::kDownlink,
+        sample.rsrp_dbm);
+    const double dl = capacity * utilization;
+    const double ul = dl * config.uplink_ratio;
+    const double clean =
+        device.transfer_power_mw(rail, dl, ul, sample.rsrp_dbm);
+    const double power =
+        std::max(0.0, clean * (1.0 + noise.normal(0.0, 0.03)));
+    samples.push_back({t, sample.rsrp_dbm, dl, ul, power});
+  }
+  return samples;
+}
+
+std::vector<CampaignSample> run_controlled_sweep(
+    const ControlledSweepConfig& config, const DevicePowerProfile& device,
+    Rng& rng) {
+  require(config.throughput_steps >= 2 && config.seconds_per_step > 0.0,
+          "run_controlled_sweep: invalid config");
+  const RailKey rail = rail_key(config.network);
+  require(device.has_rail(rail),
+          "run_controlled_sweep: device lacks this network's rail");
+  const double capacity = radio::link_capacity_mbps(
+      config.network, config.ue, radio::Direction::kDownlink,
+      config.rsrp_dbm);
+
+  std::vector<CampaignSample> samples;
+  double t = 0.0;
+  for (int step = 0; step < config.throughput_steps; ++step) {
+    // Quadratic spacing: dense targets at low rates, where applications
+    // spend most of their time and where energy-per-bit changes fastest.
+    const double fraction = static_cast<double>(step) /
+                            static_cast<double>(config.throughput_steps - 1);
+    const double target = capacity * fraction * fraction;
+    for (double dwell = 0.0; dwell < config.seconds_per_step; dwell += 0.1) {
+      const double rsrp = config.rsrp_dbm + rng.normal(0.0, 1.0);
+      const double dl = std::max(0.0, target * rng.uniform(0.97, 1.0));
+      const double ul = dl * 0.02;
+      const double power = std::max(
+          0.0, device.transfer_power_mw(rail, dl, ul, rsrp) *
+                   (1.0 + rng.normal(0.0, 0.03)));
+      samples.push_back({t, rsrp, dl, ul, power});
+      t += 0.1;
+    }
+  }
+  return samples;
+}
+
+}  // namespace wild5g::power

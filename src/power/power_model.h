@@ -1,0 +1,100 @@
+// wild5g/power: ground-truth radio power model (Sec. 4.3-4.4).
+//
+// Data-transfer power follows the paper's measured linear throughput-power
+// rails P = slope * T + base per (device, network, direction), with slopes
+// taken verbatim from Table 8 and bases calibrated to reproduce the measured
+// crossover points (Fig. 11: DL 187/189 Mbps, UL 40/123 Mbps on S20U;
+// Fig. 26: DL 213 Mbps, UL 44 Mbps on S10). Poor signal strength inflates
+// transfer power (retransmissions + PA headroom), reproducing the
+// RSRP-efficiency relationship of Figs. 13-14.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "radio/types.h"
+
+namespace wild5g::power {
+
+/// Network key for a power rail (deployment modes that share power behavior
+/// are collapsed).
+enum class RailKey { k4g, kNsaLowBand, kNsaMmWave, kSaLowBand };
+
+[[nodiscard]] std::string to_string(RailKey key);
+
+/// Maps a concrete network config to its power-rail key.
+[[nodiscard]] RailKey rail_key(const radio::NetworkConfig& config);
+
+/// One linear throughput-power rail: P(T) = slope * T + base (mW, Mbps).
+struct PowerRail {
+  double slope_mw_per_mbps = 0.0;
+  double base_mw = 0.0;
+
+  [[nodiscard]] double power_mw(double throughput_mbps) const {
+    return base_mw + slope_mw_per_mbps * throughput_mbps;
+  }
+};
+
+/// Throughput at which rails `a` and `b` consume equal power; nullopt when
+/// parallel or the crossover is negative.
+[[nodiscard]] std::optional<double> crossover_mbps(const PowerRail& a,
+                                                   const PowerRail& b);
+
+/// Energy efficiency in microjoules per bit at a constant throughput.
+[[nodiscard]] double efficiency_uj_per_bit(double power_mw,
+                                           double throughput_mbps);
+
+/// Per-device radio power characteristics.
+class DevicePowerProfile {
+ public:
+  /// The rails measured on the Galaxy S20 Ultra (Minneapolis campaigns):
+  /// 4G, NSA low-band, NSA mmWave, and SA low-band.
+  [[nodiscard]] static DevicePowerProfile s20u();
+
+  /// The rails measured on the Galaxy S10 (Ann Arbor campaigns): 4G and
+  /// NSA mmWave only.
+  [[nodiscard]] static DevicePowerProfile s10();
+
+  [[nodiscard]] const std::string& device_name() const { return name_; }
+
+  /// True when this device has a measured rail for `key`.
+  [[nodiscard]] bool has_rail(RailKey key) const;
+
+  /// The rail for (network, direction); throws for unmeasured networks.
+  [[nodiscard]] const PowerRail& rail(RailKey key,
+                                      radio::Direction direction) const;
+
+  /// Reference ("good") RSRP per rail; below it transfer power inflates.
+  [[nodiscard]] double good_rsrp_dbm(RailKey key) const;
+
+  /// Instantaneous radio power during data transfer, combining downlink and
+  /// uplink activity at the given signal strength. The base (rail intercept)
+  /// is paid once; slopes apply per direction; the signal penalty scales the
+  /// throughput-dependent component by up to +60% at cell-edge RSRP.
+  [[nodiscard]] double transfer_power_mw(RailKey key, double dl_mbps,
+                                         double ul_mbps,
+                                         double rsrp_dbm) const;
+
+ private:
+  struct RailPair {
+    PowerRail downlink;
+    PowerRail uplink;
+    double good_rsrp_dbm = -80.0;
+    double edge_rsrp_dbm = -115.0;
+    bool present = false;
+  };
+
+  std::string name_;
+  RailPair rails_[4];
+
+  [[nodiscard]] const RailPair& pair(RailKey key) const;
+  [[nodiscard]] RailPair& pair(RailKey key);
+};
+
+/// Fractional transfer-power inflation at a given RSRP: 0 at/above
+/// `good_rsrp`, growing linearly to `max_penalty` at `edge_rsrp`.
+[[nodiscard]] double signal_penalty(double rsrp_dbm, double good_rsrp_dbm,
+                                    double edge_rsrp_dbm,
+                                    double max_penalty = 0.6);
+
+}  // namespace wild5g::power

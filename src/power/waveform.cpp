@@ -1,0 +1,120 @@
+#include "power/waveform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "core/error.h"
+
+namespace wild5g::power {
+
+double PowerTrace::energy_j() const {
+  // mW * s = mJ; report joules.
+  const double sum_mw =
+      std::accumulate(samples_mw.begin(), samples_mw.end(), 0.0);
+  return sum_mw / sample_rate_hz / 1000.0;
+}
+
+double PowerTrace::average_mw() const {
+  require(!samples_mw.empty(), "PowerTrace::average_mw: empty trace");
+  return std::accumulate(samples_mw.begin(), samples_mw.end(), 0.0) /
+         static_cast<double>(samples_mw.size());
+}
+
+double PowerTrace::average_mw(double from_s, double to_s) const {
+  require(from_s < to_s, "PowerTrace::average_mw: empty window");
+  const auto from = static_cast<std::size_t>(from_s * sample_rate_hz);
+  const auto to = std::min(
+      samples_mw.size(), static_cast<std::size_t>(to_s * sample_rate_hz));
+  require(from < to, "PowerTrace::average_mw: window outside trace");
+  double sum = 0.0;
+  for (std::size_t i = from; i < to; ++i) sum += samples_mw[i];
+  return sum / static_cast<double>(to - from);
+}
+
+WaveformSynthesizer::WaveformSynthesizer(rrc::RrcProfile profile,
+                                         DevicePowerProfile device,
+                                         double sample_rate_hz)
+    : profile_(std::move(profile)),
+      device_(std::move(device)),
+      rail_(rail_key(profile_.config.network)),
+      sample_rate_hz_(sample_rate_hz) {
+  require(sample_rate_hz_ > 0.0,
+          "WaveformSynthesizer: sample rate must be positive");
+  require(device_.has_rail(rail_),
+          "WaveformSynthesizer: device has no rail for this network");
+}
+
+namespace {
+
+/// DRX square wave averaging to `mean_mw`: `on_fraction` of each cycle at an
+/// elevated level, the remainder in light sleep.
+double drx_wave_mw(double t_ms, double cycle_ms, double mean_mw,
+                   double on_fraction, double sleep_ratio) {
+  if (cycle_ms <= 0.0) return mean_mw;
+  const double phase = std::fmod(t_ms, cycle_ms) / cycle_ms;
+  // on_fraction*on + (1-on_fraction)*sleep = mean, sleep = sleep_ratio*mean.
+  const double sleep = sleep_ratio * mean_mw;
+  const double on =
+      (mean_mw - (1.0 - on_fraction) * sleep) / on_fraction;
+  return phase < on_fraction ? on : sleep;
+}
+
+}  // namespace
+
+double WaveformSynthesizer::instantaneous_mw(const rrc::StateSegment& segment,
+                                             double t_ms,
+                                             double rsrp_dbm) const {
+  const auto& cfg = profile_.config;
+  const auto& pw = profile_.power;
+  if (segment.promoting) {
+    // Signaling burst; NSA additionally pays the 4G->5G switch (Table 2).
+    return std::max(pw.promotion_mw,
+                    cfg.is_nsa_5g() ? pw.switch_mw : pw.promotion_mw);
+  }
+  if (segment.transferring) {
+    return device_.transfer_power_mw(rail_, segment.dl_mbps, segment.ul_mbps,
+                                     rsrp_dbm);
+  }
+  switch (segment.state) {
+    case rrc::RrcState::kConnected:
+      return drx_wave_mw(t_ms, cfg.long_drx_cycle_ms, pw.tail_mw, 0.2, 0.35);
+    case rrc::RrcState::kConnectedAnchor:
+      return drx_wave_mw(t_ms, cfg.long_drx_cycle_ms, pw.anchor_tail_mw, 0.2,
+                         0.35);
+    case rrc::RrcState::kInactive:
+      return drx_wave_mw(t_ms, 320.0, pw.inactive_mw, 0.1, 0.45);
+    case rrc::RrcState::kIdle:
+      return drx_wave_mw(t_ms, cfg.idle_drx_cycle_ms, pw.idle_mw, 0.05, 0.6);
+  }
+  return pw.idle_mw;
+}
+
+PowerTrace WaveformSynthesizer::synthesize(
+    std::span<const rrc::StateSegment> timeline, Rng& rng,
+    const RsrpFn& rsrp_at) const {
+  require(!timeline.empty(), "WaveformSynthesizer: empty timeline");
+  PowerTrace trace;
+  trace.sample_rate_hz = sample_rate_hz_;
+  const double horizon_ms = timeline.back().end_ms;
+  const double dt_ms = 1000.0 / sample_rate_hz_;
+  const auto sample_count =
+      static_cast<std::size_t>(std::llround(horizon_ms / dt_ms));
+  trace.samples_mw.reserve(sample_count);
+
+  std::size_t seg = 0;
+  for (std::size_t i = 0; i < sample_count; ++i) {
+    const double t = static_cast<double>(i) * dt_ms;
+    while (seg + 1 < timeline.size() && t >= timeline[seg].end_ms) ++seg;
+    const double rsrp =
+        rsrp_at ? rsrp_at(t) : device_.good_rsrp_dbm(rail_);
+    const double clean = instantaneous_mw(timeline[seg], t, rsrp);
+    // Measurement + conversion noise: ~2% multiplicative, 4 mW floor.
+    const double noisy = clean * (1.0 + rng.normal(0.0, 0.02)) +
+                         rng.normal(0.0, 4.0);
+    trace.samples_mw.push_back(std::max(0.0, noisy));
+  }
+  return trace;
+}
+
+}  // namespace wild5g::power

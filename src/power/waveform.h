@@ -1,0 +1,62 @@
+// wild5g/power: 5 kHz power-waveform synthesis (the simulated Monsoon feed).
+//
+// Turns an RRC state timeline (with per-segment throughput and a signal
+// trajectory) into the high-rate radio power waveform a hardware power
+// monitor would record: transfer power from the device rails, DRX on/off
+// cycling in the tails, paging spikes in IDLE, and promotion bursts.
+#pragma once
+
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+#include "power/power_model.h"
+#include "rrc/rrc_config.h"
+#include "rrc/state_machine.h"
+
+namespace wild5g::power {
+
+/// A sampled power trace (what the Monsoon monitor records).
+struct PowerTrace {
+  double sample_rate_hz = 5000.0;
+  std::vector<double> samples_mw;
+
+  [[nodiscard]] double duration_s() const {
+    return static_cast<double>(samples_mw.size()) / sample_rate_hz;
+  }
+  /// Integrated energy over the whole trace.
+  [[nodiscard]] double energy_j() const;
+  [[nodiscard]] double average_mw() const;
+  /// Average power over [from_s, to_s).
+  [[nodiscard]] double average_mw(double from_s, double to_s) const;
+};
+
+/// Synthesizes the radio power waveform for one network + device.
+class WaveformSynthesizer {
+ public:
+  /// `rsrp_at(t_ms)` supplies the signal trajectory; pass nullptr for a
+  /// constant good-signal campaign.
+  using RsrpFn = std::function<double(double t_ms)>;
+
+  WaveformSynthesizer(rrc::RrcProfile profile, DevicePowerProfile device,
+                      double sample_rate_hz = 5000.0);
+
+  /// Renders `timeline` (from rrc::build_timeline) into a power trace.
+  [[nodiscard]] PowerTrace synthesize(
+      std::span<const rrc::StateSegment> timeline, Rng& rng,
+      const RsrpFn& rsrp_at = nullptr) const;
+
+  [[nodiscard]] const rrc::RrcProfile& profile() const { return profile_; }
+
+ private:
+  rrc::RrcProfile profile_;
+  DevicePowerProfile device_;
+  RailKey rail_;
+  double sample_rate_hz_;
+
+  [[nodiscard]] double instantaneous_mw(const rrc::StateSegment& segment,
+                                        double t_ms, double rsrp_dbm) const;
+};
+
+}  // namespace wild5g::power

@@ -1,0 +1,95 @@
+#include "radio/handoff.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace wild5g::radio {
+
+A3HandoffEngine::A3HandoffEngine(std::vector<CellSite> cells,
+                                 HandoffConfig config, Rng rng)
+    : cells_(std::move(cells)), config_(config), rng_(rng) {
+  require(!cells_.empty(), "A3HandoffEngine: no cells");
+  require(config_.hysteresis_db >= 0.0 && config_.time_to_trigger_ms >= 0.0,
+          "A3HandoffEngine: invalid config");
+  shadowing_db_.assign(cells_.size(), 0.0);
+  for (auto& s : shadowing_db_) {
+    s = rng_.normal(0.0, config_.shadowing_sigma_db);
+  }
+}
+
+double A3HandoffEngine::cell_rsrp_dbm(std::size_t index,
+                                      double ue_position_m) const {
+  const auto& cell = cells_[index];
+  const double distance = std::abs(ue_position_m - cell.position_m);
+  return rsrp_dbm(cell.band, std::max(5.0, distance),
+                  -shadowing_db_[index]);
+}
+
+void A3HandoffEngine::evolve_shadowing(double dt_s) {
+  const double decay = std::exp(-dt_s / config_.shadowing_tau_s);
+  const double noise = config_.shadowing_sigma_db *
+                       std::sqrt(std::max(0.0, 1.0 - decay * decay));
+  for (auto& s : shadowing_db_) {
+    s = s * decay + rng_.normal(0.0, noise);
+  }
+}
+
+A3HandoffEngine::StepResult A3HandoffEngine::step(double dt_s,
+                                                  double ue_position_m) {
+  require(dt_s > 0.0, "A3HandoffEngine::step: dt must be positive");
+  now_s_ += dt_s;
+  evolve_shadowing(dt_s);
+
+  const auto serving_index = static_cast<std::size_t>(serving_);
+  const double serving_rsrp = cell_rsrp_dbm(serving_index, ue_position_m);
+
+  // Strongest neighbor.
+  int best = -1;
+  double best_rsrp = -1e18;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    if (i == serving_index) continue;
+    const double rsrp = cell_rsrp_dbm(i, ue_position_m);
+    if (rsrp > best_rsrp) {
+      best_rsrp = rsrp;
+      best = static_cast<int>(i);
+    }
+  }
+
+  StepResult result;
+  result.serving_rsrp_dbm = serving_rsrp;
+
+  // A3 entering condition: neighbor > serving + hysteresis.
+  if (best >= 0 && best_rsrp > serving_rsrp + config_.hysteresis_db) {
+    if (candidate_ != best) {
+      candidate_ = best;
+      candidate_since_s_ = now_s_;
+    }
+    if ((now_s_ - candidate_since_s_) * 1000.0 >=
+        config_.time_to_trigger_ms) {
+      events_.push_back({now_s_, serving_, best});
+      serving_ = best;
+      candidate_ = -1;
+      ++handoff_count_;
+      result.handed_off = true;
+    }
+  } else {
+    candidate_ = -1;  // leaving condition: report stops
+  }
+  result.serving_cell = serving_;
+  return result;
+}
+
+int A3HandoffEngine::pingpong_count(double window_s) const {
+  int count = 0;
+  for (std::size_t i = 1; i < events_.size(); ++i) {
+    if (events_[i].to == events_[i - 1].from &&
+        events_[i].t_s - events_[i - 1].t_s <= window_s) {
+      ++count;
+    }
+  }
+  return count;
+}
+
+}  // namespace wild5g::radio

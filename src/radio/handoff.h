@@ -1,0 +1,77 @@
+// wild5g/radio: measurement-based (A3-event) handoff engine.
+//
+// The drive simulation in mobility/ uses calibrated geometric handoff
+// statistics; this engine implements the underlying 3GPP mechanism — a
+// neighbor must be `hysteresis_db` stronger than the serving cell for a
+// continuous `time_to_trigger_ms` before the UE hands over. It exposes the
+// knobs carriers tune (and the ping-pong pathology the paper's LTE layers
+// exhibit), which the ablation bench sweeps.
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "radio/channel.h"
+#include "radio/types.h"
+
+namespace wild5g::radio {
+
+struct HandoffConfig {
+  double hysteresis_db = 3.0;       // A3 offset
+  double time_to_trigger_ms = 320.0;
+  double shadowing_sigma_db = 4.0;  // per-cell shadowing
+  double shadowing_tau_s = 5.0;
+};
+
+/// One cell site on a 1-D route.
+struct CellSite {
+  int id = 0;
+  double position_m = 0.0;
+  Band band = Band::kLte;
+};
+
+/// Evaluates A3 events for a UE moving along a 1-D route among `cells`.
+class A3HandoffEngine {
+ public:
+  /// `cells` must be non-empty; all cells share `band` characteristics.
+  A3HandoffEngine(std::vector<CellSite> cells, HandoffConfig config,
+                  Rng rng);
+
+  struct StepResult {
+    int serving_cell = 0;
+    double serving_rsrp_dbm = 0.0;
+    bool handed_off = false;
+  };
+
+  /// Advances by dt_s with the UE at `ue_position_m`.
+  StepResult step(double dt_s, double ue_position_m);
+
+  [[nodiscard]] int handoff_count() const { return handoff_count_; }
+  /// Handoffs that returned to the previous cell within `window_s`.
+  [[nodiscard]] int pingpong_count(double window_s = 5.0) const;
+  [[nodiscard]] int serving_cell() const { return serving_; }
+
+ private:
+  struct HandoffEvent {
+    double t_s;
+    int from;
+    int to;
+  };
+
+  std::vector<CellSite> cells_;
+  HandoffConfig config_;
+  Rng rng_;
+  std::vector<double> shadowing_db_;  // per-cell OU state
+  double now_s_ = 0.0;
+  int serving_ = 0;
+  int candidate_ = -1;
+  double candidate_since_s_ = 0.0;
+  int handoff_count_ = 0;
+  std::vector<HandoffEvent> events_;
+
+  [[nodiscard]] double cell_rsrp_dbm(std::size_t index,
+                                     double ue_position_m) const;
+  void evolve_shadowing(double dt_s);
+};
+
+}  // namespace wild5g::radio

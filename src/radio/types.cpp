@@ -1,0 +1,55 @@
+#include "radio/types.h"
+
+namespace wild5g::radio {
+
+std::string to_string(RadioTech tech) {
+  switch (tech) {
+    case RadioTech::kLte: return "4G/LTE";
+    case RadioTech::kNr: return "5G-NR";
+  }
+  return "?";
+}
+
+std::string to_string(Band band) {
+  switch (band) {
+    case Band::kLte: return "LTE";
+    case Band::kNrLowBand: return "low-band";
+    case Band::kNrMidBand: return "mid-band";
+    case Band::kNrMmWave: return "mmWave";
+  }
+  return "?";
+}
+
+std::string to_string(DeploymentMode mode) {
+  switch (mode) {
+    case DeploymentMode::kNsa: return "NSA";
+    case DeploymentMode::kSa: return "SA";
+  }
+  return "?";
+}
+
+std::string to_string(Direction direction) {
+  switch (direction) {
+    case Direction::kDownlink: return "downlink";
+    case Direction::kUplink: return "uplink";
+  }
+  return "?";
+}
+
+std::string to_string(Carrier carrier) {
+  switch (carrier) {
+    case Carrier::kVerizon: return "Verizon";
+    case Carrier::kTMobile: return "T-Mobile";
+  }
+  return "?";
+}
+
+std::string to_string(const NetworkConfig& config) {
+  if (config.band == Band::kLte) {
+    return to_string(config.carrier) + " 4G";
+  }
+  return to_string(config.carrier) + " " + to_string(config.mode) + " 5G (" +
+         to_string(config.band) + ")";
+}
+
+}  // namespace wild5g::radio

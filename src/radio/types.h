@@ -1,0 +1,47 @@
+// wild5g/radio: basic radio-domain vocabulary shared across the library.
+#pragma once
+
+#include <string>
+
+namespace wild5g::radio {
+
+/// Radio access technology of the serving leg.
+enum class RadioTech { kLte, kNr };
+
+/// Frequency band classes studied in the paper.
+///  - kLte:      legacy 4G bands
+///  - kNrLowBand: sub-1 GHz NR (Verizon n5 via DSS, T-Mobile n71 @600 MHz)
+///  - kNrMidBand: 2.5 GHz NR (n41; present for completeness, not the focus)
+///  - kNrMmWave: 28/39 GHz NR (n260/n261)
+enum class Band { kLte, kNrLowBand, kNrMidBand, kNrMmWave };
+
+/// 5G deployment architecture (Sec. 1): NSA anchors control plane on LTE,
+/// SA runs a standalone 5G core and enables RRC_INACTIVE.
+enum class DeploymentMode { kNsa, kSa };
+
+/// Transfer direction.
+enum class Direction { kDownlink, kUplink };
+
+/// The two commercial carriers of the study.
+enum class Carrier { kVerizon, kTMobile };
+
+/// A concrete service a UE can camp on: carrier + band + deployment mode.
+struct NetworkConfig {
+  Carrier carrier = Carrier::kVerizon;
+  Band band = Band::kNrMmWave;
+  DeploymentMode mode = DeploymentMode::kNsa;
+
+  friend bool operator==(const NetworkConfig&, const NetworkConfig&) = default;
+};
+
+[[nodiscard]] std::string to_string(RadioTech tech);
+[[nodiscard]] std::string to_string(Band band);
+[[nodiscard]] std::string to_string(DeploymentMode mode);
+[[nodiscard]] std::string to_string(Direction direction);
+[[nodiscard]] std::string to_string(Carrier carrier);
+[[nodiscard]] std::string to_string(const NetworkConfig& config);
+
+/// True when the band is an NR (5G) band.
+[[nodiscard]] constexpr bool is_nr(Band band) { return band != Band::kLte; }
+
+}  // namespace wild5g::radio

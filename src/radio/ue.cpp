@@ -1,0 +1,41 @@
+#include "radio/ue.h"
+
+namespace wild5g::radio {
+
+UeProfile pixel5() {
+  return {
+      .name = "PX5",
+      .modem = "Snapdragon X52",
+      .mmwave_dl_component_carriers = 4,
+      .mmwave_ul_component_carriers = 1,
+      .max_dl_mbps = 2200.0,
+      .max_ul_mbps = 140.0,
+      .rooted = true,
+  };
+}
+
+UeProfile galaxy_s20u() {
+  return {
+      .name = "S20U",
+      .modem = "Snapdragon X55",
+      .mmwave_dl_component_carriers = 8,
+      .mmwave_ul_component_carriers = 2,
+      .max_dl_mbps = 3500.0,
+      .max_ul_mbps = 240.0,
+      .rooted = false,
+  };
+}
+
+UeProfile galaxy_s10() {
+  return {
+      .name = "S10",
+      .modem = "Snapdragon X50",
+      .mmwave_dl_component_carriers = 4,
+      .mmwave_ul_component_carriers = 1,
+      .max_dl_mbps = 2000.0,
+      .max_ul_mbps = 130.0,
+      .rooted = true,
+  };
+}
+
+}  // namespace wild5g::radio

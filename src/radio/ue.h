@@ -1,0 +1,33 @@
+// wild5g/radio: user-equipment (smartphone) capability profiles.
+//
+// The paper's three phones differ mainly in modem carrier-aggregation
+// capability and achievable peak rates (Appendix A.1): S20U's X55 modem does
+// 8CC downlink / 2CC uplink on mmWave (>3 Gbps), PX5's X52 and S10's X50 do
+// 4CC/1CC (~2-2.2 Gbps).
+#pragma once
+
+#include <string>
+
+namespace wild5g::radio {
+
+struct UeProfile {
+  std::string name;
+  std::string modem;
+  int mmwave_dl_component_carriers = 4;
+  int mmwave_ul_component_carriers = 1;
+  double max_dl_mbps = 2200.0;  // device-side processing ceiling
+  double max_ul_mbps = 150.0;
+  bool rooted = false;  // rooted devices allow packet capture / kernel tuning
+};
+
+/// Google Pixel 5 (Qualcomm X52, 4CC DL / 1CC UL, ~2.2 Gbps peak; rooted in
+/// the study for tcpdump and kernel tuning).
+[[nodiscard]] UeProfile pixel5();
+
+/// Samsung Galaxy S20 Ultra 5G (Qualcomm X55, 8CC DL / 2CC UL, >3 Gbps).
+[[nodiscard]] UeProfile galaxy_s20u();
+
+/// Samsung Galaxy S10 5G (Qualcomm X50, 4CC DL / 1CC UL, ~2 Gbps).
+[[nodiscard]] UeProfile galaxy_s10();
+
+}  // namespace wild5g::radio

@@ -1,0 +1,105 @@
+#include "rrc/live_machine.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+
+namespace wild5g::rrc {
+
+LiveRrcMachine::LiveRrcMachine(const RrcConfig& config, sim::Simulator& sim)
+    : config_(config), sim_(sim) {}
+
+void LiveRrcMachine::enter(RrcState next) {
+  if (next == state_) return;
+  transitions_.push_back({sim_.now_ms(), state_, next});
+  state_ = next;
+}
+
+void LiveRrcMachine::arm(double delay_ms, RrcState next) {
+  sim_.cancel(pending_timer_);
+  pending_timer_ = sim_.schedule_in(delay_ms, [this, next] {
+    enter(next);
+    // Chain the decay: CONNECTED -> (anchor | INACTIVE) -> IDLE.
+    if (next == RrcState::kConnectedAnchor) {
+      arm(*config_.anchor_tail_ms - config_.inactivity_timer_ms,
+          RrcState::kIdle);
+    } else if (next == RrcState::kInactive) {
+      arm(*config_.inactive_hold_ms, RrcState::kIdle);
+    }
+  });
+}
+
+double LiveRrcMachine::on_packet(Rng& rng) {
+  const double now = sim_.now_ms();
+  const double jitter = std::max(0.0, rng.normal(0.0, 3.0));
+  double rtt = jitter;
+  switch (state_) {
+    case RrcState::kConnected: {
+      const double gap = last_activity_ms_ < 0.0
+                             ? 0.0
+                             : now - last_activity_ms_;
+      const double drx_wait = gap <= config_.short_drx_boundary_ms
+                                  ? 0.0
+                                  : rng.uniform(0.0, config_.long_drx_cycle_ms);
+      rtt += config_.base_rtt_ms + drx_wait;
+      break;
+    }
+    case RrcState::kConnectedAnchor:
+      rtt += config_.anchor_rtt_ms +
+             rng.uniform(0.0, config_.long_drx_cycle_ms);
+      break;
+    case RrcState::kInactive:
+      rtt += config_.base_rtt_ms + config_.inactive_resume_ms +
+             rng.uniform(0.0, std::min(config_.idle_drx_cycle_ms, 320.0));
+      break;
+    case RrcState::kIdle: {
+      double promotion = 0.0;
+      if (radio::is_nr(config_.network.band) && config_.promotion_5g_ms) {
+        promotion = *config_.promotion_5g_ms;
+      } else if (config_.promotion_4g_ms) {
+        promotion = *config_.promotion_4g_ms;
+      }
+      rtt += config_.base_rtt_ms + promotion +
+             rng.uniform(0.0, config_.idle_drx_cycle_ms);
+      break;
+    }
+  }
+  enter(RrcState::kConnected);
+  last_activity_ms_ = now;
+  // Decay chain restarts from this activity.
+  if (config_.anchor_tail_ms) {
+    arm(config_.inactivity_timer_ms, RrcState::kConnectedAnchor);
+  } else if (config_.inactive_hold_ms) {
+    arm(config_.inactivity_timer_ms, RrcState::kInactive);
+  } else {
+    arm(config_.inactivity_timer_ms, RrcState::kIdle);
+  }
+  return rtt;
+}
+
+std::vector<ProbeSample> run_probe_des(const RrcConfig& config,
+                                       const ProbeSchedule& schedule,
+                                       Rng& rng) {
+  require(schedule.min_gap_ms > 0.0 && schedule.step_ms > 0.0 &&
+              schedule.max_gap_ms >= schedule.min_gap_ms &&
+              schedule.repeats > 0,
+          "run_probe_des: invalid schedule");
+  sim::Simulator sim;
+  LiveRrcMachine machine(config, sim);
+  std::vector<ProbeSample> samples;
+
+  for (double gap = schedule.min_gap_ms; gap <= schedule.max_gap_ms + 1e-9;
+       gap += schedule.step_ms) {
+    // Warm-up packet establishes the activity anchor for this rung.
+    (void)machine.on_packet(rng);
+    for (int r = 0; r < schedule.repeats; ++r) {
+      sim.run_until(sim.now_ms() + gap);
+      const RrcState before = machine.state();
+      const double rtt = machine.on_packet(rng);
+      samples.push_back({gap, rtt, before});
+    }
+  }
+  return samples;
+}
+
+}  // namespace wild5g::rrc

@@ -1,0 +1,62 @@
+// wild5g/rrc: event-driven RRC machine on the discrete-event simulator.
+//
+// The closed-form model in state_machine.h answers "what state after a
+// gap"; this class runs the same machine as live timers on a
+// sim::Simulator — inactivity timer, anchor release, INACTIVE hold — the
+// way a modem implements it. The two are cross-validated against each
+// other in tests, and the DES version powers event-driven experiments
+// (run_probe_des reproduces RRC-Probe as an actual packet exchange).
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "rrc/probe.h"
+#include "rrc/rrc_config.h"
+#include "sim/simulator.h"
+
+namespace wild5g::rrc {
+
+class LiveRrcMachine {
+ public:
+  /// One logged state change.
+  struct Transition {
+    double at_ms = 0.0;
+    RrcState from = RrcState::kIdle;
+    RrcState to = RrcState::kIdle;
+  };
+
+  /// Attaches to `sim`; the UE starts in RRC_IDLE.
+  LiveRrcMachine(const RrcConfig& config, sim::Simulator& sim);
+
+  /// A downlink packet arrives at the current simulated time. Returns the
+  /// full RTT the sender observes (base RTT + DRX paging wait + any
+  /// promotion/resume signaling), promotes the UE to CONNECTED, and
+  /// (re)arms the inactivity timer. Stochastic waits draw from `rng`.
+  double on_packet(Rng& rng);
+
+  [[nodiscard]] RrcState state() const { return state_; }
+  [[nodiscard]] const std::vector<Transition>& transitions() const {
+    return transitions_;
+  }
+
+ private:
+  void enter(RrcState next);
+  void arm(double delay_ms, RrcState next);
+
+  const RrcConfig& config_;
+  sim::Simulator& sim_;
+  RrcState state_ = RrcState::kIdle;
+  sim::EventId pending_timer_ = 0;
+  double last_activity_ms_ = -1.0;
+  std::vector<Transition> transitions_;
+};
+
+/// RRC-Probe as an actual discrete-event packet exchange: the server sends
+/// one packet per ladder step, waits out the idle gap on the simulator
+/// clock, and records the observed RTTs. Functionally equivalent to
+/// run_probe() but exercises the live machine.
+[[nodiscard]] std::vector<ProbeSample> run_probe_des(
+    const RrcConfig& config, const ProbeSchedule& schedule, Rng& rng);
+
+}  // namespace wild5g::rrc

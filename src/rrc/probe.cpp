@@ -1,0 +1,172 @@
+#include "rrc/probe.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "core/error.h"
+#include "core/stats.h"
+
+namespace wild5g::rrc {
+
+std::vector<ProbeSample> run_probe(const RrcConfig& config,
+                                   const ProbeSchedule& schedule, Rng& rng) {
+  require(schedule.min_gap_ms > 0.0 && schedule.step_ms > 0.0 &&
+              schedule.max_gap_ms >= schedule.min_gap_ms &&
+              schedule.repeats > 0,
+          "run_probe: invalid schedule");
+  std::vector<ProbeSample> samples;
+  for (double gap = schedule.min_gap_ms; gap <= schedule.max_gap_ms + 1e-9;
+       gap += schedule.step_ms) {
+    for (int r = 0; r < schedule.repeats; ++r) {
+      samples.push_back({gap, probe_rtt_ms(config, gap, rng),
+                         state_after_gap(config, gap)});
+    }
+  }
+  return samples;
+}
+
+namespace {
+
+struct GapStats {
+  double gap_ms = 0.0;
+  std::vector<double> rtts;
+  /// Per-gap minimum RTT: the DRX phase wait is uniform over a cycle, so the
+  /// minimum over many repeats converges on the state's floor latency. It is
+  /// far more stable than any mid-quantile (whose sampling noise is
+  /// proportional to the DRX cycle) and cleanly separates the plateaus.
+  double floor_rtt = 0.0;
+};
+
+std::vector<GapStats> group_by_gap(std::vector<ProbeSample> samples) {
+  std::map<double, std::vector<double>> groups;
+  for (const auto& sample : samples) {
+    groups[sample.gap_ms].push_back(sample.rtt_ms);
+  }
+  std::vector<GapStats> grouped;
+  grouped.reserve(groups.size());
+  for (auto& [gap, rtts] : groups) {
+    GapStats gs;
+    gs.gap_ms = gap;
+    gs.floor_rtt = *std::min_element(rtts.begin(), rtts.end());
+    gs.rtts = std::move(rtts);
+    grouped.push_back(std::move(gs));
+  }
+  return grouped;
+}
+
+/// Mean of the floor statistic over gaps [from, to).
+double window_level(const std::vector<GapStats>& gaps, std::size_t from,
+                    std::size_t to) {
+  double sum = 0.0;
+  for (std::size_t i = from; i < to; ++i) sum += gaps[i].floor_rtt;
+  return sum / static_cast<double>(to - from);
+}
+
+/// Change-point scan: indices i where the mean level of the next `w` gaps
+/// exceeds the mean of the previous `w` gaps by an absolute + relative
+/// threshold. Returns at most two boundaries (the machines have <= 3 levels).
+std::vector<std::size_t> find_level_jumps(const std::vector<GapStats>& gaps) {
+  constexpr std::size_t kWindow = 3;
+  std::vector<std::size_t> jumps;
+  std::size_t i = kWindow;
+  while (i + kWindow <= gaps.size()) {
+    const double before = window_level(gaps, i - kWindow, i);
+    const double after = window_level(gaps, i, i + kWindow);
+    const double threshold = std::max(12.0, 0.15 * before);
+    if (after - before > threshold) {
+      // Refine: the boundary is the first gap whose floor clears the jump.
+      std::size_t boundary = i;
+      for (std::size_t j = (i >= kWindow ? i - kWindow + 1 : 1);
+           j < std::min(gaps.size(), i + kWindow); ++j) {
+        if (gaps[j].floor_rtt > before + threshold) {
+          boundary = j;
+          break;
+        }
+      }
+      jumps.push_back(boundary);
+      if (jumps.size() == 2) break;
+      i = boundary + kWindow;  // skip past the transition region
+    } else {
+      ++i;
+    }
+  }
+  return jumps;
+}
+
+/// Pooled raw RTTs over gap indices [from, to).
+std::vector<double> pool(const std::vector<GapStats>& gaps, std::size_t from,
+                         std::size_t to) {
+  std::vector<double> all;
+  for (std::size_t i = from; i < to; ++i) {
+    all.insert(all.end(), gaps[i].rtts.begin(), gaps[i].rtts.end());
+  }
+  return all;
+}
+
+/// DRX cycle estimate from the RTT spread in a plateau: the wait is uniform
+/// over one cycle, so (p90 - p10) covers 80% of it.
+double drx_from_spread(std::span<const double> rtts) {
+  if (rtts.size() < 10) return 0.0;
+  return (stats::percentile(rtts, 90.0) - stats::percentile(rtts, 10.0)) /
+         0.8;
+}
+
+}  // namespace
+
+InferenceResult infer_rrc_parameters(std::vector<ProbeSample> samples) {
+  require(!samples.empty(), "infer_rrc_parameters: no samples");
+  const auto gaps = group_by_gap(std::move(samples));
+  require(gaps.size() >= 8, "infer_rrc_parameters: ladder too short");
+
+  const auto jumps = find_level_jumps(gaps);
+  require(!jumps.empty(),
+          "infer_rrc_parameters: no state transition visible in ladder");
+
+  InferenceResult result;
+  const std::size_t first_jump = jumps[0];
+  // The tail timer sits between the last base-level gap and the first
+  // elevated one; report the midpoint.
+  result.tail_timer_ms =
+      0.5 * (gaps[first_jump - 1].gap_ms + gaps[first_jump].gap_ms);
+
+  const auto connected = pool(gaps, 0, first_jump);
+  result.connected_level_rtt_ms = stats::median(connected);
+  result.long_drx_estimate_ms = drx_from_spread(connected);
+
+  std::size_t idle_from = first_jump;
+  if (jumps.size() == 2) {
+    const std::size_t second_jump = jumps[1];
+    result.mid_plateau_end_ms =
+        0.5 * (gaps[second_jump - 1].gap_ms + gaps[second_jump].gap_ms);
+    const auto mid = pool(gaps, first_jump, second_jump);
+    result.mid_level_rtt_ms = stats::median(mid);
+    idle_from = second_jump;
+  }
+
+  const auto idle = pool(gaps, idle_from, gaps.size());
+  result.idle_level_rtt_ms = stats::median(idle);
+  result.idle_drx_estimate_ms = drx_from_spread(idle);
+
+  // Base RTT estimate: fastest connected-state observations.
+  const double base_estimate = stats::percentile(connected, 5.0);
+  result.promotion_estimate_ms =
+      std::max(0.0, stats::mean(idle) - base_estimate -
+                        result.idle_drx_estimate_ms / 2.0);
+  return result;
+}
+
+ProbeSchedule schedule_for(const RrcConfig& config) {
+  ProbeSchedule schedule;
+  schedule.repeats = 101;  // cheap in simulation; tightens the plateaus
+  double last_boundary = config.inactivity_timer_ms;
+  if (config.anchor_tail_ms) {
+    last_boundary = *config.anchor_tail_ms;
+  } else if (config.inactive_hold_ms) {
+    last_boundary = config.inactivity_timer_ms + *config.inactive_hold_ms;
+  }
+  schedule.max_gap_ms = last_boundary + 6000.0;
+  return schedule;
+}
+
+}  // namespace wild5g::rrc

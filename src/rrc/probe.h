@@ -1,0 +1,67 @@
+// wild5g/rrc: RRC-Probe — unrooted RRC timer inference (Sec. 4.1).
+//
+// A server sends UDP packets to the UE at increasing idle intervals and the
+// UE acks each one; the observed RTT depends on the RRC state the packet
+// finds the UE in. Sweeping the interval and locating the RTT plateaus
+// recovers the state machine's timers without chipset diagnostics.
+#pragma once
+
+#include <optional>
+#include <vector>
+
+#include "core/rng.h"
+#include "rrc/rrc_config.h"
+#include "rrc/state_machine.h"
+
+namespace wild5g::rrc {
+
+/// The probing ladder: idle gaps from `min_gap_ms` to `max_gap_ms` in steps
+/// of `step_ms`, each measured `repeats` times.
+struct ProbeSchedule {
+  double min_gap_ms = 200.0;
+  double max_gap_ms = 16000.0;
+  double step_ms = 200.0;
+  int repeats = 21;
+};
+
+/// One probe measurement.
+struct ProbeSample {
+  double gap_ms = 0.0;
+  double rtt_ms = 0.0;
+  RrcState true_state = RrcState::kIdle;  // ground truth, for validation
+};
+
+/// Runs the probe ladder against the ground-truth machine `config`.
+/// Deterministic in `rng`.
+[[nodiscard]] std::vector<ProbeSample> run_probe(const RrcConfig& config,
+                                                 const ProbeSchedule& schedule,
+                                                 Rng& rng);
+
+/// Timers and levels recovered from probe samples.
+struct InferenceResult {
+  /// Estimated UE-inactivity (tail) timer: last gap still at the base level.
+  double tail_timer_ms = 0.0;
+  /// End of the intermediate plateau (NSA anchor tail or SA INACTIVE hold),
+  /// when a three-level structure is present.
+  std::optional<double> mid_plateau_end_ms;
+  double connected_level_rtt_ms = 0.0;
+  std::optional<double> mid_level_rtt_ms;
+  double idle_level_rtt_ms = 0.0;
+  /// DRX cycle estimates from the RTT spread within each plateau.
+  double long_drx_estimate_ms = 0.0;
+  double idle_drx_estimate_ms = 0.0;
+  /// Promotion delay estimate: idle-level mean minus base minus mean paging
+  /// wait (half the idle-DRX cycle).
+  double promotion_estimate_ms = 0.0;
+};
+
+/// Infers the state machine's parameters from probe samples (no access to
+/// the generating config).
+[[nodiscard]] InferenceResult infer_rrc_parameters(
+    std::vector<ProbeSample> samples);
+
+/// A probe schedule long enough to see all plateaus of `config` (the paper
+/// probes to 40 s for Verizon's DSS low-band dual tail, 16 s otherwise).
+[[nodiscard]] ProbeSchedule schedule_for(const RrcConfig& config);
+
+}  // namespace wild5g::rrc

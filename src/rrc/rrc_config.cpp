@@ -1,0 +1,128 @@
+#include "rrc/rrc_config.h"
+
+#include <vector>
+
+#include "core/error.h"
+
+namespace wild5g::rrc {
+
+using radio::Band;
+using radio::Carrier;
+using radio::DeploymentMode;
+using radio::NetworkConfig;
+
+std::string to_string(RrcState state) {
+  switch (state) {
+    case RrcState::kConnected: return "RRC_CONNECTED";
+    case RrcState::kConnectedAnchor: return "LTE_RRC_CONNECTED (anchor)";
+    case RrcState::kInactive: return "RRC_INACTIVE";
+    case RrcState::kIdle: return "RRC_IDLE";
+  }
+  return "?";
+}
+
+std::span<const RrcProfile> table7_profiles() {
+  static const std::vector<RrcProfile> kProfiles = [] {
+    std::vector<RrcProfile> profiles;
+
+    {  // T-Mobile SA low-band: RRC_INACTIVE, fast direct NR promotion.
+      RrcConfig c;
+      c.name = "T-Mobile SA low-band";
+      c.network = {Carrier::kTMobile, Band::kNrLowBand, DeploymentMode::kSa};
+      c.inactivity_timer_ms = 10400.0;
+      c.inactive_hold_ms = 5000.0;  // observed between the 10 s and 15 s gaps
+      c.long_drx_cycle_ms = 40.0;
+      c.idle_drx_cycle_ms = 1250.0;
+      c.promotion_4g_ms = std::nullopt;
+      c.promotion_5g_ms = 341.0;
+      c.base_rtt_ms = 32.0;
+      // Table 2 reports 245 mW for SA's IDLE->CONNECTED signaling burst
+      // (there is no 4G anchor to switch from).
+      profiles.push_back({c, {.tail_mw = 593.0, .switch_mw = 245.0,
+                              .inactive_mw = 140.0, .idle_mw = 22.0,
+                              .promotion_mw = 245.0}});
+    }
+    {  // T-Mobile NSA low-band: dual tail (NR then LTE anchor).
+      RrcConfig c;
+      c.name = "T-Mobile NSA low-band";
+      c.network = {Carrier::kTMobile, Band::kNrLowBand, DeploymentMode::kNsa};
+      c.inactivity_timer_ms = 10400.0;
+      c.anchor_tail_ms = 12120.0;
+      c.long_drx_cycle_ms = 320.0;
+      c.idle_drx_cycle_ms = 1200.0;
+      c.promotion_4g_ms = 210.0;
+      c.promotion_5g_ms = 1440.0;
+      c.base_rtt_ms = 32.0;
+      c.anchor_rtt_ms = 52.0;
+      profiles.push_back({c, {.tail_mw = 260.0, .switch_mw = 699.0,
+                              .anchor_tail_mw = 95.0, .idle_mw = 20.0,
+                              .promotion_mw = 420.0}});
+    }
+    {  // Verizon NSA mmWave.
+      RrcConfig c;
+      c.name = "Verizon NSA mmWave";
+      c.network = {Carrier::kVerizon, Band::kNrMmWave, DeploymentMode::kNsa};
+      c.inactivity_timer_ms = 10500.0;
+      c.long_drx_cycle_ms = 320.0;
+      c.idle_drx_cycle_ms = 1280.0;
+      c.promotion_4g_ms = 396.0;
+      c.promotion_5g_ms = 1907.0;
+      c.base_rtt_ms = 26.0;
+      profiles.push_back({c, {.tail_mw = 1092.0, .switch_mw = 1494.0,
+                              .idle_mw = 28.0, .promotion_mw = 560.0}});
+    }
+    {  // Verizon NSA low-band (DSS): dual tail, no separate 5G promotion.
+      RrcConfig c;
+      c.name = "Verizon NSA low-band (DSS)";
+      c.network = {Carrier::kVerizon, Band::kNrLowBand, DeploymentMode::kNsa};
+      c.inactivity_timer_ms = 10200.0;
+      c.anchor_tail_ms = 18800.0;
+      c.long_drx_cycle_ms = 400.0;
+      c.idle_drx_cycle_ms = 1100.0;
+      c.promotion_4g_ms = 288.0;
+      c.promotion_5g_ms = std::nullopt;
+      c.base_rtt_ms = 34.0;
+      c.anchor_rtt_ms = 56.0;
+      profiles.push_back({c, {.tail_mw = 249.0, .switch_mw = 799.0,
+                              .anchor_tail_mw = 100.0, .idle_mw = 21.0,
+                              .promotion_mw = 400.0}});
+    }
+    {  // T-Mobile 4G.
+      RrcConfig c;
+      c.name = "T-Mobile 4G";
+      c.network = {Carrier::kTMobile, Band::kLte, DeploymentMode::kNsa};
+      c.inactivity_timer_ms = 5000.0;
+      c.long_drx_cycle_ms = 400.0;
+      c.idle_drx_cycle_ms = 1300.0;
+      c.promotion_4g_ms = 190.0;
+      c.promotion_5g_ms = std::nullopt;
+      c.base_rtt_ms = 42.0;
+      profiles.push_back({c, {.tail_mw = 66.0, .idle_mw = 16.0,
+                              .promotion_mw = 320.0}});
+    }
+    {  // Verizon 4G.
+      RrcConfig c;
+      c.name = "Verizon 4G";
+      c.network = {Carrier::kVerizon, Band::kLte, DeploymentMode::kNsa};
+      c.inactivity_timer_ms = 10200.0;
+      c.long_drx_cycle_ms = 300.0;
+      c.idle_drx_cycle_ms = 1280.0;
+      c.promotion_4g_ms = 265.0;
+      c.promotion_5g_ms = std::nullopt;
+      c.base_rtt_ms = 44.0;
+      profiles.push_back({c, {.tail_mw = 178.0, .idle_mw = 18.0,
+                              .promotion_mw = 350.0}});
+    }
+    return profiles;
+  }();
+  return kProfiles;
+}
+
+const RrcProfile& profile_by_name(const std::string& name) {
+  for (const auto& profile : table7_profiles()) {
+    if (profile.config.name == name) return profile;
+  }
+  throw Error("rrc::profile_by_name: unknown profile '" + name + "'");
+}
+
+}  // namespace wild5g::rrc

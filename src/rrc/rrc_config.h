@@ -1,0 +1,86 @@
+// wild5g/rrc: Radio Resource Control state-machine configurations.
+//
+// Encodes the per-carrier RRC timers the paper inferred with RRC-Probe
+// (Table 7) and the per-state power levels it measured with the Monsoon
+// monitor (Table 2). These configs parameterize both the ground-truth state
+// machine the probe runs against and the power-waveform synthesizer.
+#pragma once
+
+#include <optional>
+#include <span>
+#include <string>
+
+#include "radio/types.h"
+
+namespace wild5g::rrc {
+
+/// RRC protocol states. kInactive exists only in SA 5G (3GPP TS 38.331);
+/// NSA 5G inherits the 4G-like CONNECTED/IDLE machine.
+enum class RrcState { kConnected, kConnectedAnchor, kInactive, kIdle };
+
+[[nodiscard]] std::string to_string(RrcState state);
+
+/// Timers of one network's RRC machine (Table 7), all in milliseconds.
+struct RrcConfig {
+  std::string name;
+  radio::NetworkConfig network;
+
+  double inactivity_timer_ms = 10000.0;  // CONNECTED tail (UE-inactivity)
+  /// NSA only: after the NR leg is released the UE lingers in the LTE
+  /// anchor's CONNECTED state until this (absolute) timer; the bracketed
+  /// second values of Table 7. nullopt when there is no dual tail.
+  std::optional<double> anchor_tail_ms;
+  /// SA only: dwell time in RRC_INACTIVE before demoting to IDLE
+  /// (the paper observes ~5 s, between the 10 s and 15 s probe gaps).
+  std::optional<double> inactive_hold_ms;
+
+  double long_drx_cycle_ms = 320.0;  // DRX cycle while in CONNECTED tail
+  double idle_drx_cycle_ms = 1280.0; // paging cycle while in IDLE
+  double short_drx_boundary_ms = 100.0;  // continuous-reception window
+
+  /// Promotion delays from IDLE (N/A encoded as nullopt).
+  std::optional<double> promotion_4g_ms;
+  std::optional<double> promotion_5g_ms;
+  /// SA only: lightweight INACTIVE -> CONNECTED resume latency.
+  double inactive_resume_ms = 95.0;
+
+  /// Base (promoted, uncongested) round-trip time of a small probe packet.
+  double base_rtt_ms = 30.0;
+  /// RTT of packets delivered over the LTE anchor leg (NSA dual tail).
+  double anchor_rtt_ms = 55.0;
+
+  [[nodiscard]] bool is_sa() const {
+    return radio::is_nr(network.band) &&
+           network.mode == radio::DeploymentMode::kSa;
+  }
+  [[nodiscard]] bool is_nsa_5g() const {
+    return radio::is_nr(network.band) &&
+           network.mode == radio::DeploymentMode::kNsa;
+  }
+};
+
+/// Radio power levels of one network's RRC states (Table 2), in milliwatts.
+struct RrcPowerParams {
+  double tail_mw = 200.0;        // average over the CONNECTED-tail period
+  double switch_mw = 0.0;        // extra power during 4G->5G switch (NSA)
+  double anchor_tail_mw = 120.0; // LTE-anchor tail (NSA dual tail)
+  double inactive_mw = 140.0;    // RRC_INACTIVE (SA)
+  double idle_mw = 25.0;         // RRC_IDLE paging floor
+  double promotion_mw = 450.0;   // signaling burst during IDLE->CONNECTED
+};
+
+/// One fully described network: timers + power levels.
+struct RrcProfile {
+  RrcConfig config;
+  RrcPowerParams power;
+};
+
+/// The six network configurations of Table 7 / Fig. 25, in paper order:
+/// T-Mobile SA low-band, T-Mobile NSA low-band, Verizon NSA mmWave,
+/// Verizon NSA low-band (DSS), T-Mobile 4G, Verizon 4G.
+[[nodiscard]] std::span<const RrcProfile> table7_profiles();
+
+/// Lookup by human-readable name; throws wild5g::Error when unknown.
+[[nodiscard]] const RrcProfile& profile_by_name(const std::string& name);
+
+}  // namespace wild5g::rrc

@@ -1,0 +1,56 @@
+// wild5g/rrc: ground-truth RRC state evolution.
+//
+// Two views of the same machine:
+//  - state_after_gap / probe_rtt_ms: what a probe packet experiences after a
+//    given idle gap (drives RRC-Probe, Sec. 4.1 / Fig. 10).
+//  - build_timeline: state segments for an activity schedule (drives the
+//    power-waveform synthesizer, Sec. 4.2 / Table 2).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/rng.h"
+#include "rrc/rrc_config.h"
+
+namespace wild5g::rrc {
+
+/// RRC state a UE is in `gap_ms` after its last data activity ended.
+[[nodiscard]] RrcState state_after_gap(const RrcConfig& config, double gap_ms);
+
+/// Simulated RTT of one small probe packet arriving `gap_ms` after the last
+/// activity: base RTT + DRX phase wait + any promotion/resume latency.
+/// Stochastic in the DRX phase; deterministic in `rng`.
+[[nodiscard]] double probe_rtt_ms(const RrcConfig& config, double gap_ms,
+                                  Rng& rng);
+
+/// A period of application data transfer.
+struct ActivityBurst {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  double dl_mbps = 0.0;
+  double ul_mbps = 0.0;
+};
+
+/// One homogeneous span of the RRC/power timeline.
+struct StateSegment {
+  double start_ms = 0.0;
+  double end_ms = 0.0;
+  RrcState state = RrcState::kIdle;
+  bool transferring = false;  // data moving (use throughput power model)
+  bool promoting = false;     // IDLE->CONNECTED signaling burst in progress
+  double dl_mbps = 0.0;
+  double ul_mbps = 0.0;
+
+  [[nodiscard]] double duration_ms() const { return end_ms - start_ms; }
+};
+
+/// Expands an activity schedule into the full state timeline over
+/// [0, horizon_ms]. Bursts must be sorted, non-overlapping, and inside the
+/// horizon. The UE starts in RRC_IDLE. Promotion latency consumes the head
+/// of each burst that finds the UE outside CONNECTED.
+[[nodiscard]] std::vector<StateSegment> build_timeline(
+    const RrcConfig& config, std::span<const ActivityBurst> bursts,
+    double horizon_ms);
+
+}  // namespace wild5g::rrc

@@ -1,0 +1,66 @@
+#include "sim/simulator.h"
+
+#include "core/error.h"
+
+namespace wild5g::sim {
+
+EventId Simulator::schedule_at(double at_ms, Handler handler) {
+  require(at_ms >= now_ms_, "Simulator::schedule_at: time in the past");
+  require(static_cast<bool>(handler), "Simulator::schedule_at: null handler");
+  const EventId id = next_id_++;
+  queue_.push(Event{at_ms, next_seq_++, id});
+  handlers_.emplace(id, std::move(handler));
+  return id;
+}
+
+EventId Simulator::schedule_in(double delay_ms, Handler handler) {
+  require(delay_ms >= 0.0, "Simulator::schedule_in: negative delay");
+  return schedule_at(now_ms_ + delay_ms, std::move(handler));
+}
+
+void Simulator::cancel(EventId id) { handlers_.erase(id); }
+
+bool Simulator::pop_next(Event& out) {
+  while (!queue_.empty()) {
+    const Event top = queue_.top();
+    queue_.pop();
+    if (handlers_.contains(top.id)) {
+      out = top;
+      return true;
+    }
+    // Cancelled: skip silently.
+  }
+  return false;
+}
+
+void Simulator::run() {
+  Event event{};
+  while (pop_next(event)) {
+    now_ms_ = event.at_ms;
+    auto it = handlers_.find(event.id);
+    Handler handler = std::move(it->second);
+    handlers_.erase(it);
+    handler();
+  }
+}
+
+void Simulator::run_until(double until_ms) {
+  require(until_ms >= now_ms_, "Simulator::run_until: time in the past");
+  Event event{};
+  while (!queue_.empty() && queue_.top().at_ms <= until_ms) {
+    if (!pop_next(event)) break;
+    if (event.at_ms > until_ms) {
+      // Event popped past the horizon: put it back and stop.
+      queue_.push(event);
+      break;
+    }
+    now_ms_ = event.at_ms;
+    auto it = handlers_.find(event.id);
+    Handler handler = std::move(it->second);
+    handlers_.erase(it);
+    handler();
+  }
+  now_ms_ = until_ms;
+}
+
+}  // namespace wild5g::sim

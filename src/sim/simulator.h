@@ -1,0 +1,69 @@
+// wild5g/sim: a minimal deterministic discrete-event simulator.
+//
+// Drives the RRC-probe experiments and any component that needs timers
+// (inactivity timers, DRX cycles, chunk downloads). Events scheduled for the
+// same instant fire in scheduling order, so runs are fully deterministic.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_map>
+#include <vector>
+
+namespace wild5g::sim {
+
+/// Opaque handle for a scheduled event, usable to cancel it.
+using EventId = std::uint64_t;
+
+class Simulator {
+ public:
+  using Handler = std::function<void()>;
+
+  /// Current simulated time in milliseconds.
+  [[nodiscard]] double now_ms() const { return now_ms_; }
+
+  /// Schedules `handler` at absolute simulated time `at_ms` (>= now).
+  EventId schedule_at(double at_ms, Handler handler);
+
+  /// Schedules `handler` `delay_ms` from now (delay >= 0).
+  EventId schedule_in(double delay_ms, Handler handler);
+
+  /// Cancels a pending event. Cancelling an already-fired or unknown event
+  /// is a no-op (timers race with the activity that restarts them).
+  void cancel(EventId id);
+
+  /// Runs until the event queue drains.
+  void run();
+
+  /// Runs until simulated time reaches `until_ms` (events at exactly
+  /// `until_ms` still fire) or the queue drains, whichever is first.
+  void run_until(double until_ms);
+
+  /// Number of scheduled-but-not-yet-fired (and not cancelled) events.
+  [[nodiscard]] std::size_t pending_count() const { return handlers_.size(); }
+
+ private:
+  struct Event {
+    double at_ms;
+    std::uint64_t seq;  // tie-break: FIFO for simultaneous events
+    EventId id;
+  };
+  struct Later {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.at_ms != b.at_ms) return a.at_ms > b.at_ms;
+      return a.seq > b.seq;
+    }
+  };
+
+  /// Pops the next live event; returns false when the queue is empty.
+  bool pop_next(Event& out);
+
+  double now_ms_ = 0.0;
+  std::uint64_t next_seq_ = 0;
+  EventId next_id_ = 1;
+  std::priority_queue<Event, std::vector<Event>, Later> queue_;
+  std::unordered_map<EventId, Handler> handlers_;
+};
+
+}  // namespace wild5g::sim

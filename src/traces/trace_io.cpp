@@ -1,0 +1,117 @@
+#include "traces/trace_io.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.h"
+
+namespace wild5g::traces {
+
+namespace {
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  std::istringstream stream(line);
+  while (std::getline(stream, field, ',')) fields.push_back(field);
+  return fields;
+}
+
+double parse_double(const std::string& field, const std::string& what) {
+  try {
+    std::size_t consumed = 0;
+    const double value = std::stod(field, &consumed);
+    require(consumed == field.size(), "trailing characters");
+    return value;
+  } catch (const std::exception&) {
+    throw Error("trace_io: malformed " + what + " field '" + field + "'");
+  }
+}
+
+}  // namespace
+
+void write_traces_csv(std::ostream& out, const std::vector<Trace>& traces) {
+  out << "trace_id,interval_s,index,mbps\n";
+  out << std::setprecision(10);
+  for (const auto& trace : traces) {
+    for (std::size_t i = 0; i < trace.mbps.size(); ++i) {
+      out << trace.id << ',' << trace.interval_s << ',' << i << ','
+          << trace.mbps[i] << '\n';
+    }
+  }
+}
+
+std::vector<Trace> read_traces_csv(std::istream& in) {
+  std::string line;
+  require(static_cast<bool>(std::getline(in, line)),
+          "trace_io: empty input");
+  require(line == "trace_id,interval_s,index,mbps",
+          "trace_io: unexpected trace header '" + line + "'");
+
+  std::vector<Trace> traces;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_csv_line(line);
+    require(fields.size() == 4, "trace_io: expected 4 fields, got " +
+                                    std::to_string(fields.size()));
+    if (traces.empty() || traces.back().id != fields[0]) {
+      Trace trace;
+      trace.id = fields[0];
+      trace.interval_s = parse_double(fields[1], "interval");
+      traces.push_back(std::move(trace));
+    }
+    const auto index =
+        static_cast<std::size_t>(parse_double(fields[2], "index"));
+    require(index == traces.back().mbps.size(),
+            "trace_io: non-contiguous sample index in trace " + fields[0]);
+    traces.back().mbps.push_back(parse_double(fields[3], "mbps"));
+  }
+  return traces;
+}
+
+void save_traces_csv(const std::string& path,
+                     const std::vector<Trace>& traces) {
+  std::ofstream out(path);
+  require(out.good(), "trace_io: cannot open '" + path + "' for writing");
+  write_traces_csv(out, traces);
+}
+
+std::vector<Trace> load_traces_csv(const std::string& path) {
+  std::ifstream in(path);
+  require(in.good(), "trace_io: cannot open '" + path + "' for reading");
+  return read_traces_csv(in);
+}
+
+void write_campaign_csv(std::ostream& out,
+                        const std::vector<power::CampaignSample>& samples) {
+  out << "t_s,rsrp_dbm,dl_mbps,ul_mbps,power_mw\n";
+  out << std::setprecision(10);
+  for (const auto& s : samples) {
+    out << s.t_s << ',' << s.rsrp_dbm << ',' << s.dl_mbps << ','
+        << s.ul_mbps << ',' << s.power_mw << '\n';
+  }
+}
+
+std::vector<power::CampaignSample> read_campaign_csv(std::istream& in) {
+  std::string line;
+  require(static_cast<bool>(std::getline(in, line)),
+          "trace_io: empty input");
+  require(line == "t_s,rsrp_dbm,dl_mbps,ul_mbps,power_mw",
+          "trace_io: unexpected campaign header '" + line + "'");
+  std::vector<power::CampaignSample> samples;
+  while (std::getline(in, line)) {
+    if (line.empty()) continue;
+    const auto fields = split_csv_line(line);
+    require(fields.size() == 5, "trace_io: expected 5 fields, got " +
+                                    std::to_string(fields.size()));
+    samples.push_back({parse_double(fields[0], "t_s"),
+                       parse_double(fields[1], "rsrp"),
+                       parse_double(fields[2], "dl"),
+                       parse_double(fields[3], "ul"),
+                       parse_double(fields[4], "power")});
+  }
+  return samples;
+}
+
+}  // namespace wild5g::traces

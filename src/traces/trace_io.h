@@ -1,0 +1,35 @@
+// wild5g/traces: CSV serialization for throughput traces and campaign logs.
+//
+// The paper's artifact ships its datasets as CSV; these routines let users
+// export generated populations in the same spirit (and re-import them, so
+// an exported dataset round-trips exactly at the stored precision).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "power/campaign.h"
+#include "traces/traces.h"
+
+namespace wild5g::traces {
+
+/// Writes traces in long form: header `trace_id,interval_s,index,mbps`,
+/// one row per sample.
+void write_traces_csv(std::ostream& out, const std::vector<Trace>& traces);
+
+/// Reads the long-form CSV back. Throws wild5g::Error on malformed input.
+[[nodiscard]] std::vector<Trace> read_traces_csv(std::istream& in);
+
+/// File-path conveniences.
+void save_traces_csv(const std::string& path,
+                     const std::vector<Trace>& traces);
+[[nodiscard]] std::vector<Trace> load_traces_csv(const std::string& path);
+
+/// Walking-campaign log: header `t_s,rsrp_dbm,dl_mbps,ul_mbps,power_mw`.
+void write_campaign_csv(std::ostream& out,
+                        const std::vector<power::CampaignSample>& samples);
+[[nodiscard]] std::vector<power::CampaignSample> read_campaign_csv(
+    std::istream& in);
+
+}  // namespace wild5g::traces

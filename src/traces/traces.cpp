@@ -1,0 +1,134 @@
+#include "traces/traces.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+#include "core/stats.h"
+#include "radio/ue.h"
+
+namespace wild5g::traces {
+
+double Trace::at(double t_s) const {
+  require(!mbps.empty(), "Trace::at: empty trace");
+  require(t_s >= 0.0, "Trace::at: negative time");
+  const auto index = std::min(
+      mbps.size() - 1, static_cast<std::size_t>(t_s / interval_s));
+  return mbps[index];
+}
+
+double Trace::mean() const { return stats::mean(mbps); }
+double Trace::median() const { return stats::median(mbps); }
+
+TraceSetConfig lumos5g_mmwave_config() {
+  return {.count = 121, .duration_s = 320.0, .target_median_mbps = 160.0,
+          .is_5g = true};
+}
+
+TraceSetConfig lumos5g_lte_config() {
+  return {.count = 175, .duration_s = 320.0, .target_median_mbps = 20.0,
+          .is_5g = false};
+}
+
+namespace {
+
+/// Raw (unscaled) mmWave trace: capacity under a walking channel with heavy
+/// blockage, so the population has the dataset's signature heavy swings and
+/// near-zero outages.
+std::vector<double> raw_mmwave_trace(double duration_s, Rng& rng) {
+  auto config = radio::default_channel_process(radio::Band::kNrMmWave);
+  // Deep NLoS outages are rare but long (the collection loops stay inside
+  // mmWave coverage, so most of the trace is serviceable).
+  config.blockage_rate_per_s = 0.006;
+  config.blockage_mean_duration_s = 15.0;
+  config.blockage_loss_db = 40.0;  // NLoS: collapses capacity to ~nothing
+  // Partial dips (foliage, vehicles, the user's own body): throughput drops
+  // to tens of Mbps — above the lowest track, so adaptation quality (and
+  // chunk granularity, Fig. 18b) decides whether they stall.
+  config.partial_rate_per_s = 0.05;
+  config.partial_mean_duration_s = 6.0;
+  config.partial_loss_db = 22.0;
+  config.distance_jitter_m = 80.0;
+  // mmWave throughput moves in persistent multi-second steps (beam and
+  // reflection-path changes), not per-second jitter: strong shadowing with
+  // a short correlation time. Second-scale persistence is what lets
+  // fine-grained (1 s chunk) adaptation win in Sec. 5.3.
+  config.shadowing_sigma_db = 7.0;
+  config.shadowing_tau_s = 4.0;
+  config.mean_distance_m = rng.uniform(90.0, 170.0);
+  radio::ChannelProcess channel(config, rng.fork(11));
+  const radio::NetworkConfig network{radio::Carrier::kVerizon,
+                                     radio::Band::kNrMmWave,
+                                     radio::DeploymentMode::kNsa};
+  const auto ue = radio::galaxy_s20u();
+
+  std::vector<double> mbps;
+  double share = rng.uniform(0.55, 0.95);  // cell load share for this run
+  for (double t = 0.0; t < duration_s; t += 1.0) {
+    const auto sample = channel.step(1.0);
+    share = std::clamp(share + rng.normal(0.0, 0.008), 0.3, 1.0);
+    const double cap = radio::link_capacity_mbps(
+        network, ue, radio::Direction::kDownlink, sample.rsrp_dbm);
+    mbps.push_back(std::max(0.0, cap * share));
+  }
+  return mbps;
+}
+
+/// Raw 4G trace: mean-reverting with moderate fluctuation (cell load, small
+/// fades) but no outages — stable relative to mmWave, not flat.
+std::vector<double> raw_lte_trace(double duration_s, Rng& rng) {
+  const double mean = rng.uniform(0.8, 1.25);
+  double value = mean;
+  double congestion_left_s = 0.0;
+  std::vector<double> mbps;
+  for (double t = 0.0; t < duration_s; t += 1.0) {
+    value = std::max(0.15, value + 0.25 * (mean - value) +
+                               rng.normal(0.0, 0.16));
+    // Occasional cell-congestion episodes: throughput halves or worse for
+    // a few seconds (the source of the paper's small 4G stall rates).
+    if (congestion_left_s > 0.0) {
+      congestion_left_s -= 1.0;
+      mbps.push_back(value * rng.uniform(0.25, 0.5));
+    } else {
+      if (rng.bernoulli(0.012)) congestion_left_s = rng.exponential(5.0);
+      mbps.push_back(value);
+    }
+  }
+  return mbps;
+}
+
+}  // namespace
+
+std::vector<Trace> generate_traces(const TraceSetConfig& config, Rng& rng) {
+  require(config.count > 0 && config.duration_s >= 10.0,
+          "generate_traces: invalid config");
+  std::vector<Trace> traces(static_cast<std::size_t>(config.count));
+  for (int i = 0; i < config.count; ++i) {
+    auto& trace = traces[static_cast<std::size_t>(i)];
+    Rng local = rng.fork(static_cast<std::uint64_t>(i) + 101);
+    trace.id = (config.is_5g ? "5g-" : "4g-") + std::to_string(i);
+    trace.mbps = config.is_5g ? raw_mmwave_trace(config.duration_s, local)
+                              : raw_lte_trace(config.duration_s, local);
+  }
+
+  // Scale the whole population so its pooled median hits the anchor the
+  // paper ties the top video track to.
+  const double raw_median = population_median_mbps(traces);
+  require(raw_median > 0.0, "generate_traces: degenerate population");
+  const double scale = config.target_median_mbps / raw_median;
+  for (auto& trace : traces) {
+    for (auto& v : trace.mbps) v *= scale;
+  }
+  return traces;
+}
+
+double population_median_mbps(const std::vector<Trace>& traces) {
+  std::vector<double> all;
+  for (const auto& trace : traces) {
+    all.insert(all.end(), trace.mbps.begin(), trace.mbps.end());
+  }
+  require(!all.empty(), "population_median_mbps: no samples");
+  return stats::median(all);
+}
+
+}  // namespace wild5g::traces

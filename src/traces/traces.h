@@ -1,0 +1,53 @@
+// wild5g/traces: throughput-trace generation after the Lumos5G dataset.
+//
+// Sec. 5.1 drives all ABR experiments from throughput traces collected at
+// 1-second granularity (121 5G mmWave traces, 175 4G traces). We do not have
+// the field data, so we synthesize trace populations with the moments that
+// matter for rate adaptation: 4G is low-mean and stable; mmWave 5G is an
+// order of magnitude faster on median but swings wildly and collapses to
+// near-zero during blockage. Populations are scaled so their median matches
+// the paper's anchors (the top video track: 160 Mbps for 5G, 20 Mbps for 4G).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "radio/channel.h"
+
+namespace wild5g::traces {
+
+/// One throughput trace at fixed sampling granularity.
+struct Trace {
+  std::string id;
+  double interval_s = 1.0;
+  std::vector<double> mbps;
+
+  [[nodiscard]] double duration_s() const {
+    return static_cast<double>(mbps.size()) * interval_s;
+  }
+  /// Bandwidth at time t (last sample extends to infinity).
+  [[nodiscard]] double at(double t_s) const;
+  [[nodiscard]] double mean() const;
+  [[nodiscard]] double median() const;
+};
+
+struct TraceSetConfig {
+  int count = 121;
+  double duration_s = 320.0;
+  double target_median_mbps = 160.0;
+  bool is_5g = true;  // mmWave channel dynamics vs stable LTE
+};
+
+/// Default configurations mirroring the Lumos5G populations used in Sec. 5.
+[[nodiscard]] TraceSetConfig lumos5g_mmwave_config();  // 121 traces, median 160
+[[nodiscard]] TraceSetConfig lumos5g_lte_config();     // 175 traces, median 20
+
+/// Generates a trace population; deterministic in `rng`.
+[[nodiscard]] std::vector<Trace> generate_traces(const TraceSetConfig& config,
+                                                 Rng& rng);
+
+/// Pooled median throughput across a population.
+[[nodiscard]] double population_median_mbps(const std::vector<Trace>& traces);
+
+}  // namespace wild5g::traces

@@ -1,0 +1,154 @@
+#include "web/selector.h"
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/stats.h"
+
+namespace wild5g::web {
+
+std::vector<SiteMeasurement> measure_corpus(
+    const std::vector<Website>& corpus, int repeats,
+    const power::DevicePowerProfile& device, Rng& rng) {
+  require(!corpus.empty(), "measure_corpus: empty corpus");
+  require(repeats > 0, "measure_corpus: repeats must be positive");
+  const auto config_5g = mmwave_page_config();
+  const auto config_4g = lte_page_config();
+
+  std::vector<SiteMeasurement> measurements;
+  measurements.reserve(corpus.size());
+  for (const auto& site : corpus) {
+    SiteMeasurement m;
+    m.site = site;
+    for (int r = 0; r < repeats; ++r) {
+      const auto r5 = load_page(site, config_5g, device, rng);
+      const auto r4 = load_page(site, config_4g, device, rng);
+      m.plt_5g_s += r5.plt_s;
+      m.energy_5g_j += r5.energy_j;
+      m.plt_4g_s += r4.plt_s;
+      m.energy_4g_j += r4.energy_j;
+    }
+    const auto n = static_cast<double>(repeats);
+    m.plt_5g_s /= n;
+    m.energy_5g_j /= n;
+    m.plt_4g_s /= n;
+    m.energy_4g_j /= n;
+    measurements.push_back(m);
+  }
+  return measurements;
+}
+
+std::vector<QoeWeights> paper_qoe_models() {
+  return {
+      {"M1", "High Performance", 0.2, 0.8},
+      {"M2", "Performance Oriented", 0.4, 0.6},
+      {"M3", "Balanced", 0.5, 0.5},
+      {"M4", "Better Energy Saving", 0.6, 0.4},
+      {"M5", "High Energy Saving", 0.8, 0.2},
+  };
+}
+
+InterfaceSelector::InterfaceSelector(QoeWeights weights)
+    : weights_(std::move(weights)), tree_([] {
+        ml::TreeConfig config;
+        config.max_depth = 4;  // the paper post-prunes to small trees
+        config.min_samples_leaf = 8;
+        config.min_samples_split = 16;
+        return ml::DecisionTreeClassifier(config);
+      }()) {
+  require(weights_.alpha >= 0.0 && weights_.beta >= 0.0 &&
+              weights_.alpha + weights_.beta > 0.0,
+          "InterfaceSelector: invalid weights");
+}
+
+RadioChoice InterfaceSelector::oracle_choice(const SiteMeasurement& m) const {
+  const double qoe_4g = weights_.alpha * (m.energy_4g_j / energy_norm_j_) +
+                        weights_.beta * (m.plt_4g_s / plt_norm_s_);
+  const double qoe_5g = weights_.alpha * (m.energy_5g_j / energy_norm_j_) +
+                        weights_.beta * (m.plt_5g_s / plt_norm_s_);
+  return qoe_4g <= qoe_5g ? RadioChoice::kUse4g : RadioChoice::kUse5g;
+}
+
+void InterfaceSelector::train(std::span<const SiteMeasurement> train_set,
+                              Rng& rng) {
+  require(train_set.size() >= 50, "InterfaceSelector::train: set too small");
+  // Normalize both metrics by their training-set maxima ("we normalize both
+  // metrics for fair comparison").
+  plt_norm_s_ = 0.0;
+  energy_norm_j_ = 0.0;
+  for (const auto& m : train_set) {
+    plt_norm_s_ = std::max({plt_norm_s_, m.plt_4g_s, m.plt_5g_s});
+    energy_norm_j_ = std::max({energy_norm_j_, m.energy_4g_j, m.energy_5g_j});
+  }
+  require(plt_norm_s_ > 0.0 && energy_norm_j_ > 0.0,
+          "InterfaceSelector::train: degenerate measurements");
+
+  ml::Dataset data;
+  data.feature_names = feature_names();
+  for (const auto& m : train_set) {
+    data.add(feature_vector(m.site),
+             static_cast<double>(oracle_choice(m) == RadioChoice::kUse5g));
+  }
+  (void)rng;  // split/shuffle handled by the caller's corpus order
+  tree_.fit(data);
+}
+
+RadioChoice InterfaceSelector::predict(const Website& site) const {
+  require(tree_.is_fitted(), "InterfaceSelector: not trained");
+  return tree_.predict(feature_vector(site)) == 1 ? RadioChoice::kUse5g
+                                                  : RadioChoice::kUse4g;
+}
+
+double InterfaceSelector::accuracy(
+    std::span<const SiteMeasurement> test_set) const {
+  require(!test_set.empty(), "InterfaceSelector::accuracy: empty set");
+  std::size_t hits = 0;
+  for (const auto& m : test_set) {
+    if (predict(m.site) == oracle_choice(m)) ++hits;
+  }
+  return static_cast<double>(hits) / static_cast<double>(test_set.size());
+}
+
+InterfaceSelector::ChoiceCounts InterfaceSelector::counts(
+    std::span<const SiteMeasurement> test_set) const {
+  ChoiceCounts counts;
+  for (const auto& m : test_set) {
+    (predict(m.site) == RadioChoice::kUse4g ? counts.use_4g
+                                            : counts.use_5g)++;
+  }
+  return counts;
+}
+
+InterfaceSelector::Outcome InterfaceSelector::outcome(
+    std::span<const SiteMeasurement> test_set) const {
+  require(!test_set.empty(), "InterfaceSelector::outcome: empty set");
+  double energy_selected = 0.0;
+  double energy_always_5g = 0.0;
+  double plt_selected = 0.0;
+  double plt_always_5g = 0.0;
+  for (const auto& m : test_set) {
+    const bool use_4g = predict(m.site) == RadioChoice::kUse4g;
+    energy_selected += use_4g ? m.energy_4g_j : m.energy_5g_j;
+    plt_selected += use_4g ? m.plt_4g_s : m.plt_5g_s;
+    energy_always_5g += m.energy_5g_j;
+    plt_always_5g += m.plt_5g_s;
+  }
+  Outcome outcome;
+  outcome.energy_saving_percent =
+      100.0 * (energy_always_5g - energy_selected) / energy_always_5g;
+  outcome.plt_penalty_percent =
+      100.0 * (plt_selected - plt_always_5g) / plt_always_5g;
+  return outcome;
+}
+
+std::string InterfaceSelector::describe_tree() const {
+  static const std::vector<std::string> kClasses = {"Use 4G", "Use 5G"};
+  const auto names = feature_names();
+  return tree_.describe(names, kClasses);
+}
+
+std::vector<double> InterfaceSelector::feature_importances() const {
+  return tree_.feature_importances();
+}
+
+}  // namespace wild5g::web

@@ -1,0 +1,92 @@
+// wild5g/web: decision-tree radio interface selection for web browsing
+// (Sec. 6.2, Table 6, Fig. 22).
+//
+// For each website, both radios are measured (PLT and energy); a per-site
+// label is derived from the tunable utility QoE = alpha*EC + beta*PLT over
+// normalized metrics, and a Gini decision tree learns to pick the radio from
+// the Table-5 page features alone.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "ml/decision_tree.h"
+#include "power/power_model.h"
+#include "web/page_load.h"
+#include "web/website.h"
+
+namespace wild5g::web {
+
+/// Both-radio measurement of one website (means over repeats).
+struct SiteMeasurement {
+  Website site;
+  double plt_4g_s = 0.0;
+  double plt_5g_s = 0.0;
+  double energy_4g_j = 0.0;
+  double energy_5g_j = 0.0;
+};
+
+/// Loads every site on both radios `repeats` times (the paper repeats >= 8).
+[[nodiscard]] std::vector<SiteMeasurement> measure_corpus(
+    const std::vector<Website>& corpus, int repeats,
+    const power::DevicePowerProfile& device, Rng& rng);
+
+/// The five QoE weightings of Table 6.
+struct QoeWeights {
+  std::string id;           // "M1".."M5"
+  std::string description;  // "High Performance" etc.
+  double alpha = 0.5;       // energy weight
+  double beta = 0.5;        // PLT weight
+};
+
+[[nodiscard]] std::vector<QoeWeights> paper_qoe_models();
+
+enum class RadioChoice { kUse4g = 0, kUse5g = 1 };
+
+/// Learns and applies the 4G/5G choice for one QoE weighting.
+class InterfaceSelector {
+ public:
+  explicit InterfaceSelector(QoeWeights weights);
+
+  /// Trains on measurements (labels derived internally from the utility).
+  void train(std::span<const SiteMeasurement> train_set, Rng& rng);
+
+  /// The utility-optimal label for a measurement (needs both-radio data).
+  [[nodiscard]] RadioChoice oracle_choice(const SiteMeasurement& m) const;
+
+  /// Prediction from page features alone.
+  [[nodiscard]] RadioChoice predict(const Website& site) const;
+
+  /// Fraction of test measurements where predict() matches oracle_choice().
+  [[nodiscard]] double accuracy(
+      std::span<const SiteMeasurement> test_set) const;
+
+  struct ChoiceCounts {
+    int use_4g = 0;
+    int use_5g = 0;
+  };
+  [[nodiscard]] ChoiceCounts counts(
+      std::span<const SiteMeasurement> test_set) const;
+
+  /// Mean energy saved (percent, relative to always-5G) and mean PLT
+  /// inflation (percent) of following the selector on a test set.
+  struct Outcome {
+    double energy_saving_percent = 0.0;
+    double plt_penalty_percent = 0.0;
+  };
+  [[nodiscard]] Outcome outcome(
+      std::span<const SiteMeasurement> test_set) const;
+
+  [[nodiscard]] std::string describe_tree() const;
+  [[nodiscard]] std::vector<double> feature_importances() const;
+  [[nodiscard]] const QoeWeights& weights() const { return weights_; }
+
+ private:
+  QoeWeights weights_;
+  ml::DecisionTreeClassifier tree_;
+  double plt_norm_s_ = 1.0;     // normalization denominators (train set)
+  double energy_norm_j_ = 1.0;
+};
+
+}  // namespace wild5g::web

@@ -1,0 +1,60 @@
+#include "web/website.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace wild5g::web {
+
+std::vector<double> feature_vector(const Website& site) {
+  return {
+      site.dynamic_object_fraction(),            // DNO
+      static_cast<double>(site.image_count),     // NI
+      static_cast<double>(site.video_count),     // NV
+      site.dynamic_size_fraction,                // DSO
+      site.total_page_size_mb,                   // PS
+      static_cast<double>(site.object_count),    // NO
+      site.avg_object_size_kb(),                 // AOS
+  };
+}
+
+std::vector<std::string> feature_names() {
+  return {"DNO", "NI", "NV", "DSO", "PS", "NO", "AOS"};
+}
+
+std::vector<Website> generate_corpus(int count, Rng& rng) {
+  require(count > 0, "generate_corpus: count must be positive");
+  std::vector<Website> corpus;
+  corpus.reserve(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    Website site;
+    site.domain = "site-" + std::to_string(i) + ".example";
+    // Object count: lognormal, median ~60, clamped to the Fig. 19 range.
+    site.object_count = static_cast<int>(std::clamp(
+        rng.lognormal(std::log(60.0), 0.9), 3.0, 1000.0));
+    // Page size: correlated with object count plus lognormal spread,
+    // spanning <1 MB to >10 MB (Fig. 19b bins).
+    const double size_mu =
+        std::log(0.035 * static_cast<double>(site.object_count) + 0.4);
+    site.total_page_size_mb =
+        std::clamp(rng.lognormal(size_mu, 0.7), 0.05, 60.0);
+    // Media mix.
+    site.image_count = static_cast<int>(
+        rng.uniform(0.3, 0.75) * static_cast<double>(site.object_count));
+    site.video_count =
+        rng.bernoulli(0.25)
+            ? static_cast<int>(rng.uniform_int(1, 4))
+            : 0;
+    // Dynamic content (ads, scripts, API calls).
+    const double dyn_fraction = std::clamp(rng.normal(0.35, 0.22), 0.0, 0.97);
+    site.dynamic_object_count = static_cast<int>(
+        dyn_fraction * static_cast<double>(site.object_count));
+    site.dynamic_size_fraction =
+        std::clamp(dyn_fraction * rng.uniform(0.5, 1.3), 0.0, 0.98);
+    corpus.push_back(site);
+  }
+  return corpus;
+}
+
+}  // namespace wild5g::web

@@ -1,0 +1,43 @@
+// wild5g/web: synthetic website corpus (Sec. 6's Alexa top-1500 stand-in).
+//
+// Each website carries the Table-5 feature vector the paper analyzes:
+// object counts, dynamic-object share, page size, image/video counts. The
+// corpus spans the ranges of Fig. 19 (3..1000 objects, <1 MB .. >10 MB).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace wild5g::web {
+
+struct Website {
+  std::string domain;
+  int object_count = 0;           // NO
+  int image_count = 0;            // NI
+  int video_count = 0;            // NV
+  int dynamic_object_count = 0;   // DNO numerator
+  double total_page_size_mb = 0;  // PS
+  double dynamic_size_fraction = 0.0;  // DSO: dynamic bytes / total bytes
+
+  [[nodiscard]] double dynamic_object_fraction() const {
+    return object_count > 0 ? static_cast<double>(dynamic_object_count) /
+                                  static_cast<double>(object_count)
+                            : 0.0;
+  }
+  [[nodiscard]] double avg_object_size_kb() const {  // AOS
+    return object_count > 0
+               ? total_page_size_mb * 1024.0 / static_cast<double>(object_count)
+               : 0.0;
+  }
+};
+
+/// Feature vector (Table 5 order) for ML models.
+[[nodiscard]] std::vector<double> feature_vector(const Website& site);
+[[nodiscard]] std::vector<std::string> feature_names();
+
+/// Generates a corpus of `count` websites; deterministic in `rng`.
+[[nodiscard]] std::vector<Website> generate_corpus(int count, Rng& rng);
+
+}  // namespace wild5g::web

@@ -1,0 +1,257 @@
+// Tests for the DASH streaming engine and the video ladders.
+#include "abr/session.h"
+
+#include <gtest/gtest.h>
+
+#include "abr/algorithms.h"
+#include "abr/video.h"
+#include "core/error.h"
+
+namespace wa = wild5g::abr;
+namespace wt = wild5g::traces;
+
+namespace {
+
+/// Fixed-track "algorithm" for engine tests.
+class FixedTrack final : public wa::AbrAlgorithm {
+ public:
+  explicit FixedTrack(int track) : track_(track) {}
+  [[nodiscard]] std::string name() const override { return "fixed"; }
+  [[nodiscard]] int choose_track(const wa::AbrContext&) override {
+    return track_;
+  }
+
+ private:
+  int track_;
+};
+
+wt::Trace constant_trace(double mbps, int seconds) {
+  wt::Trace trace;
+  trace.id = "const";
+  trace.mbps.assign(static_cast<std::size_t>(seconds), mbps);
+  return trace;
+}
+
+}  // namespace
+
+TEST(Ladder, PaperLadders) {
+  const auto v5 = wa::video_ladder_5g();
+  ASSERT_EQ(v5.track_count(), 6);
+  EXPECT_DOUBLE_EQ(v5.top_mbps(), 160.0);
+  // Adjacent tracks differ by ~1.5x.
+  for (int i = 1; i < v5.track_count(); ++i) {
+    EXPECT_NEAR(v5.bitrate(i) / v5.bitrate(i - 1), 1.5, 1e-9);
+  }
+  const auto v4 = wa::video_ladder_4g();
+  EXPECT_DOUBLE_EQ(v4.top_mbps(), 20.0);
+  EXPECT_NEAR(v4.track_mbps.front(), 20.0 / std::pow(1.5, 5), 1e-9);
+}
+
+TEST(Ladder, BitrateRangeChecked) {
+  const auto v = wa::video_ladder_5g();
+  EXPECT_THROW((void)v.bitrate(-1), wild5g::Error);
+  EXPECT_THROW((void)v.bitrate(6), wild5g::Error);
+}
+
+TEST(Session, NoStallsWithAmpleBandwidth) {
+  const auto video = wa::video_ladder_5g();
+  const auto trace = constant_trace(1000.0, 400);
+  wa::TraceSource source(trace);
+  FixedTrack top(5);
+  wa::SessionOptions options;
+  options.chunk_count = 30;
+  const auto result = wa::stream(video, source, top, options);
+  EXPECT_DOUBLE_EQ(result.total_stall_s, 0.0);
+  EXPECT_DOUBLE_EQ(result.stall_percent(), 0.0);
+  EXPECT_DOUBLE_EQ(result.avg_bitrate_mbps, 160.0);
+  EXPECT_DOUBLE_EQ(result.normalized_bitrate(video), 1.0);
+  EXPECT_EQ(result.chunks.size(), 30u);
+}
+
+TEST(Session, StallsWhenBandwidthBelowBitrate) {
+  const auto video = wa::video_ladder_5g();
+  // 80 Mbps link, top track 160 Mbps: every chunk takes 2x its duration.
+  const auto trace = constant_trace(80.0, 2000);
+  wa::TraceSource source(trace);
+  FixedTrack top(5);
+  wa::SessionOptions options;
+  options.chunk_count = 20;
+  const auto result = wa::stream(video, source, top, options);
+  EXPECT_GT(result.total_stall_s, 50.0);
+  EXPECT_GT(result.stall_percent(), 30.0);
+}
+
+TEST(Session, StartupDelayNotCountedAsStall) {
+  const auto video = wa::video_ladder_5g();
+  const auto trace = constant_trace(160.0, 1000);
+  wa::TraceSource source(trace);
+  FixedTrack top(5);
+  wa::SessionOptions options;
+  options.chunk_count = 10;
+  const auto result = wa::stream(video, source, top, options);
+  // Startup buffers 8 s (two 4 s chunks) at link rate = bitrate.
+  EXPECT_NEAR(result.startup_delay_s, 8.0, 0.1);
+  EXPECT_DOUBLE_EQ(result.total_stall_s, 0.0);
+}
+
+TEST(Session, BufferNeverExceedsCap) {
+  const auto video = wa::video_ladder_5g();
+  const auto trace = constant_trace(5000.0, 1000);
+  wa::TraceSource source(trace);
+  FixedTrack lowest(0);
+  wa::SessionOptions options;
+  options.chunk_count = 40;
+  options.max_buffer_s = 30.0;
+  const auto result = wa::stream(video, source, lowest, options);
+  for (const auto& chunk : result.chunks) {
+    EXPECT_LE(chunk.buffer_after_s, options.max_buffer_s + 1e-9);
+  }
+}
+
+TEST(Session, PerSecondConsumptionIntegratesToTotalBits) {
+  const auto video = wa::video_ladder_5g();
+  const auto trace = constant_trace(200.0, 1000);
+  wa::TraceSource source(trace);
+  FixedTrack mid(3);
+  wa::SessionOptions options;
+  options.chunk_count = 25;
+  const auto result = wa::stream(video, source, mid, options);
+  double recorded = 0.0;
+  for (double mbits : result.per_second_dl_mbps) recorded += mbits;
+  const double expected =
+      25.0 * video.bitrate(3) * video.chunk_s;  // megabits downloaded
+  EXPECT_NEAR(recorded, expected, 1e-6);
+}
+
+TEST(Session, QoeRewardsBitratePenalizesStallAndSwitches) {
+  const auto video = wa::video_ladder_5g();
+  const auto trace = constant_trace(1000.0, 1000);
+  wa::TraceSource source(trace);
+  wa::SessionOptions options;
+  options.chunk_count = 10;
+
+  FixedTrack top(5);
+  const auto steady = wa::stream(video, source, top, options);
+
+  // An oscillating policy must score lower through the smoothness term.
+  class Oscillate final : public wa::AbrAlgorithm {
+   public:
+    [[nodiscard]] std::string name() const override { return "osc"; }
+    [[nodiscard]] int choose_track(const wa::AbrContext& context) override {
+      return context.next_chunk % 2 == 0 ? 5 : 0;
+    }
+  } oscillate;
+  const auto wobbly = wa::stream(video, source, oscillate, options);
+  EXPECT_GT(steady.qoe, wobbly.qoe);
+}
+
+TEST(Session, SurvivesZeroBandwidthTail) {
+  // Trace that collapses to zero: the engine's floor keeps progress.
+  wt::Trace trace;
+  trace.mbps.assign(10, 100.0);
+  trace.mbps.resize(60, 0.0);
+  wa::TraceSource source(trace);
+  const auto video = wa::video_ladder_4g();
+  FixedTrack lowest(0);
+  wa::SessionOptions options;
+  options.chunk_count = 8;
+  const auto result = wa::stream(video, source, lowest, options);
+  EXPECT_EQ(result.chunks.size(), 8u);  // terminates
+}
+
+TEST(Session, InvalidOptionsRejected) {
+  const auto video = wa::video_ladder_5g();
+  const auto trace = constant_trace(100.0, 10);
+  wa::TraceSource source(trace);
+  FixedTrack top(5);
+  wa::SessionOptions options;
+  options.chunk_count = 0;
+  EXPECT_THROW((void)wa::stream(video, source, top, options), wild5g::Error);
+}
+
+TEST(Session, ChoiceClampedToLadder) {
+  const auto video = wa::video_ladder_5g();
+  const auto trace = constant_trace(1000.0, 200);
+  wa::TraceSource source(trace);
+  FixedTrack wild(99);
+  wa::SessionOptions options;
+  options.chunk_count = 5;
+  const auto result = wa::stream(video, source, wild, options);
+  for (const auto& chunk : result.chunks) {
+    EXPECT_EQ(chunk.track, 5);
+  }
+}
+
+TEST(Session, AbandonmentAbortsCrawlingChunk) {
+  // Bandwidth collapses right after the first chunks: with abandonment on,
+  // the engine aborts the high-track attempt and refetches lower.
+  wt::Trace trace;
+  trace.mbps.assign(5, 500.0);
+  trace.mbps.resize(300, 2.0);  // collapse at t=5
+  wa::TraceSource source(trace);
+  const auto video = wa::video_ladder_5g();
+  FixedTrack top(5);
+  wa::SessionOptions options;
+  options.chunk_count = 8;
+  options.allow_abandonment = true;
+  const auto result = wa::stream(video, source, top, options);
+  int abandoned = 0;
+  for (const auto& chunk : result.chunks) {
+    abandoned += chunk.abandoned_attempts;
+  }
+  EXPECT_GT(abandoned, 0);
+}
+
+TEST(Session, AbandonmentOffNeverAborts) {
+  wt::Trace trace;
+  trace.mbps.assign(20, 500.0);
+  trace.mbps.resize(300, 2.0);
+  wa::TraceSource source(trace);
+  const auto video = wa::video_ladder_5g();
+  FixedTrack mid(2);
+  wa::SessionOptions options;
+  options.chunk_count = 6;
+  options.allow_abandonment = false;
+  const auto result = wa::stream(video, source, mid, options);
+  for (const auto& chunk : result.chunks) {
+    EXPECT_EQ(chunk.abandoned_attempts, 0);
+  }
+}
+
+TEST(Session, ResumeThresholdConsolidatesStalls) {
+  // After a rebuffer the player waits for resume_buffer_s before playing:
+  // stalls consolidate instead of dribbling one per chunk.
+  wt::Trace trace;
+  trace.mbps.assign(400, 18.0);  // just below the lowest track (21.1)
+  wa::TraceSource source(trace);
+  const auto video = wa::video_ladder_5g();
+  FixedTrack lowest(0);
+  wa::SessionOptions options;
+  options.chunk_count = 30;
+  options.resume_buffer_s = 8.0;
+  const auto result = wa::stream(video, source, lowest, options);
+  // With an 8 s resume threshold, stall chunks come in runs; count distinct
+  // stall events (transitions from no-stall to stall).
+  int events = 0;
+  bool in_stall = false;
+  for (const auto& chunk : result.chunks) {
+    const bool stalled = chunk.stall_s > 0.0;
+    if (stalled && !in_stall) ++events;
+    in_stall = stalled;
+  }
+  EXPECT_GT(result.total_stall_s, 0.0);
+  EXPECT_LT(events, 8);  // consolidated, not 1 event per chunk
+}
+
+TEST(Session, StartupTargetRespectsShortVideos) {
+  // startup_buffer_s larger than the whole video must not deadlock.
+  const auto video = wa::video_ladder_4g();
+  const auto trace = constant_trace(100.0, 300);
+  wa::TraceSource source(trace);
+  FixedTrack lowest(0);
+  wa::SessionOptions options;
+  options.chunk_count = 2;
+  options.startup_buffer_s = 1000.0;
+  const auto result = wa::stream(video, source, lowest, options);
+  EXPECT_EQ(result.chunks.size(), 2u);
+}

@@ -1,0 +1,166 @@
+// Unit and property tests for wild5g::stats.
+#include "core/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace ws = wild5g::stats;
+
+TEST(Stats, MeanOfConstantSample) {
+  const std::vector<double> xs{4.0, 4.0, 4.0};
+  EXPECT_DOUBLE_EQ(ws::mean(xs), 4.0);
+}
+
+TEST(Stats, MeanThrowsOnEmpty) {
+  EXPECT_THROW((void)ws::mean({}), wild5g::Error);
+}
+
+TEST(Stats, StddevKnownValue) {
+  const std::vector<double> xs{2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_NEAR(ws::stddev(xs), 2.138, 1e-3);
+}
+
+TEST(Stats, StddevOfSingletonIsZero) {
+  const std::vector<double> xs{3.0};
+  EXPECT_DOUBLE_EQ(ws::stddev(xs), 0.0);
+}
+
+TEST(Stats, HarmonicMeanKnownValue) {
+  const std::vector<double> xs{1.0, 2.0, 4.0};
+  EXPECT_NEAR(ws::harmonic_mean(xs), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
+}
+
+TEST(Stats, HarmonicMeanRejectsNonPositive) {
+  const std::vector<double> xs{1.0, 0.0};
+  EXPECT_THROW((void)ws::harmonic_mean(xs), wild5g::Error);
+}
+
+TEST(Stats, HarmonicMeanDominatedBySmallValues) {
+  const std::vector<double> xs{0.1, 100.0, 100.0, 100.0};
+  EXPECT_LT(ws::harmonic_mean(xs), 1.0);
+}
+
+TEST(Stats, PercentileEndpoints) {
+  const std::vector<double> xs{5.0, 1.0, 3.0};
+  EXPECT_DOUBLE_EQ(ws::percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(ws::percentile(xs, 100.0), 5.0);
+  EXPECT_DOUBLE_EQ(ws::median(xs), 3.0);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  const std::vector<double> xs{0.0, 10.0};
+  EXPECT_DOUBLE_EQ(ws::percentile(xs, 25.0), 2.5);
+  EXPECT_DOUBLE_EQ(ws::p95(xs), 9.5);
+}
+
+TEST(Stats, PercentileRejectsOutOfRangeP) {
+  const std::vector<double> xs{1.0};
+  EXPECT_THROW((void)ws::percentile(xs, -1.0), wild5g::Error);
+  EXPECT_THROW((void)ws::percentile(xs, 101.0), wild5g::Error);
+}
+
+TEST(Stats, EmpiricalCdfIsMonotone) {
+  wild5g::Rng rng(7);
+  std::vector<double> xs;
+  for (int i = 0; i < 200; ++i) xs.push_back(rng.normal(0.0, 3.0));
+  const auto cdf = ws::empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), xs.size());
+  for (std::size_t i = 1; i < cdf.size(); ++i) {
+    EXPECT_GE(cdf[i].value, cdf[i - 1].value);
+    EXPECT_GT(cdf[i].cumulative_probability,
+              cdf[i - 1].cumulative_probability);
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().cumulative_probability, 1.0);
+}
+
+TEST(Stats, LinearFitRecoversExactLine) {
+  std::vector<double> x, y;
+  for (int i = 0; i < 50; ++i) {
+    x.push_back(i);
+    y.push_back(2.5 * i - 7.0);
+  }
+  const auto fit = ws::linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 2.5, 1e-9);
+  EXPECT_NEAR(fit.intercept, -7.0, 1e-9);
+  EXPECT_NEAR(fit.r_squared, 1.0, 1e-9);
+  EXPECT_NEAR(fit.at(10.0), 18.0, 1e-9);
+}
+
+TEST(Stats, LinearFitNoisyR2BelowOne) {
+  wild5g::Rng rng(11);
+  std::vector<double> x, y;
+  for (int i = 0; i < 200; ++i) {
+    x.push_back(i);
+    y.push_back(1.0 * i + rng.normal(0.0, 20.0));
+  }
+  const auto fit = ws::linear_fit(x, y);
+  EXPECT_NEAR(fit.slope, 1.0, 0.15);
+  EXPECT_LT(fit.r_squared, 1.0);
+  EXPECT_GT(fit.r_squared, 0.5);
+}
+
+TEST(Stats, LinearFitRejectsConstantX) {
+  const std::vector<double> x{1.0, 1.0, 1.0};
+  const std::vector<double> y{1.0, 2.0, 3.0};
+  EXPECT_THROW((void)ws::linear_fit(x, y), wild5g::Error);
+}
+
+TEST(Stats, MapeZeroForPerfectPrediction) {
+  const std::vector<double> t{1.0, 2.0, 3.0};
+  EXPECT_DOUBLE_EQ(ws::mape_percent(t, t), 0.0);
+}
+
+TEST(Stats, MapeKnownValue) {
+  const std::vector<double> truth{100.0, 200.0};
+  const std::vector<double> pred{110.0, 180.0};
+  EXPECT_NEAR(ws::mape_percent(truth, pred), 10.0, 1e-9);
+}
+
+TEST(Stats, MapeRejectsZeroTruth) {
+  const std::vector<double> truth{0.0};
+  const std::vector<double> pred{1.0};
+  EXPECT_THROW((void)ws::mape_percent(truth, pred), wild5g::Error);
+}
+
+TEST(Stats, MaeKnownValue) {
+  const std::vector<double> truth{1.0, 2.0};
+  const std::vector<double> pred{2.0, 0.0};
+  EXPECT_DOUBLE_EQ(ws::mae(truth, pred), 1.5);
+}
+
+// Property: percentile is monotone in p for arbitrary samples.
+class PercentileMonotone : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PercentileMonotone, MonotoneInP) {
+  wild5g::Rng rng(GetParam());
+  std::vector<double> xs;
+  const auto n = static_cast<int>(rng.uniform_int(1, 300));
+  for (int i = 0; i < n; ++i) xs.push_back(rng.lognormal(1.0, 1.5));
+  double prev = ws::percentile(xs, 0.0);
+  for (double p = 5.0; p <= 100.0; p += 5.0) {
+    const double value = ws::percentile(xs, p);
+    EXPECT_GE(value, prev);
+    prev = value;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PercentileMonotone,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34));
+
+// Property: harmonic mean <= arithmetic mean on positive samples.
+class HmVsMean : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(HmVsMean, HarmonicLeqArithmetic) {
+  wild5g::Rng rng(GetParam());
+  std::vector<double> xs;
+  for (int i = 0; i < 64; ++i) xs.push_back(rng.uniform(0.1, 50.0));
+  EXPECT_LE(ws::harmonic_mean(xs), ws::mean(xs) + 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HmVsMean,
+                         ::testing::Values(101, 202, 303, 404, 505));

@@ -1,0 +1,69 @@
+// Tests for geographic primitives and location catalogs.
+#include "geo/geo.h"
+
+#include <gtest/gtest.h>
+
+namespace wg = wild5g::geo;
+
+TEST(Geo, HaversineZeroForSamePoint) {
+  const wg::GeoPoint p{44.98, -93.27};
+  EXPECT_NEAR(wg::haversine_km(p, p), 0.0, 1e-9);
+}
+
+TEST(Geo, HaversineSymmetric) {
+  const wg::GeoPoint a{44.98, -93.27};
+  const wg::GeoPoint b{41.88, -87.63};
+  EXPECT_DOUBLE_EQ(wg::haversine_km(a, b), wg::haversine_km(b, a));
+}
+
+TEST(Geo, MinneapolisToChicagoKnownDistance) {
+  const double d = wg::haversine_km(wg::minneapolis().point,
+                                    {41.8781, -87.6298});
+  EXPECT_NEAR(d, 570.0, 25.0);  // ~570 km great-circle
+}
+
+TEST(Geo, MinneapolisToAnnArbor) {
+  const double d =
+      wg::haversine_km(wg::minneapolis().point, wg::ann_arbor().point);
+  EXPECT_NEAR(d, 790.0, 60.0);
+}
+
+TEST(Geo, MetroCatalogNonEmptyAndDistinct) {
+  const auto cities = wg::metro_cities();
+  ASSERT_GE(cities.size(), 20u);
+  // Minneapolis must be in the pool (carrier hosts a server in the UE city).
+  bool has_msp = false;
+  for (const auto& c : cities) {
+    if (c.name.find("Minneapolis") != std::string::npos) has_msp = true;
+  }
+  EXPECT_TRUE(has_msp);
+}
+
+TEST(Geo, AzureRegionsOrderedByQuotedDistance) {
+  const auto regions = wg::azure_regions();
+  ASSERT_EQ(regions.size(), 8u);
+  for (std::size_t i = 1; i < regions.size(); ++i) {
+    EXPECT_LT(regions[i - 1].quoted_distance_km,
+              regions[i].quoted_distance_km);
+  }
+  EXPECT_NEAR(regions.front().quoted_distance_km, 374.0, 1e-9);
+  EXPECT_NEAR(regions.back().quoted_distance_km, 2532.0, 1e-9);
+}
+
+TEST(Geo, AzureQuotedDistancesAgreeWithCoordinates) {
+  // The paper's annotations are network-path distances, which can exceed the
+  // geodesic substantially (e.g. West Central: 1444 km quoted vs ~1030 km
+  // great-circle to Cheyenne). Sanity: same order, geodesic <= quoted + 20%.
+  const auto ue = wg::minneapolis().point;
+  for (const auto& region : wg::azure_regions()) {
+    const double actual = wg::haversine_km(ue, region.point);
+    EXPECT_GT(actual, 0.4 * region.quoted_distance_km) << region.name;
+    EXPECT_LT(actual, 1.2 * region.quoted_distance_km) << region.name;
+  }
+}
+
+TEST(Geo, HaversineAntipodalBounded) {
+  const wg::GeoPoint a{0.0, 0.0};
+  const wg::GeoPoint b{0.0, 180.0};
+  EXPECT_NEAR(wg::haversine_km(a, b), 20015.0, 10.0);  // half circumference
+}

@@ -1,0 +1,184 @@
+// Cross-module integration tests: the paper's end-to-end methodology chains.
+#include <gtest/gtest.h>
+
+#include "abr/algorithms.h"
+#include "abr/video.h"
+#include "core/rng.h"
+#include "core/stats.h"
+#include "net/speedtest.h"
+#include "power/fitting.h"
+#include "power/monitor.h"
+#include "power/waveform.h"
+#include "radio/ue.h"
+#include "rrc/probe.h"
+#include "traces/traces.h"
+
+using wild5g::Rng;
+
+// Methodology chain 1 (Sec. 4.1-4.2): run RRC-Probe against the simulated
+// network, infer timers, then confirm them with the power monitor, exactly
+// as the paper does ("We also confirm the timers using Monsoon").
+TEST(Integration, ProbeInferenceConfirmedByPowerMonitor) {
+  const auto profile = wild5g::rrc::profile_by_name("Verizon NSA mmWave");
+  Rng rng(1);
+  const auto samples = wild5g::rrc::run_probe(
+      profile.config, wild5g::rrc::schedule_for(profile.config), rng);
+  const auto inferred = wild5g::rrc::infer_rrc_parameters(samples);
+
+  // Power confirmation: synthesize a single-burst waveform and find where
+  // the tail power collapses to the idle floor.
+  const std::vector<wild5g::rrc::ActivityBurst> bursts = {
+      {2000.0, 6000.0, 400.0, 10.0}};
+  wild5g::power::WaveformSynthesizer synth(
+      profile, wild5g::power::DevicePowerProfile::s20u(), 1000.0);
+  Rng wave_rng(2);
+  const auto trace = synth.synthesize(
+      wild5g::rrc::build_timeline(profile.config, bursts, 40000.0), wave_rng);
+  // Scan 1 s windows after the burst for the drop below 30% of tail power.
+  double drop_at_s = -1.0;
+  for (double t = 7.0; t < 39.0; t += 0.5) {
+    if (trace.average_mw(t, t + 1.0) < 0.3 * profile.power.tail_mw) {
+      drop_at_s = t;
+      break;
+    }
+  }
+  ASSERT_GT(drop_at_s, 0.0);
+  const double tail_from_power_ms = (drop_at_s - 6.0) * 1000.0;
+  // The two independent estimates agree with each other and the config.
+  EXPECT_NEAR(tail_from_power_ms, profile.config.inactivity_timer_ms, 1200.0);
+  EXPECT_NEAR(inferred.tail_timer_ms, tail_from_power_ms, 1500.0);
+}
+
+// Methodology chain 2 (Sec. 4.5 "Validation on Real Applications"): fit the
+// TH+SS power model on a walking campaign, then check its energy estimate on
+// an application workload against the hardware-monitor ground truth.
+TEST(Integration, PowerModelValidatesOnApplicationWorkload) {
+  wild5g::power::WalkingCampaignConfig campaign;
+  campaign.network = {wild5g::radio::Carrier::kVerizon,
+                      wild5g::radio::Band::kNrMmWave,
+                      wild5g::radio::DeploymentMode::kNsa};
+  campaign.ue = wild5g::radio::galaxy_s20u();
+  const auto device = wild5g::power::DevicePowerProfile::s20u();
+  Rng rng(3);
+  const auto samples =
+      wild5g::power::run_walking_campaign(campaign, device, rng);
+  wild5g::power::PowerModelFit fit(
+      wild5g::power::FeatureSet::kThroughputAndSignal);
+  Rng split_rng(4);
+  fit.fit(samples, split_rng);
+
+  // "Application" workload: a video-like on/off transfer pattern.
+  std::vector<wild5g::power::PowerModelFit::UsageSlot> usage;
+  Rng wl(5);
+  double truth_j = 0.0;
+  for (int s = 0; s < 120; ++s) {
+    const bool active = s % 10 < 6;
+    const double dl = active ? wl.uniform(100.0, 900.0) : wl.uniform(0.0, 5.0);
+    const double rsrp = wl.uniform(-95.0, -75.0);
+    usage.push_back({dl, dl * 0.03, rsrp, 1.0});
+    truth_j += device.transfer_power_mw(wild5g::power::RailKey::kNsaMmWave,
+                                        dl, dl * 0.03, rsrp) /
+               1000.0;
+  }
+  const double estimated_j = fit.estimate_energy_j(usage);
+  // Paper reports 3.7% / 2.1% relative error on video/web; allow 8%.
+  EXPECT_NEAR(estimated_j, truth_j, 0.08 * truth_j);
+}
+
+// Methodology chain 3 (Sec. 3): the same speedtest campaign reproduces both
+// the latency-distance law and the single-vs-multi connection gap.
+TEST(Integration, SpeedtestCampaignShapes) {
+  wild5g::net::SpeedtestConfig config;
+  config.network = {wild5g::radio::Carrier::kVerizon,
+                    wild5g::radio::Band::kNrMmWave,
+                    wild5g::radio::DeploymentMode::kNsa};
+  config.ue = wild5g::radio::galaxy_s20u();
+  config.ue_location = wild5g::geo::minneapolis().point;
+  wild5g::net::SpeedtestHarness harness(config);
+
+  Rng rng(6);
+  std::vector<double> distances;
+  std::vector<double> rtts;
+  double single_near = 0.0;
+  double single_far = 0.0;
+  for (const auto& server : wild5g::net::carrier_server_pool()) {
+    const double d = wild5g::geo::haversine_km(config.ue_location,
+                                               server.location);
+    const auto result =
+        harness.peak_of(server, wild5g::net::ConnectionMode::kSingle, 3, rng);
+    distances.push_back(d);
+    rtts.push_back(result.rtt_ms);
+    if (d < 100.0) single_near = result.downlink_mbps;
+    if (d > 2200.0) single_far = result.downlink_mbps;
+  }
+  const auto fit = wild5g::stats::linear_fit(distances, rtts);
+  EXPECT_NEAR(fit.slope, 0.034, 0.004);  // ms per km
+  EXPECT_GT(fit.r_squared, 0.95);
+  ASSERT_GT(single_near, 0.0);
+  ASSERT_GT(single_far, 0.0);
+  EXPECT_GT(single_near, 1.5 * single_far);
+}
+
+// Methodology chain 4 (Sec. 5): ABR evaluation end to end on generated
+// traces — robustMPC holds QoE on 5G while a throughput-chasing baseline
+// loses it to stalls.
+TEST(Integration, AbrPipelineOnGeneratedTraces) {
+  Rng rng(7);
+  auto trace_config = wild5g::traces::lumos5g_mmwave_config();
+  trace_config.count = 50;
+  const auto traces = wild5g::traces::generate_traces(trace_config, rng);
+  const auto video = wild5g::abr::video_ladder_5g();
+  wild5g::abr::SessionOptions options;
+  options.chunk_count = 40;
+
+  wild5g::abr::HarmonicMeanPredictor predictor_fast;
+  wild5g::abr::HarmonicMeanPredictor predictor_robust;
+  wild5g::abr::ModelPredictiveAbr fast(
+      wild5g::abr::ModelPredictiveAbr::Variant::kFast, predictor_fast);
+  wild5g::abr::ModelPredictiveAbr robust(
+      wild5g::abr::ModelPredictiveAbr::Variant::kRobust, predictor_robust);
+
+  const auto qoe_robust =
+      wild5g::abr::evaluate_on_traces(video, traces, robust, options);
+  const auto qoe_fast =
+      wild5g::abr::evaluate_on_traces(video, traces, fast, options);
+
+  // The paper's 5G ordering: fastMPC chases bitrate and stalls much more;
+  // robustMPC trades a little bitrate for far fewer stalls and better QoE.
+  EXPECT_LT(qoe_robust.mean_stall_percent,
+            0.9 * qoe_fast.mean_stall_percent);
+  EXPECT_LE(qoe_robust.mean_normalized_bitrate,
+            qoe_fast.mean_normalized_bitrate + 0.02);
+  EXPECT_GT(qoe_robust.mean_normalized_qoe, qoe_fast.mean_normalized_qoe);
+}
+
+// Software-monitor chain (Sec. 4.6): raw software energy underestimates the
+// hardware value; calibration closes the gap.
+TEST(Integration, SoftwareMonitorEndToEnd) {
+  const auto profile = wild5g::rrc::profile_by_name("T-Mobile SA low-band");
+  std::vector<wild5g::rrc::ActivityBurst> bursts;
+  for (double t = 1000.0; t < 100000.0; t += 15000.0) {
+    bursts.push_back({t, t + 5000.0, 80.0, 3.0});
+  }
+  wild5g::power::WaveformSynthesizer synth(
+      profile, wild5g::power::DevicePowerProfile::s20u(), 1000.0);
+  Rng rng(8);
+  const auto waveform = synth.synthesize(
+      wild5g::rrc::build_timeline(profile.config, bursts, 110000.0), rng);
+
+  const auto hw = wild5g::power::MonsoonMonitor::per_second_mw(waveform);
+  wild5g::power::SoftwareMonitor sw(
+      wild5g::power::default_software_monitor(10.0));
+  Rng sw_rng(9);
+  auto readings = sw.per_second_mw(waveform, sw_rng);
+  readings.resize(hw.size());
+
+  const double hw_energy = wild5g::stats::mean(hw);
+  const double sw_energy = wild5g::stats::mean(readings);
+  EXPECT_LT(sw_energy, hw_energy);
+
+  wild5g::power::SoftwareCalibration calibration;
+  calibration.fit(readings, hw);
+  const auto calibrated = calibration.calibrate_all(readings);
+  EXPECT_NEAR(wild5g::stats::mean(calibrated), hw_energy, 0.05 * hw_energy);
+}

@@ -1,0 +1,214 @@
+// Tests for the CART regressor and classifier.
+#include "ml/decision_tree.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/stats.h"
+
+using wild5g::Rng;
+using wild5g::ml::Dataset;
+using wild5g::ml::DecisionTreeClassifier;
+using wild5g::ml::DecisionTreeRegressor;
+using wild5g::ml::TreeConfig;
+
+namespace {
+
+TreeConfig loose_config() {
+  TreeConfig config;
+  config.max_depth = 10;
+  config.min_samples_leaf = 1;
+  config.min_samples_split = 2;
+  return config;
+}
+
+}  // namespace
+
+TEST(Regressor, FitsPiecewiseConstantExactly) {
+  Dataset data;
+  data.feature_names = {"x"};
+  for (int i = 0; i < 40; ++i) {
+    const double x = i;
+    data.add({x}, x < 20.0 ? 5.0 : 11.0);
+  }
+  DecisionTreeRegressor tree(loose_config());
+  tree.fit(data);
+  EXPECT_DOUBLE_EQ(tree.predict({{3.0}}), 5.0);
+  EXPECT_DOUBLE_EQ(tree.predict({{35.0}}), 11.0);
+  EXPECT_LE(tree.depth(), 2);
+}
+
+TEST(Regressor, PredictBeforeFitThrows) {
+  DecisionTreeRegressor tree;
+  EXPECT_THROW((void)tree.predict({{1.0}}), wild5g::Error);
+}
+
+TEST(Regressor, ApproximatesSmoothFunction) {
+  Rng rng(3);
+  Dataset data;
+  data.feature_names = {"x"};
+  for (int i = 0; i < 600; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    data.add({x}, std::sin(x));
+  }
+  DecisionTreeRegressor tree(loose_config());
+  tree.fit(data);
+  double max_err = 0.0;
+  for (double x = 0.2; x < 10.0; x += 0.13) {
+    max_err = std::max(max_err, std::abs(tree.predict({{x}}) - std::sin(x)));
+  }
+  EXPECT_LT(max_err, 0.25);
+}
+
+TEST(Regressor, IgnoresUselessFeature) {
+  Rng rng(4);
+  Dataset data;
+  data.feature_names = {"useful", "noise"};
+  for (int i = 0; i < 400; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    data.add({x, rng.uniform(0.0, 1.0)}, x > 0.5 ? 1.0 : 0.0);
+  }
+  DecisionTreeRegressor tree(loose_config());
+  tree.fit(data);
+  const auto importances = tree.feature_importances();
+  ASSERT_EQ(importances.size(), 2u);
+  EXPECT_GT(importances[0], 0.9);
+  EXPECT_NEAR(importances[0] + importances[1], 1.0, 1e-9);
+}
+
+TEST(Regressor, RespectsMaxDepth) {
+  Rng rng(5);
+  Dataset data;
+  data.feature_names = {"x"};
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    data.add({x}, x * x);
+  }
+  TreeConfig config = loose_config();
+  config.max_depth = 3;
+  DecisionTreeRegressor tree(config);
+  tree.fit(data);
+  EXPECT_LE(tree.depth(), 3);
+}
+
+TEST(Regressor, ConstantTargetSingleLeaf) {
+  Dataset data;
+  data.feature_names = {"x"};
+  for (int i = 0; i < 30; ++i) data.add({static_cast<double>(i)}, 7.0);
+  DecisionTreeRegressor tree(loose_config());
+  tree.fit(data);
+  EXPECT_EQ(tree.node_count(), 1u);
+  EXPECT_DOUBLE_EQ(tree.predict({{999.0}}), 7.0);
+}
+
+// Property: deeper trees never fit the training set worse.
+class DepthSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DepthSweep, TrainErrorNonIncreasingInDepth) {
+  Rng rng(6);
+  Dataset data;
+  data.feature_names = {"x", "y"};
+  for (int i = 0; i < 500; ++i) {
+    const double x = rng.uniform(0.0, 1.0);
+    const double y = rng.uniform(0.0, 1.0);
+    data.add({x, y}, std::sin(6.0 * x) + y * y + 3.0);
+  }
+  auto train_mape = [&](int depth) {
+    TreeConfig config = loose_config();
+    config.max_depth = depth;
+    DecisionTreeRegressor tree(config);
+    tree.fit(data);
+    return wild5g::stats::mape_percent(data.targets, tree.predict_all(data));
+  };
+  const int depth = GetParam();
+  EXPECT_LE(train_mape(depth + 1), train_mape(depth) + 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, DepthSweep, ::testing::Values(1, 2, 3, 4, 6));
+
+TEST(Classifier, SeparatesTwoClusters) {
+  Rng rng(7);
+  Dataset data;
+  data.feature_names = {"x", "y"};
+  for (int i = 0; i < 300; ++i) {
+    const bool cls = rng.bernoulli(0.5);
+    data.add({rng.normal(cls ? 3.0 : -3.0, 0.5), rng.normal(0.0, 1.0)},
+             cls ? 1.0 : 0.0);
+  }
+  DecisionTreeClassifier tree(loose_config());
+  tree.fit(data);
+  EXPECT_EQ(tree.predict({{3.0, 0.0}}), 1);
+  EXPECT_EQ(tree.predict({{-3.0, 0.0}}), 0);
+  EXPECT_GT(tree.accuracy(data), 0.99);
+}
+
+TEST(Classifier, MulticlassWorks) {
+  Rng rng(8);
+  Dataset data;
+  data.feature_names = {"x"};
+  for (int i = 0; i < 600; ++i) {
+    const double x = rng.uniform(0.0, 3.0);
+    data.add({x}, std::floor(x));
+  }
+  DecisionTreeClassifier tree(loose_config());
+  tree.fit(data);
+  EXPECT_EQ(tree.predict({{0.5}}), 0);
+  EXPECT_EQ(tree.predict({{1.5}}), 1);
+  EXPECT_EQ(tree.predict({{2.5}}), 2);
+}
+
+TEST(Classifier, RejectsNegativeLabels) {
+  Dataset data;
+  data.feature_names = {"x"};
+  data.add({0.0}, -1.0);
+  DecisionTreeClassifier tree;
+  EXPECT_THROW(tree.fit(data), wild5g::Error);
+}
+
+TEST(Classifier, RejectsFractionalLabels) {
+  Dataset data;
+  data.feature_names = {"x"};
+  data.add({0.0}, 0.5);
+  DecisionTreeClassifier tree;
+  EXPECT_THROW(tree.fit(data), wild5g::Error);
+}
+
+TEST(Classifier, DescribeMentionsFeaturesAndClasses) {
+  Rng rng(9);
+  Dataset data;
+  data.feature_names = {"page_size"};
+  for (int i = 0; i < 200; ++i) {
+    const double x = rng.uniform(0.0, 10.0);
+    data.add({x}, x > 5.0 ? 1.0 : 0.0);
+  }
+  DecisionTreeClassifier tree(loose_config());
+  tree.fit(data);
+  const std::vector<std::string> features{"page_size"};
+  const std::vector<std::string> classes{"Use 4G", "Use 5G"};
+  const auto text = tree.describe(features, classes);
+  EXPECT_NE(text.find("page_size"), std::string::npos);
+  EXPECT_NE(text.find("Use 4G"), std::string::npos);
+  EXPECT_NE(text.find("Use 5G"), std::string::npos);
+}
+
+TEST(Classifier, GiniImportanceSumsToOne) {
+  Rng rng(10);
+  Dataset data;
+  data.feature_names = {"a", "b", "c"};
+  for (int i = 0; i < 300; ++i) {
+    const double a = rng.uniform(0.0, 1.0);
+    const double b = rng.uniform(0.0, 1.0);
+    data.add({a, b, rng.uniform(0.0, 1.0)},
+             (a > 0.5 || b > 0.8) ? 1.0 : 0.0);
+  }
+  DecisionTreeClassifier tree(loose_config());
+  tree.fit(data);
+  const auto importances = tree.feature_importances();
+  double total = 0.0;
+  for (double v : importances) total += v;
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_GT(importances[0], importances[2]);
+}

@@ -1,0 +1,193 @@
+// Tests for the power rails: Table 8 slopes, Fig. 11/26 crossovers,
+// Fig. 12/27 efficiency behavior, and the RSRP penalty (Figs. 13-14).
+#include "power/power_model.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+
+namespace wp = wild5g::power;
+using wild5g::radio::Direction;
+using wp::DevicePowerProfile;
+using wp::RailKey;
+
+TEST(Rails, Table8SlopesVerbatim) {
+  const auto s20u = DevicePowerProfile::s20u();
+  EXPECT_DOUBLE_EQ(s20u.rail(RailKey::k4g, Direction::kDownlink)
+                       .slope_mw_per_mbps, 14.55);
+  EXPECT_DOUBLE_EQ(s20u.rail(RailKey::k4g, Direction::kUplink)
+                       .slope_mw_per_mbps, 80.21);
+  EXPECT_DOUBLE_EQ(s20u.rail(RailKey::kNsaLowBand, Direction::kDownlink)
+                       .slope_mw_per_mbps, 13.52);
+  EXPECT_DOUBLE_EQ(s20u.rail(RailKey::kNsaLowBand, Direction::kUplink)
+                       .slope_mw_per_mbps, 29.15);
+  EXPECT_DOUBLE_EQ(s20u.rail(RailKey::kNsaMmWave, Direction::kDownlink)
+                       .slope_mw_per_mbps, 1.81);
+  EXPECT_DOUBLE_EQ(s20u.rail(RailKey::kNsaMmWave, Direction::kUplink)
+                       .slope_mw_per_mbps, 9.42);
+
+  const auto s10 = DevicePowerProfile::s10();
+  EXPECT_DOUBLE_EQ(s10.rail(RailKey::k4g, Direction::kDownlink)
+                       .slope_mw_per_mbps, 13.38);
+  EXPECT_DOUBLE_EQ(s10.rail(RailKey::k4g, Direction::kUplink)
+                       .slope_mw_per_mbps, 57.99);
+  EXPECT_DOUBLE_EQ(s10.rail(RailKey::kNsaMmWave, Direction::kDownlink)
+                       .slope_mw_per_mbps, 2.06);
+  EXPECT_DOUBLE_EQ(s10.rail(RailKey::kNsaMmWave, Direction::kUplink)
+                       .slope_mw_per_mbps, 5.27);
+}
+
+TEST(Rails, UplinkSlopeSteeperThanDownlink) {
+  // Appendix A.4: uplink power rises 2.2-5.9x faster than downlink.
+  for (const auto& device :
+       {DevicePowerProfile::s20u(), DevicePowerProfile::s10()}) {
+    for (const auto key : {RailKey::k4g, RailKey::kNsaMmWave}) {
+      const double ratio =
+          device.rail(key, Direction::kUplink).slope_mw_per_mbps /
+          device.rail(key, Direction::kDownlink).slope_mw_per_mbps;
+      EXPECT_GE(ratio, 2.0) << device.device_name();
+      EXPECT_LE(ratio, 6.2) << device.device_name();
+    }
+  }
+}
+
+TEST(Crossover, S20UDownlinkAtPaperValues) {
+  // Fig. 11: mmWave crosses 4G at 187 Mbps and low-band at 189 Mbps (DL).
+  const auto s20u = DevicePowerProfile::s20u();
+  const auto mm = s20u.rail(RailKey::kNsaMmWave, Direction::kDownlink);
+  const auto lte = s20u.rail(RailKey::k4g, Direction::kDownlink);
+  const auto lb = s20u.rail(RailKey::kNsaLowBand, Direction::kDownlink);
+  ASSERT_TRUE(wp::crossover_mbps(mm, lte).has_value());
+  EXPECT_NEAR(*wp::crossover_mbps(mm, lte), 187.0, 1.0);
+  EXPECT_NEAR(*wp::crossover_mbps(mm, lb), 189.0, 1.0);
+}
+
+TEST(Crossover, S20UUplinkAtPaperValues) {
+  // Fig. 11: UL crossovers at 40 Mbps (vs 4G) and 123 Mbps (vs low-band).
+  const auto s20u = DevicePowerProfile::s20u();
+  const auto mm = s20u.rail(RailKey::kNsaMmWave, Direction::kUplink);
+  const auto lte = s20u.rail(RailKey::k4g, Direction::kUplink);
+  const auto lb = s20u.rail(RailKey::kNsaLowBand, Direction::kUplink);
+  EXPECT_NEAR(*wp::crossover_mbps(mm, lte), 40.0, 1.0);
+  EXPECT_NEAR(*wp::crossover_mbps(mm, lb), 123.0, 1.0);
+}
+
+TEST(Crossover, S10AtPaperValues) {
+  // Fig. 26: DL 213 Mbps, UL 44 Mbps.
+  const auto s10 = DevicePowerProfile::s10();
+  EXPECT_NEAR(*wp::crossover_mbps(
+                  s10.rail(RailKey::kNsaMmWave, Direction::kDownlink),
+                  s10.rail(RailKey::k4g, Direction::kDownlink)),
+              213.0, 1.0);
+  EXPECT_NEAR(*wp::crossover_mbps(
+                  s10.rail(RailKey::kNsaMmWave, Direction::kUplink),
+                  s10.rail(RailKey::k4g, Direction::kUplink)),
+              44.0, 1.0);
+}
+
+TEST(Crossover, ParallelRailsHaveNone) {
+  const wp::PowerRail a{2.0, 100.0};
+  const wp::PowerRail b{2.0, 300.0};
+  EXPECT_FALSE(wp::crossover_mbps(a, b).has_value());
+}
+
+TEST(Efficiency, FiveGWorseAtLowBetterAtHighThroughput) {
+  // Sec. 4.3: 5G is ~79% less efficient at low DL throughput, up to 5x more
+  // efficient at high throughput.
+  const auto s20u = DevicePowerProfile::s20u();
+  const auto mm = s20u.rail(RailKey::kNsaMmWave, Direction::kDownlink);
+  const auto lte = s20u.rail(RailKey::k4g, Direction::kDownlink);
+
+  const double low = 8.0;  // Mbps
+  const double eff_mm_low = wp::efficiency_uj_per_bit(mm.power_mw(low), low);
+  const double eff_lte_low =
+      wp::efficiency_uj_per_bit(lte.power_mw(low), low);
+  EXPECT_GT(eff_mm_low, 3.0 * eff_lte_low);  // much worse (higher J/bit)
+
+  // At each link's achievable high end: mmWave 1500 Mbps vs LTE 150 Mbps.
+  const double eff_mm_high =
+      wp::efficiency_uj_per_bit(mm.power_mw(1500.0), 1500.0);
+  const double eff_lte_high =
+      wp::efficiency_uj_per_bit(lte.power_mw(150.0), 150.0);
+  EXPECT_GT(eff_lte_high, 4.0 * eff_mm_high);  // ~5x more efficient
+  EXPECT_LT(eff_lte_high, 7.0 * eff_mm_high);
+}
+
+TEST(Efficiency, LogLogSlopeApproachesMinusOneAtLowRate) {
+  // Sec. 4.3's derivation: log E ~ c3 log T + c4 with slope -> -1 when the
+  // base power dominates.
+  const auto rail =
+      DevicePowerProfile::s20u().rail(RailKey::kNsaMmWave,
+                                      Direction::kDownlink);
+  const double e1 = wp::efficiency_uj_per_bit(rail.power_mw(1.0), 1.0);
+  const double e10 = wp::efficiency_uj_per_bit(rail.power_mw(10.0), 10.0);
+  const double slope = (std::log10(e10) - std::log10(e1)) / 1.0;
+  EXPECT_NEAR(slope, -1.0, 0.05);
+}
+
+TEST(SignalPenalty, ZeroAtGoodSignalCappedAtEdge) {
+  EXPECT_DOUBLE_EQ(wp::signal_penalty(-70.0, -80.0, -110.0), 0.0);
+  EXPECT_DOUBLE_EQ(wp::signal_penalty(-80.0, -80.0, -110.0), 0.0);
+  EXPECT_NEAR(wp::signal_penalty(-95.0, -80.0, -110.0), 0.3, 1e-9);
+  EXPECT_NEAR(wp::signal_penalty(-110.0, -80.0, -110.0), 0.6, 1e-9);
+  EXPECT_NEAR(wp::signal_penalty(-130.0, -80.0, -110.0), 0.6, 1e-9);
+}
+
+TEST(TransferPower, WeakSignalCostsMore) {
+  // Fig. 14: energy per bit rises as NR-SS-RSRP falls.
+  const auto s20u = DevicePowerProfile::s20u();
+  const double good =
+      s20u.transfer_power_mw(RailKey::kNsaMmWave, 500.0, 20.0, -75.0);
+  const double weak =
+      s20u.transfer_power_mw(RailKey::kNsaMmWave, 500.0, 20.0, -105.0);
+  EXPECT_GT(weak, good * 1.2);
+}
+
+TEST(TransferPower, MonotoneInThroughput) {
+  const auto s20u = DevicePowerProfile::s20u();
+  double prev = 0.0;
+  for (double dl = 0.0; dl <= 2000.0; dl += 100.0) {
+    const double p =
+        s20u.transfer_power_mw(RailKey::kNsaMmWave, dl, 0.0, -80.0);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+}
+
+TEST(TransferPower, RejectsNegativeThroughput) {
+  const auto s20u = DevicePowerProfile::s20u();
+  EXPECT_THROW((void)s20u.transfer_power_mw(RailKey::k4g, -1.0, 0.0, -80.0),
+               wild5g::Error);
+}
+
+TEST(Rails, S10LacksLowBand) {
+  const auto s10 = DevicePowerProfile::s10();
+  EXPECT_FALSE(s10.has_rail(RailKey::kNsaLowBand));
+  EXPECT_THROW((void)s10.rail(RailKey::kNsaLowBand, Direction::kDownlink),
+               wild5g::Error);
+  EXPECT_TRUE(s10.has_rail(RailKey::kNsaMmWave));
+}
+
+TEST(Rails, RailKeyMapping) {
+  using wild5g::radio::Band;
+  using wild5g::radio::Carrier;
+  using wild5g::radio::DeploymentMode;
+  EXPECT_EQ(wp::rail_key({Carrier::kVerizon, Band::kLte,
+                          DeploymentMode::kNsa}),
+            RailKey::k4g);
+  EXPECT_EQ(wp::rail_key({Carrier::kVerizon, Band::kNrMmWave,
+                          DeploymentMode::kNsa}),
+            RailKey::kNsaMmWave);
+  EXPECT_EQ(wp::rail_key({Carrier::kTMobile, Band::kNrLowBand,
+                          DeploymentMode::kSa}),
+            RailKey::kSaLowBand);
+  EXPECT_EQ(wp::rail_key({Carrier::kTMobile, Band::kNrLowBand,
+                          DeploymentMode::kNsa}),
+            RailKey::kNsaLowBand);
+}
+
+TEST(Efficiency, RejectsZeroThroughput) {
+  EXPECT_THROW((void)wp::efficiency_uj_per_bit(100.0, 0.0), wild5g::Error);
+}

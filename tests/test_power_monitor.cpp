@@ -1,0 +1,140 @@
+// Tests for the hardware/software power monitors and DTR calibration
+// (Sec. 4.6, Fig. 16, Tables 3 and 9).
+#include "power/monitor.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/stats.h"
+#include "power/waveform.h"
+#include "rrc/state_machine.h"
+
+namespace wp = wild5g::power;
+namespace wr = wild5g::rrc;
+using wild5g::Rng;
+
+namespace {
+
+/// A busy waveform: alternating transfer bursts and tails, 2 minutes.
+wp::PowerTrace busy_waveform(std::uint64_t seed) {
+  const auto profile = wr::profile_by_name("Verizon NSA mmWave");
+  std::vector<wr::ActivityBurst> bursts;
+  for (double t = 2000.0; t < 110000.0; t += 18000.0) {
+    bursts.push_back({t, t + 6000.0, 400.0 + t / 1000.0, 12.0});
+  }
+  wp::WaveformSynthesizer synth(profile, wp::DevicePowerProfile::s20u());
+  Rng rng(seed);
+  return synth.synthesize(wr::build_timeline(profile.config, bursts, 120000.0),
+                          rng);
+}
+
+}  // namespace
+
+TEST(Monsoon, PerSecondAveragesWholeTrace) {
+  const auto waveform = busy_waveform(1);
+  const auto seconds = wp::MonsoonMonitor::per_second_mw(waveform);
+  EXPECT_EQ(seconds.size(), 120u);
+  // The per-second series must integrate to the trace energy.
+  double sum = 0.0;
+  for (double p : seconds) sum += p;
+  EXPECT_NEAR(sum / 1000.0, waveform.energy_j(), 0.01 * waveform.energy_j());
+}
+
+TEST(Software, UnderestimatesTruth) {
+  // Table 9: the software monitor reads ~81-95% of hardware truth.
+  const auto waveform = busy_waveform(2);
+  const auto hw = wp::MonsoonMonitor::per_second_mw(waveform);
+  for (const double rate : {1.0, 10.0}) {
+    Rng rng(3);
+    wp::SoftwareMonitor sw(wp::default_software_monitor(rate));
+    const auto readings = sw.per_second_mw(waveform, rng);
+    const double hw_mean = wild5g::stats::mean(hw);
+    const double sw_mean = wild5g::stats::mean(
+        std::span<const double>(readings.data(),
+                                std::min(readings.size(), hw.size())));
+    const double ratio = sw_mean / hw_mean;
+    EXPECT_GT(ratio, 0.70) << rate;
+    EXPECT_LT(ratio, 1.0) << rate;
+  }
+}
+
+TEST(Software, TenHzBiasSmallerThanOneHz) {
+  const auto config_1 = wp::default_software_monitor(1.0);
+  const auto config_10 = wp::default_software_monitor(10.0);
+  EXPECT_GT(config_10.bias, config_1.bias);
+}
+
+TEST(Software, OverheadGrowsWithRate) {
+  // Table 3: +654 mW @1 Hz, +1111 mW @10 Hz.
+  EXPECT_NEAR(wp::software_monitor_overhead_mw(1.0), 654.2, 1.0);
+  EXPECT_NEAR(wp::software_monitor_overhead_mw(10.0), 1111.4, 1.0);
+  EXPECT_GT(wp::software_monitor_overhead_mw(10.0),
+            wp::software_monitor_overhead_mw(1.0));
+  EXPECT_DOUBLE_EQ(wp::software_monitor_overhead_mw(0.0), 0.0);
+}
+
+TEST(Calibration, RecoversHardwareScale) {
+  const auto waveform = busy_waveform(4);
+  const auto hw = wp::MonsoonMonitor::per_second_mw(waveform);
+  Rng rng(5);
+  wp::SoftwareMonitor sw(wp::default_software_monitor(10.0));
+  auto readings = sw.per_second_mw(waveform, rng);
+  readings.resize(hw.size());
+
+  wp::SoftwareCalibration calibration;
+  calibration.fit(readings, hw);
+
+  // Calibrated readings on a fresh waveform should have small MAPE.
+  const auto waveform2 = busy_waveform(6);
+  const auto hw2 = wp::MonsoonMonitor::per_second_mw(waveform2);
+  Rng rng2(7);
+  auto readings2 = sw.per_second_mw(waveform2, rng2);
+  readings2.resize(hw2.size());
+  const auto calibrated = calibration.calibrate_all(readings2);
+
+  const double mape_raw = wild5g::stats::mape_percent(hw2, readings2);
+  const double mape_cal = wild5g::stats::mape_percent(hw2, calibrated);
+  EXPECT_LT(mape_cal, mape_raw);
+  EXPECT_LT(mape_cal, 12.0);
+}
+
+TEST(Calibration, HigherRateCalibratesBetter) {
+  // Fig. 16: SW-10Hz beats SW-1Hz after calibration (less aliasing).
+  const auto waveform = busy_waveform(8);
+  const auto hw = wp::MonsoonMonitor::per_second_mw(waveform);
+  auto mape_at = [&](double rate, std::uint64_t seed) {
+    Rng rng(seed);
+    wp::SoftwareMonitor sw(wp::default_software_monitor(rate));
+    auto readings = sw.per_second_mw(waveform, rng);
+    readings.resize(hw.size());
+    wp::SoftwareCalibration calibration;
+    calibration.fit(readings, hw);
+    // Evaluate on a second pass over another waveform.
+    const auto waveform2 = busy_waveform(seed + 50);
+    const auto hw2 = wp::MonsoonMonitor::per_second_mw(waveform2);
+    Rng rng2(seed + 1);
+    auto readings2 = sw.per_second_mw(waveform2, rng2);
+    readings2.resize(hw2.size());
+    return wild5g::stats::mape_percent(hw2,
+                                       calibration.calibrate_all(readings2));
+  };
+  // Average over a few seeds for stability.
+  double mape_1 = 0.0;
+  double mape_10 = 0.0;
+  for (std::uint64_t s : {10ull, 20ull, 30ull}) {
+    mape_1 += mape_at(1.0, s);
+    mape_10 += mape_at(10.0, s);
+  }
+  EXPECT_LT(mape_10, mape_1);
+}
+
+TEST(Calibration, RejectsTinyOrMismatchedInput) {
+  wp::SoftwareCalibration calibration;
+  const std::vector<double> five(5, 1.0);
+  EXPECT_THROW(calibration.fit(five, five), wild5g::Error);
+  const std::vector<double> a(30, 1.0);
+  const std::vector<double> b(29, 1.0);
+  EXPECT_THROW(calibration.fit(a, b), wild5g::Error);
+  EXPECT_THROW((void)calibration.calibrate(1.0), wild5g::Error);
+}

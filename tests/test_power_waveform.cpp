@@ -1,0 +1,138 @@
+// Tests for the power-waveform synthesizer (the simulated Monsoon feed).
+#include "power/waveform.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "rrc/state_machine.h"
+
+namespace wp = wild5g::power;
+namespace wr = wild5g::rrc;
+using wild5g::Rng;
+
+namespace {
+
+/// Standard single-burst experiment: idle, one transfer, then full decay
+/// (the Sec. 4.1 methodology for capturing tail power).
+std::vector<wr::StateSegment> single_burst_timeline(
+    const wr::RrcConfig& config, double horizon_ms = 60000.0) {
+  const std::vector<wr::ActivityBurst> bursts = {{2000.0, 6000.0, 300.0, 10.0}};
+  return wr::build_timeline(config, bursts, horizon_ms);
+}
+
+}  // namespace
+
+TEST(Waveform, SampleCountMatchesRateAndHorizon) {
+  const auto profile = wr::profile_by_name("Verizon 4G");
+  wp::WaveformSynthesizer synth(profile, wp::DevicePowerProfile::s20u(),
+                                5000.0);
+  Rng rng(1);
+  const auto trace = synth.synthesize(single_burst_timeline(profile.config),
+                                      rng);
+  EXPECT_EQ(trace.samples_mw.size(), static_cast<std::size_t>(60.0 * 5000.0));
+  EXPECT_NEAR(trace.duration_s(), 60.0, 1e-6);
+}
+
+// Table 2 validation: the measured tail-window average must recover each
+// network's configured tail power.
+class TailPower : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(TailPower, MeasuredTailMatchesTable2) {
+  const auto& profile = wr::table7_profiles()[GetParam()];
+  if (profile.config.network.band == wild5g::radio::Band::kNrLowBand &&
+      !wp::DevicePowerProfile::s20u().has_rail(
+          wp::rail_key(profile.config.network))) {
+    GTEST_SKIP();
+  }
+  wp::WaveformSynthesizer synth(profile, wp::DevicePowerProfile::s20u(),
+                                5000.0);
+  Rng rng(2 + GetParam());
+  const auto trace =
+      synth.synthesize(single_burst_timeline(profile.config), rng);
+  // Tail window: transfer ends at t=6 s, tail runs for the inactivity timer.
+  const double tail_from_s = 6.2;
+  const double tail_to_s =
+      6.0 + profile.config.inactivity_timer_ms / 1000.0 - 0.2;
+  const double measured = trace.average_mw(tail_from_s, tail_to_s);
+  EXPECT_NEAR(measured, profile.power.tail_mw, 0.10 * profile.power.tail_mw)
+      << profile.config.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table7, TailPower,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u));
+
+TEST(Waveform, IdleFloorWellBelowTail) {
+  const auto profile = wr::profile_by_name("Verizon NSA mmWave");
+  wp::WaveformSynthesizer synth(profile, wp::DevicePowerProfile::s20u());
+  Rng rng(3);
+  const auto timeline = single_burst_timeline(profile.config, 120000.0);
+  const auto trace = synth.synthesize(timeline, rng);
+  const double idle = trace.average_mw(60.0, 119.0);  // long after decay
+  EXPECT_LT(idle, profile.power.tail_mw * 0.2);
+  EXPECT_NEAR(idle, profile.power.idle_mw, profile.power.idle_mw * 0.5);
+}
+
+TEST(Waveform, TransferPowerDominates) {
+  const auto profile = wr::profile_by_name("Verizon NSA mmWave");
+  wp::WaveformSynthesizer synth(profile, wp::DevicePowerProfile::s20u());
+  Rng rng(4);
+  const auto trace =
+      synth.synthesize(single_burst_timeline(profile.config), rng);
+  // During the 300 Mbps transfer (t in 4..6 s; promotion eats the head).
+  const double transfer = trace.average_mw(4.5, 5.9);
+  const double expected = wp::DevicePowerProfile::s20u().transfer_power_mw(
+      wp::RailKey::kNsaMmWave, 300.0, 10.0, -80.0);
+  EXPECT_NEAR(transfer, expected, 0.08 * expected);
+}
+
+TEST(Waveform, NsaPromotionShowsSwitchPower) {
+  // Table 2: the 4G->5G switch burns ~1.5 W on Verizon mmWave.
+  const auto profile = wr::profile_by_name("Verizon NSA mmWave");
+  wp::WaveformSynthesizer synth(profile, wp::DevicePowerProfile::s20u());
+  Rng rng(5);
+  const auto trace =
+      synth.synthesize(single_burst_timeline(profile.config), rng);
+  // Promotion occupies [2.0, 2.0 + 1.907] s.
+  const double promo = trace.average_mw(2.05, 3.8);
+  EXPECT_NEAR(promo, profile.power.switch_mw, 0.10 * profile.power.switch_mw);
+}
+
+TEST(Waveform, EnergyIntegratesAveragePower) {
+  const auto profile = wr::profile_by_name("T-Mobile 4G");
+  wp::WaveformSynthesizer synth(profile, wp::DevicePowerProfile::s20u());
+  Rng rng(6);
+  const auto trace =
+      synth.synthesize(single_burst_timeline(profile.config), rng);
+  EXPECT_NEAR(trace.energy_j(),
+              trace.average_mw() / 1000.0 * trace.duration_s(), 1e-6);
+}
+
+TEST(Waveform, RsrpTrajectoryRaisesTransferPower) {
+  const auto profile = wr::profile_by_name("Verizon NSA mmWave");
+  wp::WaveformSynthesizer synth(profile, wp::DevicePowerProfile::s20u());
+  Rng rng_a(7);
+  Rng rng_b(7);
+  const auto timeline = single_burst_timeline(profile.config, 10000.0);
+  const auto good = synth.synthesize(timeline, rng_a,
+                                     [](double) { return -75.0; });
+  const auto weak = synth.synthesize(timeline, rng_b,
+                                     [](double) { return -107.0; });
+  EXPECT_GT(weak.average_mw(4.5, 5.9), good.average_mw(4.5, 5.9) * 1.15);
+}
+
+TEST(Waveform, EmptyTimelineRejected) {
+  const auto profile = wr::profile_by_name("Verizon 4G");
+  wp::WaveformSynthesizer synth(profile, wp::DevicePowerProfile::s20u());
+  Rng rng(8);
+  EXPECT_THROW((void)synth.synthesize({}, rng), wild5g::Error);
+}
+
+TEST(Waveform, AverageWindowValidation) {
+  wp::PowerTrace trace;
+  trace.sample_rate_hz = 10.0;
+  trace.samples_mw.assign(100, 50.0);
+  EXPECT_NEAR(trace.average_mw(1.0, 5.0), 50.0, 1e-9);
+  EXPECT_THROW((void)trace.average_mw(5.0, 5.0), wild5g::Error);
+  EXPECT_THROW((void)trace.average_mw(20.0, 30.0), wild5g::Error);
+}

@@ -1,0 +1,224 @@
+// Cross-module property tests: invariants swept over parameter grids and
+// seeds rather than spot-checked.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "abr/algorithms.h"
+#include "abr/video.h"
+#include "core/rng.h"
+#include "power/power_model.h"
+#include "radio/channel.h"
+#include "radio/ue.h"
+#include "rrc/probe.h"
+#include "traces/traces.h"
+
+using wild5g::Rng;
+
+// ---------------------------------------------------------------------------
+// Power rails: P(T) strictly increasing and positive over every measured
+// (device, network, direction) rail.
+// ---------------------------------------------------------------------------
+
+using RailCase = std::tuple<int /*device*/, wild5g::power::RailKey,
+                            wild5g::radio::Direction>;
+
+class RailGrid : public ::testing::TestWithParam<RailCase> {};
+
+TEST_P(RailGrid, PowerStrictlyIncreasingAndPositive) {
+  const auto [device_index, key, direction] = GetParam();
+  const auto device = device_index == 0
+                          ? wild5g::power::DevicePowerProfile::s20u()
+                          : wild5g::power::DevicePowerProfile::s10();
+  if (!device.has_rail(key)) GTEST_SKIP();
+  const auto& rail = device.rail(key, direction);
+  double prev = 0.0;
+  for (double t = 0.0; t <= 500.0; t += 25.0) {
+    const double p = rail.power_mw(t);
+    EXPECT_GT(p, prev);
+    prev = p;
+  }
+  EXPECT_GT(rail.power_mw(0.0), 100.0);  // radios are never free
+}
+
+TEST_P(RailGrid, EfficiencyStrictlyImprovingWithRate) {
+  const auto [device_index, key, direction] = GetParam();
+  const auto device = device_index == 0
+                          ? wild5g::power::DevicePowerProfile::s20u()
+                          : wild5g::power::DevicePowerProfile::s10();
+  if (!device.has_rail(key)) GTEST_SKIP();
+  const auto& rail = device.rail(key, direction);
+  double prev = 1e18;
+  for (double t = 1.0; t <= 512.0; t *= 2.0) {
+    const double e =
+        wild5g::power::efficiency_uj_per_bit(rail.power_mw(t), t);
+    EXPECT_LT(e, prev);  // linear rails: energy/bit falls monotonically
+    prev = e;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllRails, RailGrid,
+    ::testing::Combine(
+        ::testing::Values(0, 1),
+        ::testing::Values(wild5g::power::RailKey::k4g,
+                          wild5g::power::RailKey::kNsaLowBand,
+                          wild5g::power::RailKey::kNsaMmWave,
+                          wild5g::power::RailKey::kSaLowBand),
+        ::testing::Values(wild5g::radio::Direction::kDownlink,
+                          wild5g::radio::Direction::kUplink)));
+
+// ---------------------------------------------------------------------------
+// Link capacity: monotone non-decreasing in RSRP for every network config
+// and UE.
+// ---------------------------------------------------------------------------
+
+using CapacityCase = std::tuple<wild5g::radio::Band,
+                                wild5g::radio::DeploymentMode, int /*ue*/>;
+
+class CapacityGrid : public ::testing::TestWithParam<CapacityCase> {};
+
+TEST_P(CapacityGrid, MonotoneInSignal) {
+  const auto [band, mode, ue_index] = GetParam();
+  const wild5g::radio::NetworkConfig network{
+      wild5g::radio::Carrier::kVerizon, band, mode};
+  const auto ue = ue_index == 0   ? wild5g::radio::galaxy_s20u()
+                  : ue_index == 1 ? wild5g::radio::pixel5()
+                                  : wild5g::radio::galaxy_s10();
+  for (const auto direction : {wild5g::radio::Direction::kDownlink,
+                               wild5g::radio::Direction::kUplink}) {
+    double prev = -1.0;
+    for (double rsrp = -130.0; rsrp <= -60.0; rsrp += 5.0) {
+      const double cap =
+          wild5g::radio::link_capacity_mbps(network, ue, direction, rsrp);
+      EXPECT_GE(cap, prev - 1e-9) << wild5g::radio::to_string(network);
+      EXPECT_GE(cap, 0.0);
+      prev = cap;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllNetworks, CapacityGrid,
+    ::testing::Combine(
+        ::testing::Values(wild5g::radio::Band::kLte,
+                          wild5g::radio::Band::kNrLowBand,
+                          wild5g::radio::Band::kNrMidBand,
+                          wild5g::radio::Band::kNrMmWave),
+        ::testing::Values(wild5g::radio::DeploymentMode::kNsa,
+                          wild5g::radio::DeploymentMode::kSa),
+        ::testing::Values(0, 1, 2)));
+
+// ---------------------------------------------------------------------------
+// Streaming engine: conservation invariants across random traces and
+// algorithms. Every chunk's wall time decomposes into startup + stall +
+// playback-backed download; per-second consumption equals delivered bits
+// plus abandoned partials.
+// ---------------------------------------------------------------------------
+
+class SessionInvariants : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SessionInvariants, AccountingHoldsOnRandomTraces) {
+  Rng rng(GetParam());
+  auto config = wild5g::traces::lumos5g_mmwave_config();
+  config.count = 1;
+  config.duration_s = 400.0;
+  const auto traces = wild5g::traces::generate_traces(config, rng);
+  const auto video = wild5g::abr::video_ladder_5g();
+
+  wild5g::abr::SessionOptions options;
+  options.chunk_count = 30;
+  options.allow_abandonment = (GetParam() % 2) == 0;
+
+  wild5g::abr::HarmonicMeanPredictor predictor;
+  wild5g::abr::ModelPredictiveAbr mpc(
+      wild5g::abr::ModelPredictiveAbr::Variant::kRobust, predictor);
+  wild5g::abr::TraceSource source(traces[0]);
+  const auto result = wild5g::abr::stream(video, source, mpc, options);
+
+  // (1) All chunks delivered, tracks valid.
+  ASSERT_EQ(result.chunks.size(), 30u);
+  for (const auto& chunk : result.chunks) {
+    EXPECT_GE(chunk.track, 0);
+    EXPECT_LT(chunk.track, video.track_count());
+    EXPECT_GT(chunk.download_s, 0.0);
+    EXPECT_GE(chunk.stall_s, 0.0);
+    EXPECT_GE(chunk.buffer_after_s, 0.0);
+    EXPECT_LE(chunk.buffer_after_s, options.max_buffer_s + 1e-9);
+  }
+  // (2) Stall total equals the per-chunk sum.
+  double stall_sum = 0.0;
+  for (const auto& chunk : result.chunks) stall_sum += chunk.stall_s;
+  EXPECT_NEAR(stall_sum, result.total_stall_s, 1e-9);
+  // (3) Consumption >= delivered bits (equality without abandonment).
+  double consumed = 0.0;
+  for (double mbits : result.per_second_dl_mbps) consumed += mbits;
+  double delivered = 0.0;
+  for (const auto& chunk : result.chunks) {
+    delivered += chunk.bitrate_mbps * video.chunk_s;
+  }
+  if (options.allow_abandonment) {
+    EXPECT_GE(consumed, delivered - 1e-6);
+  } else {
+    EXPECT_NEAR(consumed, delivered, 1e-6);
+  }
+  // (4) QoE identity.
+  double bitrate_sum = 0.0;
+  double smooth = 0.0;
+  for (std::size_t i = 0; i < result.chunks.size(); ++i) {
+    bitrate_sum += result.chunks[i].bitrate_mbps;
+    if (i > 0) {
+      smooth += std::abs(result.chunks[i].bitrate_mbps -
+                         result.chunks[i - 1].bitrate_mbps);
+    }
+  }
+  EXPECT_NEAR(result.qoe,
+              bitrate_sum - video.top_mbps() * result.total_stall_s - smooth,
+              1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SessionInvariants,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+// ---------------------------------------------------------------------------
+// RRC probe inference: stable across measurement seeds (the tool must not
+// be a lucky-seed artifact).
+// ---------------------------------------------------------------------------
+
+class InferenceSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(InferenceSeeds, TailTimerStableAcrossSeeds) {
+  const auto& config =
+      wild5g::rrc::profile_by_name("Verizon NSA mmWave").config;
+  const auto schedule = wild5g::rrc::schedule_for(config);
+  Rng rng(GetParam());
+  const auto inferred = wild5g::rrc::infer_rrc_parameters(
+      wild5g::rrc::run_probe(config, schedule, rng));
+  EXPECT_NEAR(inferred.tail_timer_ms, config.inactivity_timer_ms,
+              3.0 * schedule.step_ms);
+  EXPECT_FALSE(inferred.mid_plateau_end_ms.has_value());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InferenceSeeds,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+// ---------------------------------------------------------------------------
+// Trace generator: population anchors hold across seeds.
+// ---------------------------------------------------------------------------
+
+class TraceSeeds : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(TraceSeeds, MedianAnchorAndNonNegativity) {
+  Rng rng(GetParam());
+  auto config = wild5g::traces::lumos5g_mmwave_config();
+  config.count = 40;
+  const auto traces = wild5g::traces::generate_traces(config, rng);
+  EXPECT_NEAR(wild5g::traces::population_median_mbps(traces), 160.0, 3.0);
+  for (const auto& trace : traces) {
+    for (double v : trace.mbps) EXPECT_GE(v, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TraceSeeds,
+                         ::testing::Values(3, 14, 159, 2653));

@@ -1,0 +1,206 @@
+// Tests for the radio channel model: path loss, RSRP, link capacity, and
+// the stochastic channel process.
+#include "radio/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "radio/ue.h"
+
+namespace wr = wild5g::radio;
+using wr::Band;
+using wr::Carrier;
+using wr::DeploymentMode;
+using wr::Direction;
+using wr::NetworkConfig;
+
+namespace {
+const NetworkConfig kVzMmWave{Carrier::kVerizon, Band::kNrMmWave,
+                              DeploymentMode::kNsa};
+const NetworkConfig kVzLte{Carrier::kVerizon, Band::kLte,
+                           DeploymentMode::kNsa};
+const NetworkConfig kTmNsaLb{Carrier::kTMobile, Band::kNrLowBand,
+                             DeploymentMode::kNsa};
+const NetworkConfig kTmSaLb{Carrier::kTMobile, Band::kNrLowBand,
+                            DeploymentMode::kSa};
+}  // namespace
+
+// Property: path loss is monotonically increasing in distance on all bands.
+class PathLossMonotone : public ::testing::TestWithParam<Band> {};
+
+TEST_P(PathLossMonotone, IncreasesWithDistance) {
+  const Band band = GetParam();
+  double prev = wr::path_loss_db(band, 1.0);
+  for (double d = 10.0; d <= 10000.0; d *= 1.7) {
+    const double pl = wr::path_loss_db(band, d);
+    EXPECT_GT(pl, prev);
+    prev = pl;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllBands, PathLossMonotone,
+                         ::testing::Values(Band::kLte, Band::kNrLowBand,
+                                           Band::kNrMidBand,
+                                           Band::kNrMmWave));
+
+TEST(Channel, MmWavePathLossHarsherThanLowBand) {
+  // At equal distance, 28 GHz loses far more than 600 MHz.
+  EXPECT_GT(wr::path_loss_db(Band::kNrMmWave, 500.0),
+            wr::path_loss_db(Band::kNrLowBand, 500.0) + 10.0);
+}
+
+TEST(Channel, RsrpClampedToReportableRange) {
+  EXPECT_LE(wr::rsrp_dbm(Band::kNrMmWave, 1.0), -60.0);
+  EXPECT_GE(wr::rsrp_dbm(Band::kNrMmWave, 1e9, 80.0), -140.0);
+}
+
+TEST(Channel, MmWaveRsrpRealisticAtTypicalRange) {
+  // Stationary LoS at ~100-200 m should land in the Fig. 13 range.
+  const double rsrp_100 = wr::rsrp_dbm(Band::kNrMmWave, 100.0);
+  const double rsrp_200 = wr::rsrp_dbm(Band::kNrMmWave, 200.0);
+  EXPECT_GT(rsrp_100, -85.0);
+  EXPECT_LT(rsrp_100, -65.0);
+  EXPECT_LT(rsrp_200, rsrp_100);
+}
+
+TEST(Channel, BlockageDropsRsrpDeep) {
+  const double clear = wr::rsrp_dbm(Band::kNrMmWave, 120.0);
+  const double blocked = wr::rsrp_dbm(Band::kNrMmWave, 120.0, 25.0);
+  EXPECT_NEAR(clear - blocked, 25.0, 1e-9);
+}
+
+TEST(Capacity, S20UMmWaveDownlinkNearPaperPeak) {
+  // Sec. 3.2: S20U exceeds 3 Gbps over mmWave with 8CC.
+  const double cap = wr::link_capacity_mbps(kVzMmWave, wr::galaxy_s20u(),
+                                            Direction::kDownlink, -76.0);
+  EXPECT_GT(cap, 3000.0);
+  EXPECT_LT(cap, 3600.0);
+}
+
+TEST(Capacity, Pixel5AndS10Around2Gbps) {
+  // Appendix A.1: 4CC devices peak around 2-2.2 Gbps.
+  const double px5 = wr::link_capacity_mbps(kVzMmWave, wr::pixel5(),
+                                            Direction::kDownlink, -76.0);
+  const double s10 = wr::link_capacity_mbps(kVzMmWave, wr::galaxy_s10(),
+                                            Direction::kDownlink, -76.0);
+  EXPECT_GT(px5, 1700.0);
+  EXPECT_LT(px5, 2300.0);
+  EXPECT_GT(s10, 1700.0);
+  EXPECT_LT(s10, 2100.0);
+}
+
+TEST(Capacity, S20UMmWaveUplinkNear220) {
+  // Sec. 3.2: uplink ~220 Mbps.
+  const double cap = wr::link_capacity_mbps(kVzMmWave, wr::galaxy_s20u(),
+                                            Direction::kUplink, -76.0);
+  EXPECT_GT(cap, 190.0);
+  EXPECT_LT(cap, 245.0);
+}
+
+TEST(Capacity, NsaLowBandAroundPaperRange) {
+  const double dl = wr::link_capacity_mbps(kTmNsaLb, wr::galaxy_s20u(),
+                                           Direction::kDownlink, -82.0);
+  const double ul = wr::link_capacity_mbps(kTmNsaLb, wr::galaxy_s20u(),
+                                           Direction::kUplink, -82.0);
+  EXPECT_GT(dl, 140.0);  // Fig. 6 multi-conn reaches ~150-200
+  EXPECT_LT(dl, 230.0);
+  EXPECT_GT(ul, 70.0);   // Fig. 7 reaches ~100
+  EXPECT_LT(ul, 120.0);
+}
+
+TEST(Capacity, SaRoughlyHalfOfNsaLowBand) {
+  // Sec. 3.2: SA achieves about half the NSA low-band performance.
+  for (const auto direction : {Direction::kDownlink, Direction::kUplink}) {
+    const double nsa = wr::link_capacity_mbps(kTmNsaLb, wr::galaxy_s20u(),
+                                              direction, -82.0);
+    const double sa = wr::link_capacity_mbps(kTmSaLb, wr::galaxy_s20u(),
+                                             direction, -82.0);
+    EXPECT_GT(sa, 0.30 * nsa);
+    EXPECT_LT(sa, 0.65 * nsa);
+  }
+}
+
+TEST(Capacity, DegradesWithWeakSignal) {
+  const auto ue = wr::galaxy_s20u();
+  double prev = 1e18;
+  for (double rsrp = -70.0; rsrp >= -115.0; rsrp -= 5.0) {
+    const double cap =
+        wr::link_capacity_mbps(kVzMmWave, ue, Direction::kDownlink, rsrp);
+    EXPECT_LE(cap, prev);
+    prev = cap;
+  }
+  // Deep blockage must collapse capacity by an order of magnitude.
+  const double good =
+      wr::link_capacity_mbps(kVzMmWave, ue, Direction::kDownlink, -76.0);
+  const double blocked =
+      wr::link_capacity_mbps(kVzMmWave, ue, Direction::kDownlink, -108.0);
+  EXPECT_LT(blocked, good * 0.2);
+}
+
+TEST(Capacity, NeverExceedsUeCeiling) {
+  const auto ue = wr::pixel5();
+  const double cap =
+      wr::link_capacity_mbps(kVzMmWave, ue, Direction::kDownlink, -60.0);
+  EXPECT_LE(cap, ue.max_dl_mbps);
+}
+
+TEST(Latency, BandOrderingMatchesFig2) {
+  // mmWave < low-band (+6-8 ms) < LTE (further +6-15 ms).
+  const double mm = wr::access_latency_ms(kVzMmWave);
+  const double lb = wr::access_latency_ms(kTmNsaLb);
+  const double lte = wr::access_latency_ms(kVzLte);
+  EXPECT_LT(mm, lb);
+  EXPECT_LT(lb, lte);
+  EXPECT_NEAR(lb - mm, 7.0, 2.0);
+  EXPECT_NEAR(lte - lb, 6.6, 4.0);
+}
+
+TEST(ChannelProcess, DeterministicInSeed) {
+  const auto config = wr::default_channel_process(Band::kNrMmWave);
+  wr::ChannelProcess a(config, wild5g::Rng(5));
+  wr::ChannelProcess b(config, wild5g::Rng(5));
+  for (int i = 0; i < 200; ++i) {
+    EXPECT_DOUBLE_EQ(a.step(0.1).rsrp_dbm, b.step(0.1).rsrp_dbm);
+  }
+}
+
+TEST(ChannelProcess, MmWaveSeesBlockages) {
+  auto config = wr::default_channel_process(Band::kNrMmWave);
+  wr::ChannelProcess process(config, wild5g::Rng(6));
+  int blocked = 0;
+  const int steps = 6000;  // 10 minutes at 10 Hz
+  for (int i = 0; i < steps; ++i) {
+    if (process.step(0.1).blocked) ++blocked;
+  }
+  EXPECT_GT(blocked, steps / 100);  // obstructed a nontrivial share
+  EXPECT_LT(blocked, steps / 2);
+}
+
+TEST(ChannelProcess, LowBandHasNoBlockage) {
+  auto config = wr::default_channel_process(Band::kNrLowBand);
+  wr::ChannelProcess process(config, wild5g::Rng(7));
+  for (int i = 0; i < 2000; ++i) {
+    EXPECT_FALSE(process.step(0.1).blocked);
+  }
+}
+
+TEST(ChannelProcess, RsrpStaysInReportedRange) {
+  for (const Band band : {Band::kNrMmWave, Band::kNrLowBand, Band::kLte}) {
+    wr::ChannelProcess process(wr::default_channel_process(band),
+                               wild5g::Rng(8));
+    for (int i = 0; i < 3000; ++i) {
+      const auto s = process.step(0.1);
+      EXPECT_LE(s.rsrp_dbm, -60.0);
+      EXPECT_GE(s.rsrp_dbm, -140.0);
+    }
+  }
+}
+
+TEST(Types, ToStringRoundtripSanity) {
+  EXPECT_EQ(wr::to_string(kVzMmWave), "Verizon NSA 5G (mmWave)");
+  EXPECT_EQ(wr::to_string(kTmSaLb), "T-Mobile SA 5G (low-band)");
+  EXPECT_EQ(wr::to_string(kVzLte), "Verizon 4G");
+}

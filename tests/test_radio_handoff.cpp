@@ -1,0 +1,108 @@
+// Tests for the A3-event handoff engine.
+#include "radio/handoff.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace wr = wild5g::radio;
+using wild5g::Rng;
+
+namespace {
+
+std::vector<wr::CellSite> line_of_cells(int count, double spacing_m,
+                                        wr::Band band) {
+  std::vector<wr::CellSite> cells;
+  for (int i = 0; i < count; ++i) {
+    cells.push_back({i, spacing_m * static_cast<double>(i), band});
+  }
+  return cells;
+}
+
+/// Walks the UE from 0 to `end_m` at `speed` and returns the engine.
+wr::A3HandoffEngine walk(wr::A3HandoffEngine engine, double end_m,
+                         double speed_mps) {
+  double pos = 0.0;
+  while (pos < end_m) {
+    pos += speed_mps * 0.1;
+    engine.step(0.1, pos);
+  }
+  return engine;
+}
+
+}  // namespace
+
+TEST(A3, StationaryUeNearCellCenterNeverHandsOff) {
+  wr::HandoffConfig config;
+  config.shadowing_sigma_db = 2.0;
+  wr::A3HandoffEngine engine(line_of_cells(5, 1000.0, wr::Band::kLte),
+                             config, Rng(1));
+  for (int i = 0; i < 600; ++i) {
+    engine.step(0.1, 0.0);  // parked at cell 0's site
+  }
+  EXPECT_EQ(engine.handoff_count(), 0);
+  EXPECT_EQ(engine.serving_cell(), 0);
+}
+
+TEST(A3, DriveThroughCellsHandsOffAboutOncePerCell) {
+  wr::HandoffConfig config;
+  wr::A3HandoffEngine engine(line_of_cells(10, 800.0, wr::Band::kLte),
+                             config, Rng(2));
+  const auto done = walk(std::move(engine), 7600.0, 15.0);
+  // 9 boundaries; shadowing can add or suppress a couple.
+  EXPECT_GE(done.handoff_count(), 6);
+  EXPECT_LE(done.handoff_count(), 16);
+  EXPECT_GE(done.serving_cell(), 8);
+}
+
+TEST(A3, HigherHysteresisFewerHandoffs) {
+  auto run = [](double hysteresis_db) {
+    wr::HandoffConfig config;
+    config.hysteresis_db = hysteresis_db;
+    wr::A3HandoffEngine engine(line_of_cells(12, 600.0, wr::Band::kLte),
+                               config, Rng(3));
+    return walk(std::move(engine), 6600.0, 14.0).handoff_count();
+  };
+  EXPECT_GE(run(0.0), run(6.0));
+}
+
+TEST(A3, LongerTttSuppressesPingPong) {
+  auto pingpongs = [](double ttt_ms) {
+    wr::HandoffConfig config;
+    config.hysteresis_db = 0.5;
+    config.time_to_trigger_ms = ttt_ms;
+    config.shadowing_sigma_db = 6.0;
+    int total = 0;
+    for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+      wr::A3HandoffEngine engine(line_of_cells(12, 600.0, wr::Band::kLte),
+                                 config, Rng(seed));
+      total += walk(std::move(engine), 6600.0, 14.0).pingpong_count();
+    }
+    return total;
+  };
+  EXPECT_GE(pingpongs(0.0), pingpongs(640.0));
+}
+
+TEST(A3, MmWaveCellsHandOffMuchMoreOften) {
+  // Tiny mmWave footprints vs big low-band cells: same route, same engine.
+  auto run = [](wr::Band band, double spacing) {
+    wr::HandoffConfig config;
+    wr::A3HandoffEngine engine(
+        line_of_cells(static_cast<int>(6000.0 / spacing) + 2, spacing, band),
+        config, Rng(4));
+    return walk(std::move(engine), 6000.0, 14.0).handoff_count();
+  };
+  EXPECT_GT(run(wr::Band::kNrMmWave, 200.0),
+            2 * run(wr::Band::kNrLowBand, 2500.0));
+}
+
+TEST(A3, RejectsEmptyCellList) {
+  EXPECT_THROW(wr::A3HandoffEngine({}, {}, Rng(5)), wild5g::Error);
+}
+
+TEST(A3, StepRequiresPositiveDt) {
+  wr::A3HandoffEngine engine(line_of_cells(2, 500.0, wr::Band::kLte), {},
+                             Rng(6));
+  EXPECT_THROW((void)engine.step(0.0, 0.0), wild5g::Error);
+}

@@ -1,0 +1,121 @@
+// Tests for the event-driven RRC machine, cross-validated against the
+// closed-form model.
+#include "rrc/live_machine.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "rrc/state_machine.h"
+#include "sim/simulator.h"
+
+namespace wr = wild5g::rrc;
+using wild5g::Rng;
+using wild5g::sim::Simulator;
+
+// Cross-validation: after any idle gap, the live machine's state equals the
+// closed-form state_after_gap, for every Table-7 profile.
+class LiveVsAnalytic : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LiveVsAnalytic, StateAgreesAfterAnyGap) {
+  const auto& config = wr::table7_profiles()[GetParam()].config;
+  Simulator sim;
+  wr::LiveRrcMachine machine(config, sim);
+  Rng rng(1);
+  (void)machine.on_packet(rng);  // activity at t=0
+
+  const double horizon =
+      config.anchor_tail_ms.value_or(config.inactivity_timer_ms) +
+      config.inactive_hold_ms.value_or(0.0) + 10000.0;
+  for (double gap = 500.0; gap <= horizon; gap += 497.0) {
+    Simulator fresh_sim;
+    wr::LiveRrcMachine fresh(config, fresh_sim);
+    Rng fresh_rng(2);
+    (void)fresh.on_packet(fresh_rng);
+    fresh_sim.run_until(gap);
+    EXPECT_EQ(fresh.state(), wr::state_after_gap(config, gap))
+        << config.name << " at gap " << gap;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Table7, LiveVsAnalytic,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u));
+
+TEST(LiveMachine, TransitionsLoggedInOrder) {
+  const auto& config = wr::profile_by_name("T-Mobile SA low-band").config;
+  Simulator sim;
+  wr::LiveRrcMachine machine(config, sim);
+  Rng rng(3);
+  (void)machine.on_packet(rng);
+  sim.run_until(60000.0);
+
+  const auto& transitions = machine.transitions();
+  // IDLE->CONNECTED (packet), CONNECTED->INACTIVE (tail),
+  // INACTIVE->IDLE (hold).
+  ASSERT_EQ(transitions.size(), 3u);
+  EXPECT_EQ(transitions[0].to, wr::RrcState::kConnected);
+  EXPECT_EQ(transitions[1].to, wr::RrcState::kInactive);
+  EXPECT_NEAR(transitions[1].at_ms, config.inactivity_timer_ms, 1e-6);
+  EXPECT_EQ(transitions[2].to, wr::RrcState::kIdle);
+  EXPECT_NEAR(transitions[2].at_ms,
+              config.inactivity_timer_ms + *config.inactive_hold_ms, 1e-6);
+}
+
+TEST(LiveMachine, ActivityRestartsTail) {
+  const auto& config = wr::profile_by_name("Verizon 4G").config;
+  Simulator sim;
+  wr::LiveRrcMachine machine(config, sim);
+  Rng rng(4);
+  (void)machine.on_packet(rng);
+  sim.run_until(8000.0);
+  (void)machine.on_packet(rng);  // inside the tail: timer restarts
+  sim.run_until(8000.0 + config.inactivity_timer_ms - 100.0);
+  EXPECT_EQ(machine.state(), wr::RrcState::kConnected);
+  sim.run_until(8000.0 + config.inactivity_timer_ms + 100.0);
+  EXPECT_EQ(machine.state(), wr::RrcState::kIdle);
+}
+
+TEST(LiveMachine, IdlePacketPaysPromotion) {
+  const auto& config = wr::profile_by_name("Verizon NSA mmWave").config;
+  Simulator sim;
+  wr::LiveRrcMachine machine(config, sim);
+  Rng rng(5);
+  // First packet finds the UE in IDLE: RTT must include the 5G promotion.
+  const double rtt = machine.on_packet(rng);
+  EXPECT_GE(rtt, *config.promotion_5g_ms);
+  EXPECT_EQ(machine.state(), wr::RrcState::kConnected);
+}
+
+TEST(ProbeDes, MatchesAnalyticProbeInference) {
+  // The DES probe and the analytic probe must lead the (blind) inference to
+  // the same timers.
+  for (const std::size_t index : {0u, 2u, 4u}) {
+    const auto& config = wr::table7_profiles()[index].config;
+    const auto schedule = wr::schedule_for(config);
+    Rng rng_a(6);
+    Rng rng_b(6);
+    const auto analytic =
+        wr::infer_rrc_parameters(wr::run_probe(config, schedule, rng_a));
+    const auto des = wr::infer_rrc_parameters(
+        wr::run_probe_des(config, schedule, rng_b));
+    EXPECT_NEAR(analytic.tail_timer_ms, des.tail_timer_ms,
+                2.0 * schedule.step_ms)
+        << config.name;
+    EXPECT_NEAR(analytic.promotion_estimate_ms, des.promotion_estimate_ms,
+                0.2 * std::max(100.0, analytic.promotion_estimate_ms))
+        << config.name;
+  }
+}
+
+TEST(ProbeDes, GroundTruthStatesMatchAnalytic) {
+  const auto& config = wr::profile_by_name("T-Mobile NSA low-band").config;
+  wr::ProbeSchedule schedule;
+  schedule.repeats = 3;
+  schedule.max_gap_ms = 20000.0;
+  Rng rng(7);
+  const auto samples = wr::run_probe_des(config, schedule, rng);
+  for (const auto& sample : samples) {
+    EXPECT_EQ(sample.true_state,
+              wr::state_after_gap(config, sample.gap_ms))
+        << "gap " << sample.gap_ms;
+  }
+}

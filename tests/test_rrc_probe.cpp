@@ -1,0 +1,117 @@
+// Tests for RRC-Probe: the ladder runner and the timer-inference algorithm.
+#include "rrc/probe.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace wr = wild5g::rrc;
+using wild5g::Rng;
+
+TEST(Probe, LadderShapeAndGroundTruthStates) {
+  const auto& config = wr::profile_by_name("Verizon 4G").config;
+  wr::ProbeSchedule schedule;
+  schedule.repeats = 3;
+  Rng rng(1);
+  const auto samples = wr::run_probe(config, schedule, rng);
+  // 200..16000 in 200 ms steps = 80 gaps x 3 repeats.
+  EXPECT_EQ(samples.size(), 80u * 3u);
+  for (const auto& s : samples) {
+    EXPECT_GT(s.rtt_ms, 0.0);
+    EXPECT_EQ(s.true_state, wr::state_after_gap(config, s.gap_ms));
+  }
+}
+
+TEST(Probe, ScheduleForExtendsPastLastBoundary) {
+  const auto& dss = wr::profile_by_name("Verizon NSA low-band (DSS)").config;
+  const auto schedule = wr::schedule_for(dss);
+  EXPECT_GT(schedule.max_gap_ms, 18800.0);  // paper probes DSS to ~40 s
+  const auto& sa = wr::profile_by_name("T-Mobile SA low-band").config;
+  EXPECT_GT(wr::schedule_for(sa).max_gap_ms, 15400.0);
+}
+
+TEST(Probe, InferenceRejectsDegenerateInput) {
+  EXPECT_THROW((void)wr::infer_rrc_parameters({}), wild5g::Error);
+}
+
+// The core validation: inference recovers the configured tail timer for
+// every network in Table 7, blind to the generating config.
+class InferAllProfiles : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(InferAllProfiles, TailTimerRecovered) {
+  const auto& config = wr::table7_profiles()[GetParam()].config;
+  const auto schedule = wr::schedule_for(config);
+  Rng rng(42 + GetParam());
+  const auto samples = wr::run_probe(config, schedule, rng);
+  const auto inferred = wr::infer_rrc_parameters(samples);
+  // Within three ladder steps of the configured timer.
+  EXPECT_NEAR(inferred.tail_timer_ms, config.inactivity_timer_ms,
+              3.0 * schedule.step_ms)
+      << config.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table7, InferAllProfiles,
+                         ::testing::Values(0u, 1u, 2u, 3u, 4u, 5u));
+
+TEST(Probe, SaInactivePlateauDetected) {
+  const auto& config = wr::profile_by_name("T-Mobile SA low-band").config;
+  Rng rng(7);
+  const auto samples = wr::run_probe(config, wr::schedule_for(config), rng);
+  const auto inferred = wr::infer_rrc_parameters(samples);
+  ASSERT_TRUE(inferred.mid_plateau_end_ms.has_value());
+  // INACTIVE ends at tail + hold = 15.4 s.
+  EXPECT_NEAR(*inferred.mid_plateau_end_ms,
+              config.inactivity_timer_ms + *config.inactive_hold_ms, 800.0);
+  // Mid level sits between connected and idle levels.
+  ASSERT_TRUE(inferred.mid_level_rtt_ms.has_value());
+  EXPECT_GT(*inferred.mid_level_rtt_ms, inferred.connected_level_rtt_ms);
+  EXPECT_LT(*inferred.mid_level_rtt_ms, inferred.idle_level_rtt_ms);
+}
+
+TEST(Probe, NoMidPlateauOn4g) {
+  const auto& config = wr::profile_by_name("T-Mobile 4G").config;
+  Rng rng(8);
+  const auto samples = wr::run_probe(config, wr::schedule_for(config), rng);
+  const auto inferred = wr::infer_rrc_parameters(samples);
+  EXPECT_FALSE(inferred.mid_plateau_end_ms.has_value());
+}
+
+TEST(Probe, PromotionEstimateTracksConfig) {
+  const auto& config = wr::profile_by_name("Verizon NSA mmWave").config;
+  Rng rng(9);
+  const auto samples = wr::run_probe(config, wr::schedule_for(config), rng);
+  const auto inferred = wr::infer_rrc_parameters(samples);
+  EXPECT_NEAR(inferred.promotion_estimate_ms, *config.promotion_5g_ms,
+              0.25 * *config.promotion_5g_ms);
+}
+
+TEST(Probe, DrxEstimatesScaleWithConfig) {
+  // SA low-band has a tiny 40 ms long-DRX; Verizon NSA low-band has 400 ms.
+  Rng rng(10);
+  const auto& sa = wr::profile_by_name("T-Mobile SA low-band").config;
+  const auto& dss = wr::profile_by_name("Verizon NSA low-band (DSS)").config;
+  const auto inferred_sa = wr::infer_rrc_parameters(
+      wr::run_probe(sa, wr::schedule_for(sa), rng));
+  const auto inferred_dss = wr::infer_rrc_parameters(
+      wr::run_probe(dss, wr::schedule_for(dss), rng));
+  EXPECT_LT(inferred_sa.long_drx_estimate_ms,
+            inferred_dss.long_drx_estimate_ms);
+  EXPECT_NEAR(inferred_dss.long_drx_estimate_ms, dss.long_drx_cycle_ms,
+              0.45 * dss.long_drx_cycle_ms);
+  // Idle paging cycles ~1.1-1.3 s on all networks.
+  EXPECT_NEAR(inferred_dss.idle_drx_estimate_ms, dss.idle_drx_cycle_ms,
+              0.45 * dss.idle_drx_cycle_ms);
+}
+
+TEST(Probe, InferenceDeterministicInSeed) {
+  const auto& config = wr::profile_by_name("Verizon 4G").config;
+  Rng a(5);
+  Rng b(5);
+  const auto ia = wr::infer_rrc_parameters(
+      wr::run_probe(config, wr::schedule_for(config), a));
+  const auto ib = wr::infer_rrc_parameters(
+      wr::run_probe(config, wr::schedule_for(config), b));
+  EXPECT_DOUBLE_EQ(ia.tail_timer_ms, ib.tail_timer_ms);
+  EXPECT_DOUBLE_EQ(ia.promotion_estimate_ms, ib.promotion_estimate_ms);
+}

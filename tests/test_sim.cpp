@@ -1,0 +1,118 @@
+// Tests for the discrete-event simulator.
+#include "sim/simulator.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "core/error.h"
+
+using wild5g::sim::Simulator;
+
+TEST(Simulator, EventsFireInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(30.0, [&] { order.push_back(3); });
+  sim.schedule_at(10.0, [&] { order.push_back(1); });
+  sim.schedule_at(20.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_DOUBLE_EQ(sim.now_ms(), 30.0);
+}
+
+TEST(Simulator, SimultaneousEventsFifo) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.schedule_at(5.0, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(Simulator, ScheduleInIsRelative) {
+  Simulator sim;
+  double fired_at = -1.0;
+  sim.schedule_at(10.0, [&] {
+    sim.schedule_in(5.0, [&] { fired_at = sim.now_ms(); });
+  });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 15.0);
+}
+
+TEST(Simulator, CancelPreventsFiring) {
+  Simulator sim;
+  bool fired = false;
+  const auto id = sim.schedule_at(10.0, [&] { fired = true; });
+  sim.cancel(id);
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(Simulator, CancelUnknownIsNoop) {
+  Simulator sim;
+  sim.cancel(12345);  // must not throw
+  SUCCEED();
+}
+
+TEST(Simulator, EventsCanScheduleMoreEvents) {
+  Simulator sim;
+  int count = 0;
+  std::function<void()> chain = [&] {
+    if (++count < 10) sim.schedule_in(1.0, chain);
+  };
+  sim.schedule_at(0.0, chain);
+  sim.run();
+  EXPECT_EQ(count, 10);
+  EXPECT_DOUBLE_EQ(sim.now_ms(), 9.0);
+}
+
+TEST(Simulator, RunUntilStopsAtHorizon) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t = 1.0; t <= 10.0; t += 1.0) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now_ms()); });
+  }
+  sim.run_until(5.0);
+  EXPECT_EQ(fired.size(), 5u);
+  EXPECT_DOUBLE_EQ(sim.now_ms(), 5.0);
+  EXPECT_EQ(sim.pending_count(), 5u);
+  sim.run();
+  EXPECT_EQ(fired.size(), 10u);
+}
+
+TEST(Simulator, RunUntilAdvancesClockEvenWithoutEvents) {
+  Simulator sim;
+  sim.run_until(42.0);
+  EXPECT_DOUBLE_EQ(sim.now_ms(), 42.0);
+}
+
+TEST(Simulator, PastSchedulingRejected) {
+  Simulator sim;
+  sim.schedule_at(10.0, [] {});
+  sim.run();
+  EXPECT_THROW(sim.schedule_at(5.0, [] {}), wild5g::Error);
+  EXPECT_THROW(sim.schedule_in(-1.0, [] {}), wild5g::Error);
+}
+
+TEST(Simulator, NullHandlerRejected) {
+  Simulator sim;
+  EXPECT_THROW(sim.schedule_at(1.0, nullptr), wild5g::Error);
+}
+
+TEST(Simulator, TimerRestartPattern) {
+  // The RRC inactivity-timer idiom: cancel + reschedule on each activity.
+  Simulator sim;
+  double expired_at = -1.0;
+  wild5g::sim::EventId timer = 0;
+  auto arm = [&](double delay) {
+    sim.cancel(timer);
+    timer = sim.schedule_in(delay, [&] { expired_at = sim.now_ms(); });
+  };
+  sim.schedule_at(0.0, [&] { arm(10.0); });
+  sim.schedule_at(5.0, [&] { arm(10.0); });   // activity: restart
+  sim.schedule_at(12.0, [&] { arm(10.0); });  // activity: restart again
+  sim.run();
+  EXPECT_DOUBLE_EQ(expired_at, 22.0);
+}

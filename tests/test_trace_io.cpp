@@ -1,0 +1,95 @@
+// Tests for trace/campaign CSV serialization.
+#include "traces/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "power/campaign.h"
+#include "radio/ue.h"
+
+namespace wt = wild5g::traces;
+using wild5g::Rng;
+
+TEST(TraceIo, RoundTripsGeneratedPopulation) {
+  Rng rng(1);
+  auto config = wt::lumos5g_mmwave_config();
+  config.count = 5;
+  const auto traces = wt::generate_traces(config, rng);
+
+  std::stringstream buffer;
+  wt::write_traces_csv(buffer, traces);
+  const auto loaded = wt::read_traces_csv(buffer);
+
+  ASSERT_EQ(loaded.size(), traces.size());
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    EXPECT_EQ(loaded[i].id, traces[i].id);
+    EXPECT_DOUBLE_EQ(loaded[i].interval_s, traces[i].interval_s);
+    ASSERT_EQ(loaded[i].mbps.size(), traces[i].mbps.size());
+    for (std::size_t j = 0; j < traces[i].mbps.size(); ++j) {
+      EXPECT_NEAR(loaded[i].mbps[j], traces[i].mbps[j],
+                  1e-9 * traces[i].mbps[j] + 1e-12);
+    }
+  }
+}
+
+TEST(TraceIo, RejectsWrongHeader) {
+  std::stringstream buffer("wrong,header\n1,2\n");
+  EXPECT_THROW((void)wt::read_traces_csv(buffer), wild5g::Error);
+}
+
+TEST(TraceIo, RejectsMalformedNumber) {
+  std::stringstream buffer("trace_id,interval_s,index,mbps\nt0,1.0,0,abc\n");
+  EXPECT_THROW((void)wt::read_traces_csv(buffer), wild5g::Error);
+}
+
+TEST(TraceIo, RejectsNonContiguousIndex) {
+  std::stringstream buffer(
+      "trace_id,interval_s,index,mbps\nt0,1.0,0,5\nt0,1.0,2,6\n");
+  EXPECT_THROW((void)wt::read_traces_csv(buffer), wild5g::Error);
+}
+
+TEST(TraceIo, EmptyInputRejected) {
+  std::stringstream buffer("");
+  EXPECT_THROW((void)wt::read_traces_csv(buffer), wild5g::Error);
+}
+
+TEST(TraceIo, FileRoundTrip) {
+  Rng rng(2);
+  auto config = wt::lumos5g_lte_config();
+  config.count = 3;
+  const auto traces = wt::generate_traces(config, rng);
+  const std::string path = "/tmp/wild5g_test_traces.csv";
+  wt::save_traces_csv(path, traces);
+  const auto loaded = wt::load_traces_csv(path);
+  EXPECT_EQ(loaded.size(), traces.size());
+  EXPECT_THROW((void)wt::load_traces_csv("/nonexistent/nope.csv"),
+               wild5g::Error);
+}
+
+TEST(TraceIo, CampaignRoundTrip) {
+  wild5g::power::WalkingCampaignConfig campaign;
+  campaign.network = {wild5g::radio::Carrier::kVerizon,
+                      wild5g::radio::Band::kNrMmWave,
+                      wild5g::radio::DeploymentMode::kNsa};
+  campaign.ue = wild5g::radio::galaxy_s20u();
+  campaign.duration_s = 30.0;
+  Rng rng(3);
+  const auto samples = wild5g::power::run_walking_campaign(
+      campaign, wild5g::power::DevicePowerProfile::s20u(), rng);
+
+  std::stringstream buffer;
+  wt::write_campaign_csv(buffer, samples);
+  const auto loaded = wt::read_campaign_csv(buffer);
+  ASSERT_EQ(loaded.size(), samples.size());
+  EXPECT_NEAR(loaded[10].power_mw, samples[10].power_mw, 1e-6);
+  EXPECT_NEAR(loaded[10].rsrp_dbm, samples[10].rsrp_dbm, 1e-9);
+}
+
+TEST(TraceIo, CampaignRejectsShortRow) {
+  std::stringstream buffer(
+      "t_s,rsrp_dbm,dl_mbps,ul_mbps,power_mw\n1,2,3\n");
+  EXPECT_THROW((void)wt::read_campaign_csv(buffer), wild5g::Error);
+}

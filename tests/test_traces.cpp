@@ -1,0 +1,123 @@
+// Tests for the Lumos5G-like trace generator (Sec. 5.1's network substrate).
+#include "traces/traces.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace wt = wild5g::traces;
+using wild5g::Rng;
+
+TEST(Trace, AtExtendsLastSample) {
+  wt::Trace trace;
+  trace.mbps = {10.0, 20.0, 30.0};
+  EXPECT_DOUBLE_EQ(trace.at(0.5), 10.0);
+  EXPECT_DOUBLE_EQ(trace.at(2.2), 30.0);
+  EXPECT_DOUBLE_EQ(trace.at(99.0), 30.0);
+  EXPECT_DOUBLE_EQ(trace.duration_s(), 3.0);
+}
+
+TEST(Trace, AtRejectsNegativeTime) {
+  wt::Trace trace;
+  trace.mbps = {1.0};
+  EXPECT_THROW((void)trace.at(-0.1), wild5g::Error);
+}
+
+TEST(Generator, PopulationMedianHitsAnchor) {
+  Rng rng(1);
+  const auto mm = wt::generate_traces(wt::lumos5g_mmwave_config(), rng);
+  EXPECT_EQ(mm.size(), 121u);
+  EXPECT_NEAR(wt::population_median_mbps(mm), 160.0, 2.0);
+
+  Rng rng2(2);
+  const auto lte = wt::generate_traces(wt::lumos5g_lte_config(), rng2);
+  EXPECT_EQ(lte.size(), 175u);
+  EXPECT_NEAR(wt::population_median_mbps(lte), 20.0, 0.5);
+}
+
+TEST(Generator, FiveGMeanAboutTenXFourG) {
+  // Sec. 5.1: 5G's mean throughput is ~10x that of 4G.
+  Rng rng(3);
+  const auto mm = wt::generate_traces(wt::lumos5g_mmwave_config(), rng);
+  Rng rng2(4);
+  const auto lte = wt::generate_traces(wt::lumos5g_lte_config(), rng2);
+  double mean_5g = 0.0;
+  for (const auto& t : mm) mean_5g += t.mean();
+  mean_5g /= static_cast<double>(mm.size());
+  double mean_4g = 0.0;
+  for (const auto& t : lte) mean_4g += t.mean();
+  mean_4g /= static_cast<double>(lte.size());
+  EXPECT_GT(mean_5g / mean_4g, 6.0);
+  EXPECT_LT(mean_5g / mean_4g, 16.0);
+}
+
+TEST(Generator, FiveGSwingsFourGStable) {
+  Rng rng(5);
+  const auto mm = wt::generate_traces(wt::lumos5g_mmwave_config(), rng);
+  Rng rng2(6);
+  const auto lte = wt::generate_traces(wt::lumos5g_lte_config(), rng2);
+  // Coefficient of variation: 5G wild, 4G tame.
+  auto mean_cv = [](const std::vector<wt::Trace>& traces) {
+    double cv = 0.0;
+    for (const auto& t : traces) {
+      cv += wild5g::stats::stddev(t.mbps) / wild5g::stats::mean(t.mbps);
+    }
+    return cv / static_cast<double>(traces.size());
+  };
+  // 4G fluctuates (congestion episodes) but mmWave swings far harder.
+  EXPECT_GT(mean_cv(mm), 1.8 * mean_cv(lte));
+}
+
+TEST(Generator, FiveGHasNearZeroOutages) {
+  // Blockage must show up as deep dips (the ABR stress of Sec. 5).
+  Rng rng(7);
+  const auto mm = wt::generate_traces(wt::lumos5g_mmwave_config(), rng);
+  int traces_with_outage = 0;
+  for (const auto& t : mm) {
+    const double peak = *std::max_element(t.mbps.begin(), t.mbps.end());
+    const double low = *std::min_element(t.mbps.begin(), t.mbps.end());
+    if (low < 0.1 * peak) ++traces_with_outage;
+  }
+  EXPECT_GT(traces_with_outage, static_cast<int>(mm.size()) / 2);
+}
+
+TEST(Generator, FourGNeverCollapses) {
+  Rng rng(8);
+  const auto lte = wt::generate_traces(wt::lumos5g_lte_config(), rng);
+  for (const auto& t : lte) {
+    const double low = *std::min_element(t.mbps.begin(), t.mbps.end());
+    EXPECT_GT(low, 1.0);  // Mbps; stable LTE floor after scaling
+  }
+}
+
+TEST(Generator, DeterministicInSeed) {
+  Rng a(9);
+  Rng b(9);
+  const auto ta = wt::generate_traces(wt::lumos5g_mmwave_config(), a);
+  const auto tb = wt::generate_traces(wt::lumos5g_mmwave_config(), b);
+  ASSERT_EQ(ta.size(), tb.size());
+  EXPECT_EQ(ta[7].mbps, tb[7].mbps);
+}
+
+TEST(Generator, TraceIdsAreUnique) {
+  Rng rng(10);
+  auto config = wt::lumos5g_mmwave_config();
+  config.count = 10;
+  const auto traces = wt::generate_traces(config, rng);
+  for (std::size_t i = 0; i < traces.size(); ++i) {
+    for (std::size_t j = i + 1; j < traces.size(); ++j) {
+      EXPECT_NE(traces[i].id, traces[j].id);
+    }
+  }
+}
+
+TEST(Generator, RejectsInvalidConfig) {
+  Rng rng(11);
+  wt::TraceSetConfig config;
+  config.count = 0;
+  EXPECT_THROW((void)wt::generate_traces(config, rng), wild5g::Error);
+}

@@ -1,0 +1,205 @@
+// Tests for the CUBIC/UDP fluid transport model (the Sec. 3.2 mechanisms).
+#include "transport/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace wt = wild5g::transport;
+using wild5g::Rng;
+
+namespace {
+
+wt::PathConfig clean_path(double rtt_ms, double capacity_mbps) {
+  wt::PathConfig path;
+  path.rtt_ms = rtt_ms;
+  path.capacity_mbps = capacity_mbps;
+  path.loss_event_rate_per_s = 0.0;
+  return path;
+}
+
+}  // namespace
+
+TEST(Udp, TracksCapacityMinusOverhead) {
+  const auto path = clean_path(30.0, 2000.0);
+  EXPECT_NEAR(wt::udp_throughput_mbps(path), 2000.0 * 0.985, 1e-9);
+}
+
+TEST(Tcp, WindowLimitedByDefaultWmem) {
+  // Sec. 3.2 / Fig. 8: default tcp_wmem caps a single connection near
+  // wmem/RTT regardless of link capacity.
+  const auto path = clean_path(40.0, 2000.0);
+  wt::TcpOptions options;  // default ~1.4 MB effective budget
+  Rng rng(1);
+  const auto result = wt::simulate_tcp(1, path, options, 20.0, rng);
+  const double window_limit_mbps =
+      options.wmem_bytes * 8.0 / 1e6 / (path.rtt_ms / 1000.0);
+  EXPECT_LT(result.aggregate_goodput_mbps, window_limit_mbps * 1.02);
+  EXPECT_GT(result.aggregate_goodput_mbps, window_limit_mbps * 0.75);
+}
+
+TEST(Tcp, TunedWmemUnlocksThroughput) {
+  // Raising tcp_wmem gives the paper's 2.1-3x improvement.
+  const auto path = clean_path(40.0, 2000.0);
+  Rng rng_a(2);
+  Rng rng_b(2);
+  const auto tuned =
+      wt::simulate_tcp(1, path, wt::tuned_tcp_options(), 20.0, rng_a);
+  const auto dflt = wt::simulate_tcp(1, path, {}, 20.0, rng_b);
+  EXPECT_GT(tuned.aggregate_goodput_mbps,
+            2.0 * dflt.aggregate_goodput_mbps);
+}
+
+TEST(Tcp, LossLimitsSingleConnection) {
+  auto path = clean_path(40.0, 2000.0);
+  Rng rng_clean(3);
+  const auto clean =
+      wt::simulate_tcp(1, path, wt::tuned_tcp_options(), 30.0, rng_clean);
+  path.loss_event_rate_per_s = 0.3;
+  Rng rng_lossy(3);
+  const auto lossy =
+      wt::simulate_tcp(1, path, wt::tuned_tcp_options(), 30.0, rng_lossy);
+  EXPECT_LT(lossy.aggregate_goodput_mbps,
+            0.8 * clean.aggregate_goodput_mbps);
+  EXPECT_GT(lossy.loss_events, clean.loss_events);
+}
+
+TEST(Tcp, SingleConnectionDegradesWithRtt) {
+  // The Fig. 3/8 distance effect: same loss process, longer RTT, less
+  // goodput (slower CUBIC recovery between loss events).
+  auto run = [](double rtt_ms) {
+    wt::PathConfig path;
+    path.rtt_ms = rtt_ms;
+    path.capacity_mbps = 2000.0;
+    path.loss_event_rate_per_s = 0.02 + 0.0012 * rtt_ms;
+    Rng rng(4);
+    return wt::simulate_tcp(1, path, wt::tuned_tcp_options(), 30.0, rng)
+        .aggregate_goodput_mbps;
+  };
+  const double near = run(10.0);
+  const double mid = run(40.0);
+  const double far = run(90.0);
+  EXPECT_GT(near, mid);
+  EXPECT_GT(mid, far);
+}
+
+TEST(Tcp, ManyConnectionsFillThePipe) {
+  // Speedtest's 15-25 connections reach capacity regardless of distance.
+  wt::PathConfig path;
+  path.rtt_ms = 70.0;
+  path.capacity_mbps = 3000.0;
+  path.loss_event_rate_per_s = 0.1;
+  Rng rng(5);
+  const auto result =
+      wt::simulate_tcp(20, path, wt::tuned_tcp_options(), 20.0, rng);
+  EXPECT_GT(result.aggregate_goodput_mbps, 0.85 * path.capacity_mbps);
+  EXPECT_LE(result.aggregate_goodput_mbps, path.capacity_mbps);
+}
+
+TEST(Tcp, AggregateNeverExceedsCapacity) {
+  for (int conns : {1, 4, 16}) {
+    wt::PathConfig path = clean_path(25.0, 500.0);
+    Rng rng(6);
+    const auto result =
+        wt::simulate_tcp(conns, path, wt::tuned_tcp_options(), 15.0, rng);
+    EXPECT_LE(result.aggregate_goodput_mbps, path.capacity_mbps);
+  }
+}
+
+TEST(Tcp, PerConnectionSharesSumToAggregate) {
+  wt::PathConfig path = clean_path(30.0, 1000.0);
+  Rng rng(7);
+  const auto result =
+      wt::simulate_tcp(8, path, wt::tuned_tcp_options(), 15.0, rng);
+  double sum = 0.0;
+  for (double share : result.per_connection_mbps) sum += share;
+  EXPECT_NEAR(sum, result.aggregate_goodput_mbps, 1e-6);
+  EXPECT_EQ(result.per_connection_mbps.size(), 8u);
+}
+
+TEST(Tcp, UdpBeatsTcpOnSamePath) {
+  wt::PathConfig path;
+  path.rtt_ms = 50.0;
+  path.capacity_mbps = 2000.0;
+  path.loss_event_rate_per_s = 0.08;
+  Rng rng(8);
+  const auto tcp =
+      wt::simulate_tcp(1, path, wt::tuned_tcp_options(), 20.0, rng);
+  EXPECT_GT(wt::udp_throughput_mbps(path), tcp.aggregate_goodput_mbps);
+}
+
+TEST(Tcp, DeterministicInSeed) {
+  wt::PathConfig path = clean_path(30.0, 800.0);
+  path.loss_event_rate_per_s = 0.1;
+  Rng a(9);
+  Rng b(9);
+  const auto ra = wt::simulate_tcp(3, path, {}, 15.0, a);
+  const auto rb = wt::simulate_tcp(3, path, {}, 15.0, b);
+  EXPECT_DOUBLE_EQ(ra.aggregate_goodput_mbps, rb.aggregate_goodput_mbps);
+}
+
+TEST(Tcp, RejectsInvalidArguments) {
+  Rng rng(10);
+  EXPECT_THROW((void)wt::simulate_tcp(0, clean_path(30.0, 100.0), {}, 10.0,
+                                      rng),
+               wild5g::Error);
+  EXPECT_THROW(
+      (void)wt::simulate_tcp(1, clean_path(-1.0, 100.0), {}, 10.0, rng),
+      wild5g::Error);
+  EXPECT_THROW(
+      (void)wt::simulate_tcp(1, clean_path(30.0, 100.0), {}, 0.5, rng),
+      wild5g::Error);
+}
+
+TEST(Tcp, PerPacketLossDrivesDistanceDecayAlone) {
+  // With zero ambient events, per-packet loss alone produces the
+  // RTT-dependent equilibrium (the Fig. 3 mechanism).
+  auto run = [](double rtt_ms, double per_packet) {
+    wt::PathConfig path;
+    path.rtt_ms = rtt_ms;
+    path.capacity_mbps = 2500.0;
+    path.loss_event_rate_per_s = 0.0;
+    path.loss_per_packet = per_packet;
+    Rng rng(30);
+    return wt::simulate_tcp(1, path, wt::tuned_tcp_options(), 20.0, rng)
+        .aggregate_goodput_mbps;
+  };
+  EXPECT_GT(run(10.0, 2e-6), 1.4 * run(90.0, 2e-6));
+  // And more loss means less throughput at fixed RTT.
+  EXPECT_GT(run(60.0, 2e-7), run(60.0, 4e-6));
+}
+
+TEST(Tcp, HazardMakesShortTestsReproducible) {
+  // The quasi-periodic loss hazard keeps run-to-run spread tight even in a
+  // 15 s test (unlike a pure Poisson process at these event rates).
+  wt::PathConfig path;
+  path.rtt_ms = 80.0;
+  path.capacity_mbps = 2000.0;
+  path.loss_event_rate_per_s = 0.05;
+  path.loss_per_packet = 3e-6;
+  std::vector<double> runs;
+  for (std::uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed);
+    runs.push_back(
+        wt::simulate_tcp(1, path, wt::tuned_tcp_options(), 15.0, rng)
+            .aggregate_goodput_mbps);
+  }
+  const double mean = wild5g::stats::mean(runs);
+  EXPECT_LT(wild5g::stats::stddev(runs), 0.35 * mean);
+}
+
+TEST(Tcp, SlowStartRestartAfterTimeoutRecovers) {
+  // A path with only rare deep losses must still average well above the
+  // post-collapse floor (slow start to ssthresh does the heavy lifting).
+  wt::PathConfig path;
+  path.rtt_ms = 20.0;
+  path.capacity_mbps = 1000.0;
+  path.loss_event_rate_per_s = 0.2;
+  path.loss_per_packet = 0.0;
+  Rng rng(31);
+  const auto result =
+      wt::simulate_tcp(1, path, wt::tuned_tcp_options(), 20.0, rng);
+  EXPECT_GT(result.aggregate_goodput_mbps, 0.4 * path.capacity_mbps);
+}

@@ -1,0 +1,106 @@
+// Tests for the fluid BBR model.
+#include "transport/bbr.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+
+namespace wt = wild5g::transport;
+using wild5g::Rng;
+
+namespace {
+
+wt::PathConfig lossy_path(double rtt_ms, double capacity_mbps) {
+  wt::PathConfig path;
+  path.rtt_ms = rtt_ms;
+  path.capacity_mbps = capacity_mbps;
+  path.loss_event_rate_per_s = 0.1;
+  path.loss_per_packet = 4e-6;
+  return path;
+}
+
+}  // namespace
+
+TEST(Bbr, SingleFlowFillsCleanPipe) {
+  wt::PathConfig path = lossy_path(30.0, 1500.0);
+  path.loss_event_rate_per_s = 0.0;
+  path.loss_per_packet = 0.0;
+  Rng rng(1);
+  const auto result = wt::simulate_bbr(1, path, {}, 20.0, rng);
+  EXPECT_GT(result.aggregate_goodput_mbps, 0.85 * path.capacity_mbps);
+  EXPECT_LE(result.aggregate_goodput_mbps, path.capacity_mbps);
+}
+
+TEST(Bbr, LossBarelyMovesThroughput) {
+  // The defining contrast with CUBIC: random loss does not collapse BBR.
+  Rng rng_a(2);
+  const auto clean = wt::simulate_bbr(
+      1,
+      [] {
+        auto p = lossy_path(60.0, 2000.0);
+        p.loss_event_rate_per_s = 0.0;
+        p.loss_per_packet = 0.0;
+        return p;
+      }(),
+      {}, 20.0, rng_a);
+  Rng rng_b(2);
+  const auto lossy = wt::simulate_bbr(1, lossy_path(60.0, 2000.0), {}, 20.0,
+                                      rng_b);
+  EXPECT_GT(lossy.aggregate_goodput_mbps,
+            0.95 * clean.aggregate_goodput_mbps);
+  EXPECT_GT(lossy.loss_events, 0);
+}
+
+TEST(Bbr, BeatsCubicOnLongLossyPath) {
+  // The Sec. 3.2 "TCP inefficacy": at transcontinental RTT with per-packet
+  // loss, a single CUBIC connection craters while BBR holds near capacity.
+  const auto path = lossy_path(90.0, 2000.0);
+  Rng rng_bbr(3);
+  const auto bbr = wt::simulate_bbr(1, path, {}, 20.0, rng_bbr);
+  Rng rng_cubic(3);
+  const auto cubic = wt::simulate_tcp(1, path, wt::tuned_tcp_options(), 20.0,
+                                      rng_cubic);
+  EXPECT_GT(bbr.aggregate_goodput_mbps,
+            1.5 * cubic.aggregate_goodput_mbps);
+}
+
+TEST(Bbr, FlowControlWindowStillBinds) {
+  wt::BbrOptions options;
+  options.wmem_bytes = 1.0e6;  // 1 MB at 80 ms -> 100 Mbps ceiling
+  wt::PathConfig path = lossy_path(80.0, 2000.0);
+  Rng rng(4);
+  const auto result = wt::simulate_bbr(1, path, options, 20.0, rng);
+  EXPECT_LT(result.aggregate_goodput_mbps, 105.0);
+  EXPECT_GT(result.aggregate_goodput_mbps, 70.0);
+}
+
+TEST(Bbr, SharesBottleneckAcrossFlows) {
+  const auto path = lossy_path(40.0, 1200.0);
+  Rng rng(5);
+  const auto result = wt::simulate_bbr(8, path, {}, 20.0, rng);
+  EXPECT_GT(result.aggregate_goodput_mbps, 0.85 * path.capacity_mbps);
+  EXPECT_LE(result.aggregate_goodput_mbps, path.capacity_mbps);
+  double sum = 0.0;
+  for (double share : result.per_connection_mbps) sum += share;
+  EXPECT_NEAR(sum, result.aggregate_goodput_mbps, 1e-6);
+}
+
+TEST(Bbr, DeterministicInSeed) {
+  const auto path = lossy_path(30.0, 800.0);
+  Rng a(6);
+  Rng b(6);
+  EXPECT_DOUBLE_EQ(
+      wt::simulate_bbr(2, path, {}, 15.0, a).aggregate_goodput_mbps,
+      wt::simulate_bbr(2, path, {}, 15.0, b).aggregate_goodput_mbps);
+}
+
+TEST(Bbr, RejectsInvalidArguments) {
+  Rng rng(7);
+  EXPECT_THROW((void)wt::simulate_bbr(0, lossy_path(30.0, 100.0), {}, 10.0,
+                                      rng),
+               wild5g::Error);
+  EXPECT_THROW(
+      (void)wt::simulate_bbr(1, lossy_path(30.0, 100.0), {}, 0.5, rng),
+      wild5g::Error);
+}

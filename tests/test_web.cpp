@@ -1,0 +1,316 @@
+// Tests for the web corpus, page-load simulator, and interface selector
+// (Sec. 6).
+#include "web/selector.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+#include "core/rng.h"
+#include "web/page_load.h"
+#include "web/website.h"
+
+namespace ww = wild5g::web;
+namespace wp = wild5g::power;
+using wild5g::Rng;
+
+namespace {
+
+ww::Website typical_site() {
+  ww::Website site;
+  site.domain = "typical.example";
+  site.object_count = 80;
+  site.image_count = 40;
+  site.video_count = 0;
+  site.dynamic_object_count = 25;
+  site.total_page_size_mb = 2.5;
+  site.dynamic_size_fraction = 0.3;
+  return site;
+}
+
+}  // namespace
+
+TEST(Corpus, GeneratesRequestedCountWithSaneRanges) {
+  Rng rng(1);
+  const auto corpus = ww::generate_corpus(300, rng);
+  ASSERT_EQ(corpus.size(), 300u);
+  for (const auto& site : corpus) {
+    EXPECT_GE(site.object_count, 3);
+    EXPECT_LE(site.object_count, 1000);
+    EXPECT_GT(site.total_page_size_mb, 0.0);
+    EXPECT_LE(site.dynamic_object_count, site.object_count);
+    EXPECT_GE(site.dynamic_object_fraction(), 0.0);
+    EXPECT_LE(site.dynamic_object_fraction(), 1.0);
+    EXPECT_LE(site.image_count, site.object_count);
+  }
+}
+
+TEST(Corpus, SpansTheFig19Bins) {
+  Rng rng(2);
+  const auto corpus = ww::generate_corpus(1500, rng);
+  int small_pages = 0;
+  int large_pages = 0;
+  int few_objects = 0;
+  int many_objects = 0;
+  for (const auto& site : corpus) {
+    if (site.total_page_size_mb < 1.0) ++small_pages;
+    if (site.total_page_size_mb > 10.0) ++large_pages;
+    if (site.object_count <= 10) ++few_objects;
+    if (site.object_count > 100) ++many_objects;
+  }
+  EXPECT_GT(small_pages, 30);
+  EXPECT_GT(large_pages, 30);
+  EXPECT_GT(few_objects, 20);
+  EXPECT_GT(many_objects, 100);
+}
+
+TEST(Corpus, FeatureVectorMatchesTable5) {
+  const auto names = ww::feature_names();
+  ASSERT_EQ(names.size(), 7u);
+  const auto site = typical_site();
+  const auto features = ww::feature_vector(site);
+  ASSERT_EQ(features.size(), 7u);
+  EXPECT_NEAR(features[0], 25.0 / 80.0, 1e-9);  // DNO
+  EXPECT_DOUBLE_EQ(features[4], 2.5);           // PS
+  EXPECT_DOUBLE_EQ(features[5], 80.0);          // NO
+}
+
+TEST(PageLoad, FiveGFasterFourGCheaper) {
+  // The Sec. 6 headline: mmWave 5G always wins PLT, 4G always wins energy.
+  const auto device = wp::DevicePowerProfile::s10();
+  Rng rng(3);
+  const auto site = typical_site();
+  double plt5 = 0.0, plt4 = 0.0, e5 = 0.0, e4 = 0.0;
+  for (int i = 0; i < 10; ++i) {
+    const auto r5 = ww::load_page(site, ww::mmwave_page_config(), device, rng);
+    const auto r4 = ww::load_page(site, ww::lte_page_config(), device, rng);
+    plt5 += r5.plt_s;
+    plt4 += r4.plt_s;
+    e5 += r5.energy_j;
+    e4 += r4.energy_j;
+  }
+  EXPECT_LT(plt5, plt4);
+  EXPECT_LT(e4, e5);
+}
+
+TEST(PageLoad, PltGrowsWithObjectCount) {
+  const auto device = wp::DevicePowerProfile::s10();
+  auto plt_for = [&](int objects) {
+    ww::Website site = typical_site();
+    site.object_count = objects;
+    site.image_count = objects / 2;
+    site.dynamic_object_count = objects / 4;
+    Rng rng(4);
+    double total = 0.0;
+    for (int i = 0; i < 6; ++i) {
+      total += ww::load_page(site, ww::lte_page_config(), device, rng).plt_s;
+    }
+    return total / 6.0;
+  };
+  EXPECT_LT(plt_for(10), plt_for(100));
+  EXPECT_LT(plt_for(100), plt_for(600));
+}
+
+TEST(PageLoad, GapGrowsWithPageSize) {
+  // Fig. 19b: the 4G-5G PLT gap widens on heavier pages.
+  const auto device = wp::DevicePowerProfile::s10();
+  auto gap_for = [&](double size_mb, int objects) {
+    ww::Website site = typical_site();
+    site.total_page_size_mb = size_mb;
+    site.object_count = objects;
+    site.image_count = objects / 2;
+    site.dynamic_object_count = objects / 4;
+    Rng rng(5);
+    double gap = 0.0;
+    for (int i = 0; i < 6; ++i) {
+      const auto r4 = ww::load_page(site, ww::lte_page_config(), device, rng);
+      const auto r5 =
+          ww::load_page(site, ww::mmwave_page_config(), device, rng);
+      gap += r4.plt_s - r5.plt_s;
+    }
+    return gap / 6.0;
+  };
+  EXPECT_LT(gap_for(0.5, 30), gap_for(20.0, 300));
+}
+
+TEST(PageLoad, PerSecondSeriesIntegratesToPageSize) {
+  const auto device = wp::DevicePowerProfile::s10();
+  Rng rng(6);
+  const auto site = typical_site();
+  const auto result =
+      ww::load_page(site, ww::mmwave_page_config(), device, rng);
+  double mbits = 0.0;
+  for (double v : result.per_second_dl_mbps) mbits += v;
+  EXPECT_NEAR(mbits, site.total_page_size_mb * 8.0, 0.5);
+}
+
+TEST(PageLoad, RejectsEmptySite) {
+  const auto device = wp::DevicePowerProfile::s10();
+  Rng rng(7);
+  ww::Website site;
+  EXPECT_THROW(
+      (void)ww::load_page(site, ww::lte_page_config(), device, rng),
+      wild5g::Error);
+}
+
+TEST(Selector, PaperModelsOrderedByEnergyWeight) {
+  const auto models = ww::paper_qoe_models();
+  ASSERT_EQ(models.size(), 5u);
+  EXPECT_EQ(models.front().id, "M1");
+  for (std::size_t i = 1; i < models.size(); ++i) {
+    EXPECT_GT(models[i].alpha, models[i - 1].alpha);
+  }
+}
+
+class SelectorFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    Rng rng(8);
+    const auto corpus = ww::generate_corpus(400, rng);
+    const auto device = wp::DevicePowerProfile::s10();
+    measurements_ = new std::vector<ww::SiteMeasurement>(
+        ww::measure_corpus(corpus, 2, device, rng));
+  }
+  static void TearDownTestSuite() {
+    delete measurements_;
+    measurements_ = nullptr;
+  }
+  static std::vector<ww::SiteMeasurement>* measurements_;
+};
+
+std::vector<ww::SiteMeasurement>* SelectorFixture::measurements_ = nullptr;
+
+TEST_F(SelectorFixture, HigherAlphaMeansMore4g) {
+  // Table 6: the 4G share grows monotonically from M1 to M5.
+  const auto& ms = *measurements_;
+  const std::span<const ww::SiteMeasurement> train(ms.data(), 280);
+  const std::span<const ww::SiteMeasurement> test(ms.data() + 280,
+                                                  ms.size() - 280);
+  int prev_4g = -1;
+  for (const auto& weights : ww::paper_qoe_models()) {
+    ww::InterfaceSelector selector(weights);
+    Rng rng(9);
+    selector.train(train, rng);
+    const auto counts = selector.counts(test);
+    EXPECT_EQ(counts.use_4g + counts.use_5g, static_cast<int>(test.size()));
+    EXPECT_GE(counts.use_4g, prev_4g) << weights.id;
+    prev_4g = counts.use_4g;
+  }
+}
+
+TEST_F(SelectorFixture, ExtremesMatchTable6Shape) {
+  const auto& ms = *measurements_;
+  const std::span<const ww::SiteMeasurement> train(ms.data(), 280);
+  const std::span<const ww::SiteMeasurement> test(ms.data() + 280,
+                                                  ms.size() - 280);
+  // M1 (performance): overwhelmingly 5G. M5 (energy): overwhelmingly 4G.
+  ww::InterfaceSelector m1(ww::paper_qoe_models()[0]);
+  ww::InterfaceSelector m5(ww::paper_qoe_models()[4]);
+  Rng rng(10);
+  m1.train(train, rng);
+  m5.train(train, rng);
+  const auto c1 = m1.counts(test);
+  const auto c5 = m5.counts(test);
+  EXPECT_GT(c1.use_5g, 3 * c1.use_4g);
+  EXPECT_GT(c5.use_4g, 5 * c5.use_5g);
+}
+
+TEST_F(SelectorFixture, PredictsOracleWell) {
+  const auto& ms = *measurements_;
+  const std::span<const ww::SiteMeasurement> train(ms.data(), 280);
+  const std::span<const ww::SiteMeasurement> test(ms.data() + 280,
+                                                  ms.size() - 280);
+  ww::InterfaceSelector selector(ww::paper_qoe_models()[2]);  // balanced
+  Rng rng(11);
+  selector.train(train, rng);
+  EXPECT_GT(selector.accuracy(test), 0.75);
+}
+
+TEST_F(SelectorFixture, SelectionSavesEnergyModestPltCost) {
+  // Sec. 6.2: interface selection saves 15-66% energy.
+  const auto& ms = *measurements_;
+  const std::span<const ww::SiteMeasurement> train(ms.data(), 280);
+  const std::span<const ww::SiteMeasurement> test(ms.data() + 280,
+                                                  ms.size() - 280);
+  ww::InterfaceSelector selector(ww::paper_qoe_models()[3]);  // M4
+  Rng rng(12);
+  selector.train(train, rng);
+  const auto outcome = selector.outcome(test);
+  EXPECT_GT(outcome.energy_saving_percent, 15.0);
+  EXPECT_LT(outcome.energy_saving_percent, 80.0);
+  EXPECT_GT(outcome.plt_penalty_percent, 0.0);
+}
+
+TEST_F(SelectorFixture, DescribeTreeIsReadable) {
+  const auto& ms = *measurements_;
+  const std::span<const ww::SiteMeasurement> train(ms.data(), 280);
+  ww::InterfaceSelector selector(ww::paper_qoe_models()[0]);
+  Rng rng(13);
+  selector.train(train, rng);
+  const auto text = selector.describe_tree();
+  EXPECT_NE(text.find("Use"), std::string::npos);
+  const auto importances = selector.feature_importances();
+  EXPECT_EQ(importances.size(), 7u);
+}
+
+TEST(Selector, RejectsTinyTrainingSet) {
+  ww::InterfaceSelector selector(ww::paper_qoe_models()[0]);
+  std::vector<ww::SiteMeasurement> tiny(5);
+  Rng rng(14);
+  EXPECT_THROW(selector.train(tiny, rng), wild5g::Error);
+}
+
+TEST(PageLoad, MultiplexingCutsPlt) {
+  // HTTP/2-style multiplexing removes per-object request round-trips.
+  const auto device = wp::DevicePowerProfile::s10();
+  ww::Website site = typical_site();
+  site.object_count = 200;
+  site.image_count = 100;
+  site.dynamic_object_count = 60;
+  auto pooled = ww::lte_page_config();
+  auto multiplexed = pooled;
+  multiplexed.multiplexed = true;
+  Rng rng(40);
+  double plt_pool = 0.0;
+  double plt_mux = 0.0;
+  for (int i = 0; i < 6; ++i) {
+    plt_pool += ww::load_page(site, pooled, device, rng).plt_s;
+    plt_mux += ww::load_page(site, multiplexed, device, rng).plt_s;
+  }
+  EXPECT_LT(plt_mux, 0.7 * plt_pool);
+}
+
+TEST(PageLoad, MultiplexingStillTransfersWholePage) {
+  const auto device = wp::DevicePowerProfile::s10();
+  auto config = ww::mmwave_page_config();
+  config.multiplexed = true;
+  Rng rng(41);
+  const auto site = typical_site();
+  const auto result = ww::load_page(site, config, device, rng);
+  double mbits = 0.0;
+  for (double v : result.per_second_dl_mbps) mbits += v;
+  EXPECT_NEAR(mbits, site.total_page_size_mb * 8.0, 0.5);
+  EXPECT_GT(result.energy_j, 0.0);
+}
+
+TEST(PageLoad, MultiplexingHelpsObjectHeavyPagesMost) {
+  // The win scales with object count (request RTTs removed per object).
+  const auto device = wp::DevicePowerProfile::s10();
+  auto ratio_for = [&](int objects) {
+    ww::Website site = typical_site();
+    site.object_count = objects;
+    site.image_count = objects / 2;
+    site.dynamic_object_count = objects / 4;
+    auto pooled = ww::lte_page_config();
+    auto mux = pooled;
+    mux.multiplexed = true;
+    Rng rng(42);
+    double p = 0.0;
+    double m = 0.0;
+    for (int i = 0; i < 6; ++i) {
+      p += ww::load_page(site, pooled, device, rng).plt_s;
+      m += ww::load_page(site, mux, device, rng).plt_s;
+    }
+    return m / p;
+  };
+  EXPECT_LT(ratio_for(400), ratio_for(15));
+}
