@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_abr.dir/bench/bench_ablation_abr.cpp.o"
+  "CMakeFiles/bench_ablation_abr.dir/bench/bench_ablation_abr.cpp.o.d"
+  "bench/bench_ablation_abr"
+  "bench/bench_ablation_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

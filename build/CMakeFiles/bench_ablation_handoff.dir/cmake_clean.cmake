@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_handoff.dir/bench/bench_ablation_handoff.cpp.o"
+  "CMakeFiles/bench_ablation_handoff.dir/bench/bench_ablation_handoff.cpp.o.d"
+  "bench/bench_ablation_handoff"
+  "bench/bench_ablation_handoff.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

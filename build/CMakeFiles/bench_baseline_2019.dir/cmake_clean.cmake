@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_baseline_2019.dir/bench/bench_baseline_2019.cpp.o"
+  "CMakeFiles/bench_baseline_2019.dir/bench/bench_baseline_2019.cpp.o.d"
+  "bench/bench_baseline_2019"
+  "bench/bench_baseline_2019.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_baseline_2019.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

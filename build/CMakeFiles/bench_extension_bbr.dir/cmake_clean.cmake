@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_bbr.dir/bench/bench_extension_bbr.cpp.o"
+  "CMakeFiles/bench_extension_bbr.dir/bench/bench_extension_bbr.cpp.o.d"
+  "bench/bench_extension_bbr"
+  "bench/bench_extension_bbr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_bbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_drive_energy.dir/bench/bench_extension_drive_energy.cpp.o"
+  "CMakeFiles/bench_extension_drive_energy.dir/bench/bench_extension_drive_energy.cpp.o.d"
+  "bench/bench_extension_drive_energy"
+  "bench/bench_extension_drive_energy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_drive_energy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

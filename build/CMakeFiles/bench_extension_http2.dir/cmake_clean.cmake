@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_http2.dir/bench/bench_extension_http2.cpp.o"
+  "CMakeFiles/bench_extension_http2.dir/bench/bench_extension_http2.cpp.o.d"
+  "bench/bench_extension_http2"
+  "bench/bench_extension_http2.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_http2.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_extension_pensieve_5g.dir/bench/bench_extension_pensieve_5g.cpp.o"
+  "CMakeFiles/bench_extension_pensieve_5g.dir/bench/bench_extension_pensieve_5g.cpp.o.d"
+  "bench/bench_extension_pensieve_5g"
+  "bench/bench_extension_pensieve_5g.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_extension_pensieve_5g.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

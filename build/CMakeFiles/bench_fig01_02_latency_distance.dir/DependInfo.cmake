@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig01_02_latency_distance.cpp" "CMakeFiles/bench_fig01_02_latency_distance.dir/bench/bench_fig01_02_latency_distance.cpp.o" "gcc" "CMakeFiles/bench_fig01_02_latency_distance.dir/bench/bench_fig01_02_latency_distance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/wild5g_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/geo/CMakeFiles/wild5g_geo.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wild5g_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/transport/CMakeFiles/wild5g_transport.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wild5g_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

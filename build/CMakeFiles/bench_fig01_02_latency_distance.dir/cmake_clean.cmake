@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig01_02_latency_distance.dir/bench/bench_fig01_02_latency_distance.cpp.o"
+  "CMakeFiles/bench_fig01_02_latency_distance.dir/bench/bench_fig01_02_latency_distance.cpp.o.d"
+  "bench/bench_fig01_02_latency_distance"
+  "bench/bench_fig01_02_latency_distance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig01_02_latency_distance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig05_07_tmobile_sa_nsa.dir/bench/bench_fig05_07_tmobile_sa_nsa.cpp.o"
+  "CMakeFiles/bench_fig05_07_tmobile_sa_nsa.dir/bench/bench_fig05_07_tmobile_sa_nsa.cpp.o.d"
+  "bench/bench_fig05_07_tmobile_sa_nsa"
+  "bench/bench_fig05_07_tmobile_sa_nsa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig05_07_tmobile_sa_nsa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig05_07_tmobile_sa_nsa.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig09_handoffs.dir/bench/bench_fig09_handoffs.cpp.o"
+  "CMakeFiles/bench_fig09_handoffs.dir/bench/bench_fig09_handoffs.cpp.o.d"
+  "bench/bench_fig09_handoffs"
+  "bench/bench_fig09_handoffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig09_handoffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

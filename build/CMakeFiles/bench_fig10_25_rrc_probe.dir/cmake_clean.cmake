@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_25_rrc_probe.dir/bench/bench_fig10_25_rrc_probe.cpp.o"
+  "CMakeFiles/bench_fig10_25_rrc_probe.dir/bench/bench_fig10_25_rrc_probe.cpp.o.d"
+  "bench/bench_fig10_25_rrc_probe"
+  "bench/bench_fig10_25_rrc_probe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_25_rrc_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig11_throughput_power.dir/bench/bench_fig11_throughput_power.cpp.o"
+  "CMakeFiles/bench_fig11_throughput_power.dir/bench/bench_fig11_throughput_power.cpp.o.d"
+  "bench/bench_fig11_throughput_power"
+  "bench/bench_fig11_throughput_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig11_throughput_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

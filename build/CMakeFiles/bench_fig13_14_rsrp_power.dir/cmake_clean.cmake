@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig13_14_rsrp_power.dir/bench/bench_fig13_14_rsrp_power.cpp.o"
+  "CMakeFiles/bench_fig13_14_rsrp_power.dir/bench/bench_fig13_14_rsrp_power.cpp.o.d"
+  "bench/bench_fig13_14_rsrp_power"
+  "bench/bench_fig13_14_rsrp_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig13_14_rsrp_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

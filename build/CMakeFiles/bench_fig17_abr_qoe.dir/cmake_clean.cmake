@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_abr_qoe.dir/bench/bench_fig17_abr_qoe.cpp.o"
+  "CMakeFiles/bench_fig17_abr_qoe.dir/bench/bench_fig17_abr_qoe.cpp.o.d"
+  "bench/bench_fig17_abr_qoe"
+  "bench/bench_fig17_abr_qoe.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_abr_qoe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

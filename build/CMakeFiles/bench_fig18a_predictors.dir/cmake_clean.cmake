@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18a_predictors.dir/bench/bench_fig18a_predictors.cpp.o"
+  "CMakeFiles/bench_fig18a_predictors.dir/bench/bench_fig18a_predictors.cpp.o.d"
+  "bench/bench_fig18a_predictors"
+  "bench/bench_fig18a_predictors.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18a_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

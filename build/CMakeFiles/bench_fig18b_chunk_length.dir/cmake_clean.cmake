@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18b_chunk_length.dir/bench/bench_fig18b_chunk_length.cpp.o"
+  "CMakeFiles/bench_fig18b_chunk_length.dir/bench/bench_fig18b_chunk_length.cpp.o.d"
+  "bench/bench_fig18b_chunk_length"
+  "bench/bench_fig18b_chunk_length.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18b_chunk_length.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

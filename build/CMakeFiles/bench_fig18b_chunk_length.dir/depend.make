@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig18b_chunk_length.
+# This may be replaced when dependencies are built.

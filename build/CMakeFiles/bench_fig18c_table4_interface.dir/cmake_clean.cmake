@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig18c_table4_interface.dir/bench/bench_fig18c_table4_interface.cpp.o"
+  "CMakeFiles/bench_fig18c_table4_interface.dir/bench/bench_fig18c_table4_interface.cpp.o.d"
+  "bench/bench_fig18c_table4_interface"
+  "bench/bench_fig18c_table4_interface.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig18c_table4_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

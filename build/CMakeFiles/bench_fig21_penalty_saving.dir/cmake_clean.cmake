@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig21_penalty_saving.dir/bench/bench_fig21_penalty_saving.cpp.o"
+  "CMakeFiles/bench_fig21_penalty_saving.dir/bench/bench_fig21_penalty_saving.cpp.o.d"
+  "bench/bench_fig21_penalty_saving"
+  "bench/bench_fig21_penalty_saving.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig21_penalty_saving.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig23_carrier_aggregation.dir/bench/bench_fig23_carrier_aggregation.cpp.o"
+  "CMakeFiles/bench_fig23_carrier_aggregation.dir/bench/bench_fig23_carrier_aggregation.cpp.o.d"
+  "bench/bench_fig23_carrier_aggregation"
+  "bench/bench_fig23_carrier_aggregation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig23_carrier_aggregation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

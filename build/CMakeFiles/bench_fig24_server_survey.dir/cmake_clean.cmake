@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig24_server_survey.dir/bench/bench_fig24_server_survey.cpp.o"
+  "CMakeFiles/bench_fig24_server_survey.dir/bench/bench_fig24_server_survey.cpp.o.d"
+  "bench/bench_fig24_server_survey"
+  "bench/bench_fig24_server_survey.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig24_server_survey.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

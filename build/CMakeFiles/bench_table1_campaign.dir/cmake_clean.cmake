@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_campaign.dir/bench/bench_table1_campaign.cpp.o"
+  "CMakeFiles/bench_table1_campaign.dir/bench/bench_table1_campaign.cpp.o.d"
+  "bench/bench_table1_campaign"
+  "bench/bench_table1_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_transition_power.dir/bench/bench_table2_transition_power.cpp.o"
+  "CMakeFiles/bench_table2_transition_power.dir/bench/bench_table2_transition_power.cpp.o.d"
+  "bench/bench_table2_transition_power"
+  "bench/bench_table2_transition_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_transition_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_9_sw_monitor.dir/bench/bench_table3_9_sw_monitor.cpp.o"
+  "CMakeFiles/bench_table3_9_sw_monitor.dir/bench/bench_table3_9_sw_monitor.cpp.o.d"
+  "bench/bench_table3_9_sw_monitor"
+  "bench/bench_table3_9_sw_monitor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_9_sw_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table6_fig22_selector.dir/bench/bench_table6_fig22_selector.cpp.o"
+  "CMakeFiles/bench_table6_fig22_selector.dir/bench/bench_table6_fig22_selector.cpp.o.d"
+  "bench/bench_table6_fig22_selector"
+  "bench/bench_table6_fig22_selector.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table6_fig22_selector.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

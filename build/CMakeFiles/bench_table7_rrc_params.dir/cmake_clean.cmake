@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table7_rrc_params.dir/bench/bench_table7_rrc_params.cpp.o"
+  "CMakeFiles/bench_table7_rrc_params.dir/bench/bench_table7_rrc_params.cpp.o.d"
+  "bench/bench_table7_rrc_params"
+  "bench/bench_table7_rrc_params.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table7_rrc_params.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

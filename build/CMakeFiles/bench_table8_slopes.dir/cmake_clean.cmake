@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table8_slopes.dir/bench/bench_table8_slopes.cpp.o"
+  "CMakeFiles/bench_table8_slopes.dir/bench/bench_table8_slopes.cpp.o.d"
+  "bench/bench_table8_slopes"
+  "bench/bench_table8_slopes.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table8_slopes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_model_tool.dir/power_model_tool.cpp.o"
+  "CMakeFiles/power_model_tool.dir/power_model_tool.cpp.o.d"
+  "power_model_tool"
+  "power_model_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_model_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/rrc_probe_tool.cpp" "examples/CMakeFiles/rrc_probe_tool.dir/rrc_probe_tool.cpp.o" "gcc" "examples/CMakeFiles/rrc_probe_tool.dir/rrc_probe_tool.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/rrc/CMakeFiles/wild5g_rrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wild5g_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wild5g_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wild5g_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

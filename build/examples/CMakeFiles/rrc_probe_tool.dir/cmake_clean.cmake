@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rrc_probe_tool.dir/rrc_probe_tool.cpp.o"
+  "CMakeFiles/rrc_probe_tool.dir/rrc_probe_tool.cpp.o.d"
+  "rrc_probe_tool"
+  "rrc_probe_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rrc_probe_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/video_session.dir/video_session.cpp.o"
+  "CMakeFiles/video_session.dir/video_session.cpp.o.d"
+  "video_session"
+  "video_session.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/video_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/web_advisor.dir/web_advisor.cpp.o"
+  "CMakeFiles/web_advisor.dir/web_advisor.cpp.o.d"
+  "web_advisor"
+  "web_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/web_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/src
+# Build directory: /root/repo/build/src
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+subdirs("core")
+subdirs("geo")
+subdirs("ml")
+subdirs("sim")
+subdirs("radio")
+subdirs("mobility")
+subdirs("rrc")
+subdirs("power")
+subdirs("transport")
+subdirs("net")
+subdirs("traces")
+subdirs("abr")
+subdirs("web")

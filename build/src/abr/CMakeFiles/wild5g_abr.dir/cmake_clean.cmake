@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild5g_abr.dir/algorithms.cpp.o"
+  "CMakeFiles/wild5g_abr.dir/algorithms.cpp.o.d"
+  "CMakeFiles/wild5g_abr.dir/interface_selection.cpp.o"
+  "CMakeFiles/wild5g_abr.dir/interface_selection.cpp.o.d"
+  "CMakeFiles/wild5g_abr.dir/pensieve_like.cpp.o"
+  "CMakeFiles/wild5g_abr.dir/pensieve_like.cpp.o.d"
+  "CMakeFiles/wild5g_abr.dir/predictor.cpp.o"
+  "CMakeFiles/wild5g_abr.dir/predictor.cpp.o.d"
+  "CMakeFiles/wild5g_abr.dir/session.cpp.o"
+  "CMakeFiles/wild5g_abr.dir/session.cpp.o.d"
+  "CMakeFiles/wild5g_abr.dir/video.cpp.o"
+  "CMakeFiles/wild5g_abr.dir/video.cpp.o.d"
+  "libwild5g_abr.a"
+  "libwild5g_abr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild5g_abr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

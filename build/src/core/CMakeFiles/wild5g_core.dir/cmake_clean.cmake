@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild5g_core.dir/stats.cpp.o"
+  "CMakeFiles/wild5g_core.dir/stats.cpp.o.d"
+  "CMakeFiles/wild5g_core.dir/table.cpp.o"
+  "CMakeFiles/wild5g_core.dir/table.cpp.o.d"
+  "libwild5g_core.a"
+  "libwild5g_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild5g_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

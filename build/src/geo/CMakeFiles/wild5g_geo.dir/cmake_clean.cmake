@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild5g_geo.dir/geo.cpp.o"
+  "CMakeFiles/wild5g_geo.dir/geo.cpp.o.d"
+  "libwild5g_geo.a"
+  "libwild5g_geo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild5g_geo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

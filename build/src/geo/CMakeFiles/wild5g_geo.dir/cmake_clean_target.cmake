@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwild5g_geo.a"
+)

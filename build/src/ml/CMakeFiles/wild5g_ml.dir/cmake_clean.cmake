@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild5g_ml.dir/dataset.cpp.o"
+  "CMakeFiles/wild5g_ml.dir/dataset.cpp.o.d"
+  "CMakeFiles/wild5g_ml.dir/decision_tree.cpp.o"
+  "CMakeFiles/wild5g_ml.dir/decision_tree.cpp.o.d"
+  "CMakeFiles/wild5g_ml.dir/gbdt.cpp.o"
+  "CMakeFiles/wild5g_ml.dir/gbdt.cpp.o.d"
+  "libwild5g_ml.a"
+  "libwild5g_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild5g_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

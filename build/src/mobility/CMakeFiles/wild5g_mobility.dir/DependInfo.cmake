@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mobility/drive.cpp" "src/mobility/CMakeFiles/wild5g_mobility.dir/drive.cpp.o" "gcc" "src/mobility/CMakeFiles/wild5g_mobility.dir/drive.cpp.o.d"
+  "/root/repo/src/mobility/route.cpp" "src/mobility/CMakeFiles/wild5g_mobility.dir/route.cpp.o" "gcc" "src/mobility/CMakeFiles/wild5g_mobility.dir/route.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wild5g_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wild5g_radio.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

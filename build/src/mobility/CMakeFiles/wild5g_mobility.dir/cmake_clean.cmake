@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild5g_mobility.dir/drive.cpp.o"
+  "CMakeFiles/wild5g_mobility.dir/drive.cpp.o.d"
+  "CMakeFiles/wild5g_mobility.dir/route.cpp.o"
+  "CMakeFiles/wild5g_mobility.dir/route.cpp.o.d"
+  "libwild5g_mobility.a"
+  "libwild5g_mobility.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild5g_mobility.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

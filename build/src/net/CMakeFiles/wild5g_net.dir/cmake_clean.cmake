@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild5g_net.dir/speedtest.cpp.o"
+  "CMakeFiles/wild5g_net.dir/speedtest.cpp.o.d"
+  "libwild5g_net.a"
+  "libwild5g_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild5g_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild5g_power.dir/campaign.cpp.o"
+  "CMakeFiles/wild5g_power.dir/campaign.cpp.o.d"
+  "CMakeFiles/wild5g_power.dir/fitting.cpp.o"
+  "CMakeFiles/wild5g_power.dir/fitting.cpp.o.d"
+  "CMakeFiles/wild5g_power.dir/monitor.cpp.o"
+  "CMakeFiles/wild5g_power.dir/monitor.cpp.o.d"
+  "CMakeFiles/wild5g_power.dir/power_model.cpp.o"
+  "CMakeFiles/wild5g_power.dir/power_model.cpp.o.d"
+  "CMakeFiles/wild5g_power.dir/waveform.cpp.o"
+  "CMakeFiles/wild5g_power.dir/waveform.cpp.o.d"
+  "libwild5g_power.a"
+  "libwild5g_power.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild5g_power.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

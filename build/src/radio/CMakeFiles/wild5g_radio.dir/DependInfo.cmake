@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/radio/channel.cpp" "src/radio/CMakeFiles/wild5g_radio.dir/channel.cpp.o" "gcc" "src/radio/CMakeFiles/wild5g_radio.dir/channel.cpp.o.d"
+  "/root/repo/src/radio/handoff.cpp" "src/radio/CMakeFiles/wild5g_radio.dir/handoff.cpp.o" "gcc" "src/radio/CMakeFiles/wild5g_radio.dir/handoff.cpp.o.d"
+  "/root/repo/src/radio/types.cpp" "src/radio/CMakeFiles/wild5g_radio.dir/types.cpp.o" "gcc" "src/radio/CMakeFiles/wild5g_radio.dir/types.cpp.o.d"
+  "/root/repo/src/radio/ue.cpp" "src/radio/CMakeFiles/wild5g_radio.dir/ue.cpp.o" "gcc" "src/radio/CMakeFiles/wild5g_radio.dir/ue.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wild5g_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

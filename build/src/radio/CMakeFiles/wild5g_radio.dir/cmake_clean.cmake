@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild5g_radio.dir/channel.cpp.o"
+  "CMakeFiles/wild5g_radio.dir/channel.cpp.o.d"
+  "CMakeFiles/wild5g_radio.dir/handoff.cpp.o"
+  "CMakeFiles/wild5g_radio.dir/handoff.cpp.o.d"
+  "CMakeFiles/wild5g_radio.dir/types.cpp.o"
+  "CMakeFiles/wild5g_radio.dir/types.cpp.o.d"
+  "CMakeFiles/wild5g_radio.dir/ue.cpp.o"
+  "CMakeFiles/wild5g_radio.dir/ue.cpp.o.d"
+  "libwild5g_radio.a"
+  "libwild5g_radio.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild5g_radio.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/rrc/live_machine.cpp" "src/rrc/CMakeFiles/wild5g_rrc.dir/live_machine.cpp.o" "gcc" "src/rrc/CMakeFiles/wild5g_rrc.dir/live_machine.cpp.o.d"
+  "/root/repo/src/rrc/probe.cpp" "src/rrc/CMakeFiles/wild5g_rrc.dir/probe.cpp.o" "gcc" "src/rrc/CMakeFiles/wild5g_rrc.dir/probe.cpp.o.d"
+  "/root/repo/src/rrc/rrc_config.cpp" "src/rrc/CMakeFiles/wild5g_rrc.dir/rrc_config.cpp.o" "gcc" "src/rrc/CMakeFiles/wild5g_rrc.dir/rrc_config.cpp.o.d"
+  "/root/repo/src/rrc/state_machine.cpp" "src/rrc/CMakeFiles/wild5g_rrc.dir/state_machine.cpp.o" "gcc" "src/rrc/CMakeFiles/wild5g_rrc.dir/state_machine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wild5g_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wild5g_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wild5g_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

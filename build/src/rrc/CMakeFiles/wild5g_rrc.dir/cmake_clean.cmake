@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild5g_rrc.dir/live_machine.cpp.o"
+  "CMakeFiles/wild5g_rrc.dir/live_machine.cpp.o.d"
+  "CMakeFiles/wild5g_rrc.dir/probe.cpp.o"
+  "CMakeFiles/wild5g_rrc.dir/probe.cpp.o.d"
+  "CMakeFiles/wild5g_rrc.dir/rrc_config.cpp.o"
+  "CMakeFiles/wild5g_rrc.dir/rrc_config.cpp.o.d"
+  "CMakeFiles/wild5g_rrc.dir/state_machine.cpp.o"
+  "CMakeFiles/wild5g_rrc.dir/state_machine.cpp.o.d"
+  "libwild5g_rrc.a"
+  "libwild5g_rrc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild5g_rrc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

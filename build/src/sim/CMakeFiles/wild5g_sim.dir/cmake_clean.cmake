@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild5g_sim.dir/simulator.cpp.o"
+  "CMakeFiles/wild5g_sim.dir/simulator.cpp.o.d"
+  "libwild5g_sim.a"
+  "libwild5g_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild5g_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild5g_traces.dir/trace_io.cpp.o"
+  "CMakeFiles/wild5g_traces.dir/trace_io.cpp.o.d"
+  "CMakeFiles/wild5g_traces.dir/traces.cpp.o"
+  "CMakeFiles/wild5g_traces.dir/traces.cpp.o.d"
+  "libwild5g_traces.a"
+  "libwild5g_traces.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild5g_traces.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild5g_transport.dir/bbr.cpp.o"
+  "CMakeFiles/wild5g_transport.dir/bbr.cpp.o.d"
+  "CMakeFiles/wild5g_transport.dir/tcp.cpp.o"
+  "CMakeFiles/wild5g_transport.dir/tcp.cpp.o.d"
+  "libwild5g_transport.a"
+  "libwild5g_transport.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild5g_transport.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild5g_web.dir/page_load.cpp.o"
+  "CMakeFiles/wild5g_web.dir/page_load.cpp.o.d"
+  "CMakeFiles/wild5g_web.dir/selector.cpp.o"
+  "CMakeFiles/wild5g_web.dir/selector.cpp.o.d"
+  "CMakeFiles/wild5g_web.dir/website.cpp.o"
+  "CMakeFiles/wild5g_web.dir/website.cpp.o.d"
+  "libwild5g_web.a"
+  "libwild5g_web.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild5g_web.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

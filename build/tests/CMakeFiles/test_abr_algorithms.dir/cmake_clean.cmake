@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abr_algorithms.dir/test_abr_algorithms.cpp.o"
+  "CMakeFiles/test_abr_algorithms.dir/test_abr_algorithms.cpp.o.d"
+  "test_abr_algorithms"
+  "test_abr_algorithms.pdb"
+  "test_abr_algorithms[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abr_algorithms.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

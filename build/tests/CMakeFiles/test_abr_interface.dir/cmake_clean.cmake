@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abr_interface.dir/test_abr_interface.cpp.o"
+  "CMakeFiles/test_abr_interface.dir/test_abr_interface.cpp.o.d"
+  "test_abr_interface"
+  "test_abr_interface.pdb"
+  "test_abr_interface[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abr_interface.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abr_pensieve.dir/test_abr_pensieve.cpp.o"
+  "CMakeFiles/test_abr_pensieve.dir/test_abr_pensieve.cpp.o.d"
+  "test_abr_pensieve"
+  "test_abr_pensieve.pdb"
+  "test_abr_pensieve[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abr_pensieve.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

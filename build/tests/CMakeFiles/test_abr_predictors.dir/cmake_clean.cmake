@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abr_predictors.dir/test_abr_predictors.cpp.o"
+  "CMakeFiles/test_abr_predictors.dir/test_abr_predictors.cpp.o.d"
+  "test_abr_predictors"
+  "test_abr_predictors.pdb"
+  "test_abr_predictors[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abr_predictors.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

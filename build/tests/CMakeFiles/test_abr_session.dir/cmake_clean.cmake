@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_abr_session.dir/test_abr_session.cpp.o"
+  "CMakeFiles/test_abr_session.dir/test_abr_session.cpp.o.d"
+  "test_abr_session"
+  "test_abr_session.pdb"
+  "test_abr_session[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_abr_session.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_core_rng_table.dir/test_core_rng_table.cpp.o"
+  "CMakeFiles/test_core_rng_table.dir/test_core_rng_table.cpp.o.d"
+  "test_core_rng_table"
+  "test_core_rng_table.pdb"
+  "test_core_rng_table[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_core_rng_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

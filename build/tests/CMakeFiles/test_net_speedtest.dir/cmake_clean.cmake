@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net_speedtest.dir/test_net_speedtest.cpp.o"
+  "CMakeFiles/test_net_speedtest.dir/test_net_speedtest.cpp.o.d"
+  "test_net_speedtest"
+  "test_net_speedtest.pdb"
+  "test_net_speedtest[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net_speedtest.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_fitting.dir/test_power_fitting.cpp.o"
+  "CMakeFiles/test_power_fitting.dir/test_power_fitting.cpp.o.d"
+  "test_power_fitting"
+  "test_power_fitting.pdb"
+  "test_power_fitting[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_fitting.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

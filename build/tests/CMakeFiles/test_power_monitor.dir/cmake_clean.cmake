@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_power_monitor.dir/test_power_monitor.cpp.o"
+  "CMakeFiles/test_power_monitor.dir/test_power_monitor.cpp.o.d"
+  "test_power_monitor"
+  "test_power_monitor.pdb"
+  "test_power_monitor[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_power_monitor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

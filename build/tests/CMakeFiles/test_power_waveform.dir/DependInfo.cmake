@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_power_waveform.cpp" "tests/CMakeFiles/test_power_waveform.dir/test_power_waveform.cpp.o" "gcc" "tests/CMakeFiles/test_power_waveform.dir/test_power_waveform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/power/CMakeFiles/wild5g_power.dir/DependInfo.cmake"
+  "/root/repo/build/src/rrc/CMakeFiles/wild5g_rrc.dir/DependInfo.cmake"
+  "/root/repo/build/src/radio/CMakeFiles/wild5g_radio.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/wild5g_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/ml/CMakeFiles/wild5g_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wild5g_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radio_channel.dir/test_radio_channel.cpp.o"
+  "CMakeFiles/test_radio_channel.dir/test_radio_channel.cpp.o.d"
+  "test_radio_channel"
+  "test_radio_channel.pdb"
+  "test_radio_channel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radio_channel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_radio_handoff.dir/test_radio_handoff.cpp.o"
+  "CMakeFiles/test_radio_handoff.dir/test_radio_handoff.cpp.o.d"
+  "test_radio_handoff"
+  "test_radio_handoff.pdb"
+  "test_radio_handoff[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_radio_handoff.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_rrc_probe.dir/test_rrc_probe.cpp.o"
+  "CMakeFiles/test_rrc_probe.dir/test_rrc_probe.cpp.o.d"
+  "test_rrc_probe"
+  "test_rrc_probe.pdb"
+  "test_rrc_probe[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_rrc_probe.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_transport_bbr.dir/test_transport_bbr.cpp.o"
+  "CMakeFiles/test_transport_bbr.dir/test_transport_bbr.cpp.o.d"
+  "test_transport_bbr"
+  "test_transport_bbr.pdb"
+  "test_transport_bbr[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_transport_bbr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

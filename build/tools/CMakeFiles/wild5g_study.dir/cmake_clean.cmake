@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wild5g_study.dir/wild5g_study.cpp.o"
+  "CMakeFiles/wild5g_study.dir/wild5g_study.cpp.o.d"
+  "wild5g_study"
+  "wild5g_study.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wild5g_study.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
