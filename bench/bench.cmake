@@ -1,11 +1,42 @@
 # Bench binaries land in build/bench/ (executables only) so that
 # `for b in build/bench/*; do $b; done` runs the whole harness.
+#
+# Every bench is also a golden-metrics regression gate: it emits its
+# figure/table data as JSON (`--json <path>`), bench/golden/ holds the
+# committed baselines generated at kBenchSeed, and `ctest -R golden.` runs
+# each bench -> tools/golden_check cycle. `cmake --build build --target
+# regen-goldens` rewrites the baselines after an intentional change.
+set(WILD5G_GOLDEN_DIR ${CMAKE_SOURCE_DIR}/bench/golden)
+set(WILD5G_GOLDEN_SCRATCH ${CMAKE_BINARY_DIR}/bench-golden-out)
+
+add_custom_target(regen-goldens
+  COMMENT "Regenerated golden baselines in bench/golden/")
+
 function(wild5g_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
   target_link_libraries(${name} PRIVATE ${ARGN})
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)
+
+  if(BUILD_TESTING)
+    add_test(NAME golden.${name}
+      COMMAND ${CMAKE_COMMAND}
+        -DBENCH_BIN=$<TARGET_FILE:${name}>
+        -DOUT=${WILD5G_GOLDEN_SCRATCH}/${name}.json
+        -DGOLDEN=${WILD5G_GOLDEN_DIR}/${name}.json
+        -DGOLDEN_CHECK=$<TARGET_FILE:golden_check>
+        -P ${CMAKE_SOURCE_DIR}/bench/golden_run.cmake)
+  endif()
+
+  add_custom_target(regen-golden-${name}
+    COMMAND ${CMAKE_COMMAND}
+      -DBENCH_BIN=$<TARGET_FILE:${name}>
+      -DOUT=${WILD5G_GOLDEN_DIR}/${name}.json
+      -P ${CMAKE_SOURCE_DIR}/bench/golden_run.cmake
+    DEPENDS ${name}
+    COMMENT "Regenerating golden baseline for ${name}")
+  add_dependencies(regen-goldens regen-golden-${name})
 endfunction()
 
 wild5g_bench(bench_table1_campaign wild5g_net wild5g_rrc wild5g_power wild5g_web wild5g_traces)

@@ -10,7 +10,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "ablation_abr");
   bench::banner("Ablation", "ABR design knobs over mmWave 5G");
 
   Rng rng(bench::kBenchSeed);
@@ -35,7 +36,7 @@ int main() {
                      Table::num(q.mean_stall_percent, 2),
                      Table::num(q.mean_normalized_qoe, 3)});
     }
-    table.print(std::cout);
+    emitter.report(table);
   }
 
   // --- Max buffer sweep (robustMPC). ---
@@ -54,7 +55,7 @@ int main() {
                      Table::num(q.mean_normalized_bitrate, 3),
                      Table::num(q.mean_stall_percent, 2)});
     }
-    table.print(std::cout);
+    emitter.report(table);
   }
 
   // --- Segment abandonment on/off (fastMPC). ---
@@ -73,7 +74,7 @@ int main() {
                      Table::num(q.mean_normalized_bitrate, 3),
                      Table::num(q.mean_stall_percent, 2)});
     }
-    table.print(std::cout);
+    emitter.report(table);
   }
 
   bench::measured_note(

@@ -9,7 +9,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "ablation_handoff");
   bench::banner("Ablation", "A3 handoff hysteresis / time-to-trigger sweep");
   bench::paper_note(
       "Fig. 9's LTE layer shows ~30 handoffs incl. ping-pong at cell edges;"
@@ -47,7 +48,7 @@ int main() {
                      Table::num(pingpongs / runs, 1)});
     }
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   bench::measured_note(
       "small hysteresis + zero TTT floods the control plane with edge"

@@ -11,7 +11,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "ablation_power_model");
   bench::banner("Ablation", "Power-model capacity and data requirements");
 
   power::WalkingCampaignConfig campaign;
@@ -38,7 +39,7 @@ int main() {
       table.add_row({std::to_string(depth),
                      Table::num(fit.test_mape_percent(), 2)});
     }
-    table.print(std::cout);
+    emitter.report(table);
   }
 
   // --- Campaign-size sweep. ---
@@ -56,7 +57,7 @@ int main() {
                      std::to_string(subset.size()),
                      Table::num(fit.test_mape_percent(), 2)});
     }
-    table.print(std::cout);
+    emitter.report(table);
   }
 
   bench::measured_note(

@@ -9,7 +9,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "ablation_transport");
   bench::banner("Ablation", "tcp_wmem sweep vs RTT (single connection)");
   bench::paper_note(
       "Sec. 3.2: the sender's buffer must at least cover the path BDP;"
@@ -44,7 +45,7 @@ int main() {
     }
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   bench::measured_note(
       "below the knee, goodput ~ wmem/RTT (halving RTT doubles it); above"

@@ -12,7 +12,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "baseline_2019");
   bench::banner("Sec. 3.2 (longitudinal)",
                 "2021 campaign vs the 2019 5Gophers baseline");
   bench::paper_note(
@@ -71,7 +72,7 @@ int main() {
                  std::to_string(
                      radio::galaxy_s20u().mmwave_dl_component_carriers),
                  "2x", "4CC -> 8CC"});
-  table.print(std::cout);
+  emitter.report(table);
 
   bench::measured_note(
       "all three longitudinal deltas land on the paper's claims; the"

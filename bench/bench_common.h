@@ -1,11 +1,24 @@
 // Shared helpers for the benchmark binaries. Each bench regenerates one of
 // the paper's tables or figures from the simulated substrate and prints the
 // paper's reported values alongside for comparison.
+//
+// Every bench routes its tables through a MetricsEmitter so that, with
+// `--json <path>`, the same run also produces a machine-checkable metrics
+// document. Committed baselines live in bench/golden/ and `ctest -R golden.`
+// diffs fresh runs against them (see tools/golden_check.cpp).
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <exception>
+#include <fstream>
 #include <iostream>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/error.h"
+#include "core/json.h"
 #include "core/table.h"
 
 namespace wild5g::bench {
@@ -26,5 +39,132 @@ inline void paper_note(const std::string& text) {
 inline void measured_note(const std::string& text) {
   std::cout << "[repro] " << text << "\n";
 }
+
+/// Collects a bench run's figure/table data and, when the binary was invoked
+/// with `--json <path>` (or `--json=<path>`), writes it as deterministic JSON
+/// on destruction. Recognized flags are stripped from argv so benches that
+/// forward argv to another flag parser (google-benchmark) stay compatible.
+class MetricsEmitter {
+ public:
+  MetricsEmitter(int& argc, char** argv, std::string bench_id)
+      : bench_id_(std::move(bench_id)) {
+    int kept = 1;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      if (arg == "--json" && i + 1 < argc) {
+        json_path_ = argv[++i];
+      } else if (arg.rfind("--json=", 0) == 0) {
+        json_path_ = arg.substr(7);
+      } else {
+        argv[kept++] = argv[i];
+      }
+    }
+    argc = kept;
+    doc_ = json::Value::object();
+    doc_.set("bench", bench_id_);
+    doc_.set("seed", kBenchSeed);
+    tables_ = json::Value::array();
+    metrics_ = json::Value::object();
+    tolerances_ = json::Value::object();
+  }
+
+  MetricsEmitter(const MetricsEmitter&) = delete;
+  MetricsEmitter& operator=(const MetricsEmitter&) = delete;
+
+  ~MetricsEmitter() {
+    if (json_path_.empty()) return;
+    try {
+      write(json_path_);
+    } catch (const std::exception& e) {
+      // Leave no output file behind: a missing document makes the golden
+      // gate fail loudly instead of comparing against a stale artifact.
+      std::remove(json_path_.c_str());
+      std::cerr << "MetricsEmitter: failed to write '" << json_path_
+                << "': " << e.what() << "\n";
+    }
+  }
+
+  /// True when this run was asked for a JSON document; benches with
+  /// machine-dependent phases (microbenchmark timing) skip them under this.
+  [[nodiscard]] bool json_requested() const { return !json_path_.empty(); }
+
+  /// Default tolerance written into the document; golden_check uses the
+  /// GOLDEN file's tolerance, so regenerating goldens is how these take
+  /// effect.
+  void set_tolerance(double rel, double abs) {
+    rel_ = rel;
+    abs_ = abs;
+  }
+
+  /// Per-metric override, keyed by a metric name or a table title.
+  void set_tolerance(const std::string& name, double rel, double abs) {
+    json::Value entry = json::Value::object();
+    entry.set("rel", rel);
+    entry.set("abs", abs);
+    tolerances_.set(name, std::move(entry));
+  }
+
+  /// Prints the table to stdout (as before) and records it in the document.
+  void report(const Table& table) {
+    table.print(std::cout);
+    record(table);
+  }
+
+  /// Records a table without printing (for inventory-only documents).
+  void record(const Table& table) {
+    json::Value entry = json::Value::object();
+    entry.set("title", table.title());
+    json::Value header = json::Value::array();
+    for (const auto& cell : table.header()) header.push_back(cell);
+    entry.set("header", std::move(header));
+    json::Value rows = json::Value::array();
+    for (const auto& row : table.rows()) {
+      json::Value cells = json::Value::array();
+      for (const auto& cell : row) cells.push_back(cell);
+      rows.push_back(std::move(cells));
+    }
+    entry.set("rows", std::move(rows));
+    tables_.push_back(std::move(entry));
+  }
+
+  /// Records a named scalar metric (raw double, not a formatted cell).
+  void metric(const std::string& name, double value) {
+    metrics_.set(name, value);
+  }
+
+  /// Assembles the document in its final shape.
+  [[nodiscard]] json::Value document() const {
+    json::Value doc = doc_;
+    json::Value tolerance = json::Value::object();
+    tolerance.set("rel", rel_);
+    tolerance.set("abs", abs_);
+    doc.set("tolerance", std::move(tolerance));
+    if (tolerances_.size() > 0) doc.set("tolerances", tolerances_);
+    doc.set("tables", tables_);
+    doc.set("metrics", metrics_);
+    return doc;
+  }
+
+  /// Writes the document to `path`; throws wild5g::Error on I/O failure.
+  void write(const std::string& path) const {
+    const std::string text = json::dump(document());
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    require(out.good(),
+            "MetricsEmitter: cannot open '" + path + "' for writing");
+    out << text;
+    out.flush();
+    require(out.good(), "MetricsEmitter: write to '" + path + "' failed");
+  }
+
+ private:
+  std::string bench_id_;
+  std::string json_path_;
+  double rel_ = 1e-6;
+  double abs_ = 1e-9;
+  json::Value doc_;
+  json::Value tables_;
+  json::Value metrics_;
+  json::Value tolerances_;
+};
 
 }  // namespace wild5g::bench

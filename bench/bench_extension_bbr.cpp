@@ -15,7 +15,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "extension_bbr");
   bench::banner("Extension",
                 "BBR vs CUBIC single-connection downlink (Azure regions)");
   bench::paper_note(
@@ -62,7 +63,7 @@ int main() {
                    Table::num(cubic, 0), Table::num(bbr, 0),
                    Table::num(bbr / cubic, 2) + "x"});
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   bench::measured_note(
       "BBR stays within a few percent of UDP at every distance, while CUBIC"

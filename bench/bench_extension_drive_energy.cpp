@@ -14,7 +14,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "extension_drive_energy");
   bench::banner("Extension", "Control-plane energy of the Fig. 9 drive");
   bench::paper_note(
       "Every vertical handoff in NSA pays the 4G->5G switch burst"
@@ -61,7 +62,7 @@ int main() {
                    Table::num(horizontal, 1), Table::num(energy, 1),
                    Table::num(energy / 10.0, 2)});
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   bench::measured_note(
       "NSA's vertical-handoff storm costs an order of magnitude more switch"

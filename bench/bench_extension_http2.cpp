@@ -10,7 +10,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "extension_http2");
   bench::banner("Extension", "HTTP/1.1 pool vs HTTP/2 multiplexing");
   bench::paper_note(
       "Request round-trips dominate PLT for object-heavy pages; mmWave's"
@@ -45,7 +46,7 @@ int main() {
                      Table::num(energy / (2.0 * corpus.size()), 2)});
     }
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   bench::measured_note(
       "multiplexing compresses the 4G-vs-5G PLT gap on small pages and"

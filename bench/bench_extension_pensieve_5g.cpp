@@ -15,7 +15,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "extension_pensieve_5g");
   bench::banner("Extension", "Learned ABR retrained on 5G traces");
   bench::paper_note(
       "Tests the paper's hypothesis: a learned policy trained with 5G"
@@ -73,7 +74,7 @@ int main() {
     if (row.algorithm == &trained_4g) stall_4g_trained = q.mean_stall_percent;
     if (row.algorithm == &trained_5g) stall_5g_trained = q.mean_stall_percent;
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   bench::measured_note(
       "retraining on 5G traces cuts the learned policy's stall rate by " +

@@ -11,7 +11,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig01_02_latency_distance");
   bench::banner("Fig. 1 + Fig. 2", "Impact of UE-Server distance on RTT");
   bench::paper_note(
       "RTT ~6 ms at the nearest (~3 km) server, roughly doubling by ~320 km;"
@@ -59,7 +60,7 @@ int main() {
     distances.push_back(km);
     table.add_row(std::move(row));
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   // Headline comparisons.
   const auto fit_mm = stats::linear_fit(distances, rtts[0]);

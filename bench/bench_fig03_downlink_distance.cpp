@@ -10,7 +10,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig03_downlink_distance");
   bench::banner("Fig. 3", "[Verizon mmWave] downlink vs UE-server distance");
   bench::paper_note(
       "Multiple connections sustain >3 Gbps across all US servers; a single"
@@ -52,7 +53,7 @@ int main() {
     if (km < 100.0) single_near = single.downlink_mbps;
     single_far = single.downlink_mbps;  // last (farthest) after sort
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   bench::measured_note("multi-conn minimum across servers = " +
                        Table::num(multi_min, 0) +

@@ -9,7 +9,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig04_uplink_distance");
   bench::banner("Fig. 4", "[Verizon mmWave] uplink vs UE-server distance");
   bench::paper_note(
       "Both single and multiple connection uplink tests reach ~220 Mbps"
@@ -45,7 +46,7 @@ int main() {
                    Table::num(single.uplink_mbps, 0)});
     peak = std::max(peak, multi.uplink_mbps);
   }
-  table.print(std::cout);
+  emitter.report(table);
   bench::measured_note("peak uplink = " + Table::num(peak, 0) +
                        " Mbps (paper: ~220 Mbps)");
   return 0;

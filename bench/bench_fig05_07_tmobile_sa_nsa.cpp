@@ -10,7 +10,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig05_07_tmobile_sa_nsa");
   bench::banner("Fig. 5-7",
                 "[T-Mobile] SA vs NSA low-band: RTT / downlink / uplink");
   bench::paper_note(
@@ -63,7 +64,7 @@ int main() {
     rtt_gap += r_sa.rtt_ms - r_nsa.rtt_ms;
     ++rows;
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   bench::measured_note("mean SA/NSA downlink ratio = " +
                        Table::num(dl_ratio / rows, 2) + " (paper: ~0.5)");

@@ -11,7 +11,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig08_transport_tuning");
   bench::banner("Fig. 8",
                 "Azure regions: UDP vs TCP-8 vs tuned/default single TCP");
   bench::paper_note(
@@ -75,7 +76,7 @@ int main() {
     default_max = std::max(default_max, dflt);
     ++rows;
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   bench::measured_note("default 1-TCP max = " + Table::num(default_max, 0) +
                        " Mbps (paper: <= ~500 Mbps at every region)");

@@ -8,7 +8,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig09_handoffs");
   bench::banner("Fig. 9",
                 "[T-Mobile] handoffs while driving, five band settings");
   bench::paper_note(
@@ -57,13 +58,17 @@ int main() {
                    Table::num(100.0 * f_sa / drives, 0),
                    std::to_string(paper_total)});
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   // One representative timeline, as in the figure's horizontal bars.
   Rng rng(bench::kBenchSeed);
   const auto route = mobility::driving_route(rng);
   const auto result = mobility::simulate_drive(
       mobility::BandSetting::kNsaPlusLte, route, {}, rng);
+  emitter.metric("representative_nsa_segments",
+                 static_cast<double>(result.segments.size()));
+  emitter.metric("representative_nsa_handoffs",
+                 static_cast<double>(result.total_handoffs()));
   std::cout << "Representative NSA-5G + LTE timeline (first 12 segments):\n";
   for (std::size_t i = 0; i < std::min<std::size_t>(12, result.segments.size());
        ++i) {

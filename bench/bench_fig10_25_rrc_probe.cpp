@@ -10,7 +10,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig10_25_rrc_probe");
   bench::banner("Fig. 10 + Fig. 25",
                 "RRC-Probe: RTT vs idle gap for all six configurations");
   bench::paper_note(
@@ -38,7 +39,7 @@ int main() {
                      Table::num(stats::percentile(rtts, 90.0), 0),
                      rrc::to_string(rrc::state_after_gap(config, gap))});
     }
-    table.print(std::cout);
+    emitter.report(table);
   }
   bench::measured_note(
       "plateau structure per configuration matches the figure: three levels"

@@ -12,8 +12,8 @@ using radio::Direction;
 
 namespace {
 
-void sweep(const DevicePowerProfile& device, Direction direction,
-           double max_mbps, double step_mbps) {
+void sweep(bench::MetricsEmitter& emitter, const DevicePowerProfile& device,
+           Direction direction, double max_mbps, double step_mbps) {
   const std::string dir_label = radio::to_string(direction);
   Table table("S20U " + dir_label + ": power (W) vs throughput (Mbps)");
   table.set_header({"Mbps", "mmWave 5G", "Low-Band 5G", "4G/LTE"});
@@ -28,7 +28,7 @@ void sweep(const DevicePowerProfile& device, Direction direction,
                    cell(RailKey::kNsaLowBand, dl ? 220.0 : 110.0),
                    cell(RailKey::k4g, dl ? 200.0 : 90.0)});
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   const auto mm = device.rail(RailKey::kNsaMmWave, direction);
   const auto lte = device.rail(RailKey::k4g, direction);
@@ -42,7 +42,8 @@ void sweep(const DevicePowerProfile& device, Direction direction,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig11_throughput_power");
   bench::banner("Fig. 11", "Throughput vs power for 4G and 5G (S20U)");
   bench::paper_note(
       "Power rises linearly with throughput on every radio; mmWave's slope"
@@ -50,7 +51,7 @@ int main() {
       " (UL) and below low-band 5G at 189 / 123 Mbps.");
 
   const auto s20u = DevicePowerProfile::s20u();
-  sweep(s20u, Direction::kDownlink, 2000.0, 200.0);
-  sweep(s20u, Direction::kUplink, 200.0, 20.0);
+  sweep(emitter, s20u, Direction::kDownlink, 2000.0, 200.0);
+  sweep(emitter, s20u, Direction::kUplink, 200.0, 20.0);
   return 0;
 }

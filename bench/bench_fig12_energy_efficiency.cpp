@@ -11,7 +11,8 @@ using power::DevicePowerProfile;
 using power::RailKey;
 using radio::Direction;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig12_energy_efficiency");
   bench::banner("Fig. 12", "Throughput vs energy efficiency (S20U)");
   bench::paper_note(
       "log E is linear in log T with slope -> -1 at low throughput; over"
@@ -38,7 +39,7 @@ int main() {
                      cell(RailKey::kNsaLowBand, dl ? 220.0 : 110.0),
                      cell(RailKey::k4g, dl ? 200.0 : 90.0)});
     }
-    table.print(std::cout);
+    emitter.report(table);
 
     // Headline ratios: at low throughput and at each link's high end.
     const double low_t = dl ? 8.0 : 4.0;

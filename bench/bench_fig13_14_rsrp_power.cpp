@@ -19,7 +19,8 @@ struct City {
   power::DevicePowerProfile device;
 };
 
-void report_city(const City& city, std::uint64_t seed) {
+void report_city(bench::MetricsEmitter& emitter, const City& city,
+                 std::uint64_t seed) {
   std::vector<power::CampaignSample> all;
   for (std::size_t i = 0; i < city.configs.size(); ++i) {
     for (int trace = 0; trace < 10; ++trace) {  // 10 loops per setting
@@ -62,13 +63,14 @@ void report_city(const City& city, std::uint64_t seed) {
       fig14.add_row({bin, Table::num(stats::median(uj_per_bit), 4)});
     }
   }
-  fig13.print(std::cout);
-  fig14.print(std::cout);
+  emitter.report(fig13);
+  emitter.report(fig14);
 }
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig13_14_rsrp_power");
   bench::banner("Fig. 13 + Fig. 14",
                 "Power-RSRP-throughput relationship (walking campaigns)");
   bench::paper_note(
@@ -91,8 +93,8 @@ int main() {
                    {{.network = mmwave, .ue = radio::galaxy_s20u()},
                     {.network = lowband, .ue = radio::galaxy_s20u()}},
                    power::DevicePowerProfile::s20u()};
-  report_city(ann_arbor, bench::kBenchSeed);
-  report_city(minneapolis, bench::kBenchSeed + 1);
+  report_city(emitter, ann_arbor, bench::kBenchSeed);
+  report_city(emitter, minneapolis, bench::kBenchSeed + 1);
 
   bench::measured_note(
       "energy/bit decreases monotonically with RSRP in both cities;"

@@ -14,7 +14,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig15_16_power_models");
   bench::banner("Fig. 15 + Fig. 16",
                 "Power-model MAPE by feature set; software calibration");
   bench::paper_note(
@@ -72,7 +73,7 @@ int main() {
     }
     fig15.add_row(std::move(row));
   }
-  fig15.print(std::cout);
+  emitter.report(fig15);
 
   // Fig. 16: software-monitor calibration (S20U mmWave busy waveform).
   const auto profile = rrc::profile_by_name("Verizon NSA mmWave");
@@ -111,7 +112,7 @@ int main() {
     fig16.add_row({"SW-" + Table::num(rate, 0) + "Hz calibrated",
                    Table::num(calibrated, 2)});
   }
-  fig16.print(std::cout);
+  emitter.report(fig16);
 
   bench::measured_note(
       "TH+SS < TH << SS on every setting, and calibrated 10 Hz software"

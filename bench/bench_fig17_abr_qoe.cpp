@@ -11,7 +11,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig17_abr_qoe");
   bench::banner("Fig. 17", "ABR QoE over 5G vs 4G (7 algorithms)");
   bench::paper_note(
       "Normalized bitrates stay similar across 4G and 5G (avg drop ~3.5%),"
@@ -91,7 +92,10 @@ int main() {
       best_5g = algorithm->name();
     }
   }
-  table.print(std::cout);
+  emitter.report(table);
+  emitter.metric("mean_bitrate_drop_pp", 100.0 * bitrate_drop / 7.0);
+  emitter.metric("mean_stall_increase_pp", stall_increase / 7.0);
+  emitter.metric("better_qoe_5g_count", better_qoe_5g);
 
   bench::measured_note("mean 4G->5G normalized-bitrate drop = " +
                        Table::num(100.0 * bitrate_drop / 7.0, 1) +

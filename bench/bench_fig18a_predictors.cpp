@@ -10,7 +10,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig18a_predictors");
   bench::banner("Fig. 18a", "Throughput predictors for MPC over 5G");
   bench::paper_note(
       "MPC_GDBT achieves ~32% higher normalized QoE than the default"
@@ -54,7 +55,7 @@ int main() {
     if (predictor == &gbdt) qoe_gbdt = q.mean_normalized_qoe;
     if (predictor == &oracle) qoe_truth = q.mean_normalized_qoe;
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   // The paper's Fig. 18a normalizes QoE so truthMPC ~ 1; its +31.98% gain
   // with only 1.3% left to the oracle means GDBT closes ~96% of the

@@ -9,7 +9,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig18b_chunk_length");
   bench::banner("Fig. 18b", "Chunk length and 5G ABR QoE");
   bench::paper_note(
       "1 s chunks beat 2 s (and 4 s) chunks: +21.5% (+35.9%) bitrate and"
@@ -44,7 +45,7 @@ int main() {
                    Table::num(q.mean_normalized_qoe, 3)});
     points.push_back({q.mean_normalized_bitrate, q.mean_stall_percent});
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   const auto& c4 = points[0];
   const auto& c2 = points[1];

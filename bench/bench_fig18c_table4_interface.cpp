@@ -10,7 +10,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig18c_table4_interface");
   bench::banner("Fig. 18c + Table 4",
                 "5G-aware interface selection for ABR streaming");
   bench::paper_note(
@@ -78,7 +79,7 @@ int main() {
   row("5G-only MPC", only);
   row("5G-aware MPC", aware);
   row("5G-aware MPC NO*", no_overhead);
-  table.print(std::cout);
+  emitter.report(table);
   std::cout << "(*NO = no switch overhead)\n";
 
   bench::measured_note("stall reduction vs 5G-only = " +

@@ -8,7 +8,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig19_20_web_qoe");
   bench::banner("Fig. 19 + Fig. 20", "Web QoE: PLT and energy, 5G vs 4G");
   bench::paper_note(
       "5G always loads faster; 4G always burns less energy; both gaps widen"
@@ -49,7 +50,7 @@ int main() {
                     Table::num(p4 / count, 2), Table::num(p5 / count, 2),
                     Table::num(e4 / count, 2), Table::num(e5 / count, 2)});
   }
-  fig19a.print(std::cout);
+  emitter.report(fig19a);
 
   // Fig. 19b: by total page size.
   const std::vector<std::pair<std::string, std::pair<double, double>>>
@@ -77,7 +78,7 @@ int main() {
                     Table::num(p5 / count, 2), Table::num(e4 / count, 2),
                     Table::num(e5 / count, 2)});
   }
-  fig19b.print(std::cout);
+  emitter.report(fig19b);
 
   // Fig. 20: CDF percentiles.
   std::vector<double> plt4, plt5, en4, en5;
@@ -95,7 +96,7 @@ int main() {
                    Table::num(stats::percentile(en4, p), 2),
                    Table::num(stats::percentile(en5, p), 2)});
   }
-  fig20.print(std::cout);
+  emitter.report(fig20);
 
   bench::measured_note("median PLT: 5G " +
                        Table::num(stats::median(plt5), 2) + " s vs 4G " +

@@ -8,7 +8,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig21_penalty_saving");
   bench::banner("Fig. 21", "4G's PLT penalty vs energy saving over 5G");
   bench::paper_note(
       "Even a 10% PLT penalty buys ~70% energy saving; the saving declines"
@@ -36,7 +37,7 @@ int main() {
                    std::to_string(savings.size()),
                    Table::num(stats::mean(savings), 1)});
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   bench::measured_note(
       "the saving is largest in the lowest-penalty bin and declines with"

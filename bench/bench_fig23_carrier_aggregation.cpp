@@ -10,7 +10,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig23_carrier_aggregation");
   bench::banner("Fig. 23", "UE carrier-aggregation capability (PX5 vs S20U)");
   bench::paper_note(
       "S20U's 8CC downlink lifts throughput 50-60% over PX5's 4CC"
@@ -45,7 +46,7 @@ int main() {
     if (ue.name == "PX5") px5_multi = multi.downlink_mbps;
     if (ue.name == "S20U") s20_multi = multi.downlink_mbps;
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   bench::measured_note("S20U over PX5 = +" +
                        Table::num(100.0 * (s20_multi - px5_multi) / px5_multi,

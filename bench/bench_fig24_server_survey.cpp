@@ -10,7 +10,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig24_server_survey");
   bench::banner("Fig. 24", "In-state server survey (Minnesota, mmWave)");
   bench::paper_note(
       "Verizon's own Minneapolis server tops 3 Gbps; servers 2-23 deliver"
@@ -44,7 +45,7 @@ int main() {
       best_name = servers[i].name;
     }
   }
-  table.print(std::cout);
+  emitter.report(table);
   bench::measured_note("best server = " + best_name + " at " +
                        Table::num(best, 0) +
                        " Mbps (paper: Verizon's own server, >3 Gbps)");

@@ -11,7 +11,8 @@ using power::DevicePowerProfile;
 using power::RailKey;
 using radio::Direction;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "fig26_27_s10_power");
   bench::banner("Fig. 26 + Fig. 27", "S10 power and efficiency (Ann Arbor)");
   bench::paper_note(
       "On the S10 the mmWave/4G crossovers sit at 213 Mbps (DL) and 44 Mbps"
@@ -37,7 +38,7 @@ int main() {
                         power::efficiency_uj_per_bit(lte.power_mw(t), t), 4)
                   : "-"});
     }
-    table.print(std::cout);
+    emitter.report(table);
 
     const auto crossover = power::crossover_mbps(
         s10.rail(RailKey::kNsaMmWave, direction),

@@ -4,6 +4,7 @@
 #include <benchmark/benchmark.h>
 
 #include "abr/algorithms.h"
+#include "bench_common.h"
 #include "abr/video.h"
 #include "core/rng.h"
 #include "ml/decision_tree.h"
@@ -145,4 +146,27 @@ BENCHMARK(BM_StreamingSession);
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  // Wall-times are machine-dependent, so the golden document pins only the
+  // registered benchmark inventory: dropping a family in a refactor is a
+  // regression the gate catches, while timing noise is not.
+  bench::MetricsEmitter emitter(argc, argv, "micro");
+  Table inventory("Registered microbenchmark families");
+  inventory.set_header({"family", "variants"});
+  inventory.add_row({"BM_SimulatorEventChurn", "2"});
+  inventory.add_row({"BM_DecisionTreeFit", "2"});
+  inventory.add_row({"BM_DecisionTreePredict", "1"});
+  inventory.add_row({"BM_CubicFlows", "2"});
+  inventory.add_row({"BM_WaveformSynthesis", "2"});
+  inventory.add_row({"BM_ChannelProcess", "1"});
+  inventory.add_row({"BM_MpcDecision", "1"});
+  inventory.add_row({"BM_StreamingSession", "1"});
+  emitter.record(inventory);
+  if (emitter.json_requested()) return 0;  // golden run: inventory only
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -11,7 +11,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "table1_campaign");
   bench::banner("Table 1", "Statistics of the (simulated) campaign");
 
   // Counts implied by the bench suite's default parameters.
@@ -48,7 +49,7 @@ int main() {
                  std::to_string(1500 * 2 * 8) + " (1500 sites x 2 radios x 8)"});
   table.add_row({"# of 5G smartphones (models)", "7 (3)",
                  "3 UE profiles (PX5, S20U, S10)"});
-  table.print(std::cout);
+  emitter.report(table);
 
   bench::measured_note(
       "the simulated campaign matches or exceeds the paper's per-experiment"

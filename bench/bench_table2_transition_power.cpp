@@ -9,7 +9,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "table2_transition_power");
   bench::banner("Table 2", "Power during RRC state transitions");
   bench::paper_note(
       "Tail power (mW): Verizon 4G 178, T-Mobile 4G 66, Verizon NSA"
@@ -52,7 +53,7 @@ int main() {
                    Table::num(tail_measured, 0), switch_paper,
                    switch_measured});
   }
-  table.print(std::cout);
+  emitter.report(table);
   bench::measured_note(
       "5G tails cost more than 4G (mmWave most of all), and the 4G->5G"
       " switch adds a further burst, matching the paper's conclusion that"

@@ -44,7 +44,8 @@ power::PowerTrace make_waveform(const std::string& activity,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "table3_9_sw_monitor");
   bench::banner("Table 3 + Table 9", "Software power monitor benchmarking");
   bench::paper_note(
       "Table 3: polling the battery API itself costs power (+654 mW @1 Hz,"
@@ -61,7 +62,7 @@ int main() {
   table3.add_row({"Monitor on (10Hz)",
                   Table::num(idle + power::software_monitor_overhead_mw(10.0),
                              1)});
-  table3.print(std::cout);
+  emitter.report(table3);
 
   Table table9("Table 9: relative error = SW / HW");
   table9.set_header({"test case", "@ 1Hz", "@ 10Hz"});
@@ -84,7 +85,7 @@ int main() {
     }
     table9.add_row(std::move(row));
   }
-  table9.print(std::cout);
+  emitter.report(table9);
 
   bench::measured_note(
       "software always under-reads; the 10 Hz column is uniformly closer to"

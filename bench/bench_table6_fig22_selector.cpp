@@ -8,7 +8,8 @@
 
 using namespace wild5g;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "table6_fig22_selector");
   bench::banner("Table 6 + Fig. 22", "DT radio-interface selection");
   bench::paper_note(
       "Over 420 test websites: M1 (0.2/0.8) picks 5G for 401; M5 (0.8/0.2)"
@@ -52,7 +53,7 @@ int main() {
                    Table::num(outcome.plt_penalty_percent, 1)});
     selectors.push_back(std::move(selector));
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   std::cout << "Fig. 22a - M1 (high performance) decision tree:\n"
             << selectors[0].describe_tree() << "\n";

@@ -13,7 +13,8 @@ std::string opt_num(const std::optional<double>& v) {
 }
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "table7_rrc_params");
   bench::banner("Table 7", "RRC parameters recovered by RRC-Probe");
   bench::paper_note(
       "Inferred UE-inactivity timers ~10.2-10.5 s (4G T-Mobile: 5 s); NSA"
@@ -54,7 +55,7 @@ int main() {
                    Table::num(promo_cfg, 0),
                    Table::num(inferred.promotion_estimate_ms, 0)});
   }
-  table.print(std::cout);
+  emitter.report(table);
   bench::measured_note(
       "every timer recovered blind (no access to the generating config)"
       " within a few probe steps of its configured value.");

@@ -13,7 +13,8 @@ using power::DevicePowerProfile;
 using power::RailKey;
 using radio::Direction;
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "table8_slopes");
   bench::banner("Table 8", "Throughput-power slopes (mW per Mbps)");
   bench::paper_note(
       "S10: 4G 13.38/57.99 (DL/UL), mmWave 2.06/5.27. S20U: 4G 14.55/80.21,"
@@ -71,7 +72,7 @@ int main() {
                    Table::num(row.paper_dl, 2), Table::num(ul, 2),
                    Table::num(row.paper_ul, 2), Table::num(ul / dl, 1)});
   }
-  table.print(std::cout);
+  emitter.report(table);
   bench::measured_note(
       "fitted slopes recover the configured (paper) values within meter"
       " noise; every UL/DL ratio falls in the paper's 2.2-5.9x band.");

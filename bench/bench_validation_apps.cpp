@@ -35,7 +35,8 @@ double ground_truth_energy_j(const power::DevicePowerProfile& device,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  bench::MetricsEmitter emitter(argc, argv, "validation_apps");
   bench::banner("Sec. 4.5", "Power-model validation on real applications");
   bench::paper_note(
       "Feeding application packet traces into the TH+SS model reproduces"
@@ -142,7 +143,7 @@ int main() {
                    Table::num(estimated_sum / n, 2),
                    Table::num(100.0 * rel_err_sum / n, 2), "2.1"});
   }
-  table.print(std::cout);
+  emitter.report(table);
 
   bench::measured_note(
       "the data-driven model transfers from the walking campaign to unseen"

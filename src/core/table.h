@@ -32,6 +32,12 @@ class Table {
 
   [[nodiscard]] std::size_t row_count() const { return rows_.size(); }
   [[nodiscard]] const std::string& title() const { return title_; }
+  [[nodiscard]] const std::vector<std::string>& header() const {
+    return header_;
+  }
+  [[nodiscard]] const std::vector<std::vector<std::string>>& rows() const {
+    return rows_;
+  }
 
  private:
   std::string title_;

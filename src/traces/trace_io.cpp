@@ -1,5 +1,6 @@
 #include "traces/trace_io.h"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -23,10 +24,19 @@ double parse_double(const std::string& field, const std::string& what) {
     std::size_t consumed = 0;
     const double value = std::stod(field, &consumed);
     require(consumed == field.size(), "trailing characters");
+    // "nan"/"inf" satisfy stod but would silently poison every downstream
+    // aggregate; surface them as the malformed input they are.
+    require(std::isfinite(value), "non-finite value");
     return value;
   } catch (const std::exception&) {
     throw Error("trace_io: malformed " + what + " field '" + field + "'");
   }
+}
+
+double check_finite(double value, const char* what) {
+  require(std::isfinite(value),
+          std::string("trace_io: cannot serialize non-finite ") + what);
+  return value;
 }
 
 }  // namespace
@@ -36,8 +46,8 @@ void write_traces_csv(std::ostream& out, const std::vector<Trace>& traces) {
   out << std::setprecision(10);
   for (const auto& trace : traces) {
     for (std::size_t i = 0; i < trace.mbps.size(); ++i) {
-      out << trace.id << ',' << trace.interval_s << ',' << i << ','
-          << trace.mbps[i] << '\n';
+      out << trace.id << ',' << check_finite(trace.interval_s, "interval")
+          << ',' << i << ',' << check_finite(trace.mbps[i], "mbps") << '\n';
     }
   }
 }
@@ -88,8 +98,11 @@ void write_campaign_csv(std::ostream& out,
   out << "t_s,rsrp_dbm,dl_mbps,ul_mbps,power_mw\n";
   out << std::setprecision(10);
   for (const auto& s : samples) {
-    out << s.t_s << ',' << s.rsrp_dbm << ',' << s.dl_mbps << ','
-        << s.ul_mbps << ',' << s.power_mw << '\n';
+    out << check_finite(s.t_s, "t_s") << ','
+        << check_finite(s.rsrp_dbm, "rsrp_dbm") << ','
+        << check_finite(s.dl_mbps, "dl_mbps") << ','
+        << check_finite(s.ul_mbps, "ul_mbps") << ','
+        << check_finite(s.power_mw, "power_mw") << '\n';
   }
 }
 

@@ -1,0 +1,60 @@
+// Determinism gate: a bench binary invoked twice at kBenchSeed must produce
+// byte-identical JSON metrics documents. This is what lets the committed
+// goldens in bench/golden/ act as regression baselines at all — any hidden
+// nondeterminism (unseeded RNG, iteration over pointer-keyed maps, time- or
+// address-dependent output) shows up here as a byte diff.
+//
+// WILD5G_BENCH_DIR is injected by tests/CMakeLists.txt and points at the
+// build tree's bench/ output directory.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+namespace {
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << "cannot open " << path;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string run_bench_json(const std::string& bench, const std::string& tag) {
+  const std::string out_path =
+      ::testing::TempDir() + "wild5g_determinism_" + bench + "_" + tag +
+      ".json";
+  std::remove(out_path.c_str());
+  const std::string command = std::string(WILD5G_BENCH_DIR) + "/" + bench +
+                              " --json " + out_path + " > /dev/null";
+  const int rc = std::system(command.c_str());
+  EXPECT_EQ(rc, 0) << command;
+  const std::string content = read_file(out_path);
+  std::remove(out_path.c_str());
+  return content;
+}
+
+void expect_two_runs_identical(const std::string& bench) {
+  const std::string first = run_bench_json(bench, "a");
+  const std::string second = run_bench_json(bench, "b");
+  ASSERT_FALSE(first.empty());
+  EXPECT_EQ(first, second) << bench << " is not run-to-run deterministic";
+  // Sanity: the document is a real metrics document, not an error page.
+  EXPECT_NE(first.find("\"bench\""), std::string::npos);
+  EXPECT_NE(first.find("\"seed\""), std::string::npos);
+  EXPECT_NE(first.find("\"tables\""), std::string::npos);
+}
+
+}  // namespace
+
+TEST(GoldenDeterminism, HandoffBenchIsByteIdentical) {
+  expect_two_runs_identical("bench_fig09_handoffs");
+}
+
+TEST(GoldenDeterminism, AbrQoeBenchIsByteIdentical) {
+  expect_two_runs_identical("bench_fig17_abr_qoe");
+}

@@ -101,6 +101,115 @@ TEST(Simulator, NullHandlerRejected) {
   EXPECT_THROW(sim.schedule_at(1.0, nullptr), wild5g::Error);
 }
 
+TEST(Simulator, SameInstantFifoHoldsAcrossInterleavedSchedules) {
+  // FIFO among same-instant events must follow scheduling order even when
+  // the schedules are interleaved with other instants and issued from
+  // within running handlers.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(10.0, [&] { order.push_back(1); });
+  sim.schedule_at(5.0, [&] {
+    // Scheduled later (from a handler) but for the same instant 10.0:
+    // must fire after the ones scheduled earlier.
+    sim.schedule_at(10.0, [&] { order.push_back(3); });
+  });
+  sim.schedule_at(10.0, [&] { order.push_back(2); });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Simulator, SameInstantEventCanCancelLaterSibling) {
+  // An event may cancel a same-instant event that was scheduled after it;
+  // FIFO guarantees the canceller runs first, so the victim must not fire.
+  Simulator sim;
+  bool victim_fired = false;
+  Simulator* sim_ptr = &sim;
+  wild5g::sim::EventId victim = 0;
+  sim.schedule_at(7.0, [&, sim_ptr] { sim_ptr->cancel(victim); });
+  victim = sim.schedule_at(7.0, [&] { victim_fired = true; });
+  sim.run();
+  EXPECT_FALSE(victim_fired);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(Simulator, CancelOfFiredIdIsNoop) {
+  Simulator sim;
+  int fired = 0;
+  const auto early = sim.schedule_at(1.0, [&] { ++fired; });
+  sim.schedule_at(2.0, [&] {
+    sim.cancel(early);  // already fired: must be a no-op
+    ++fired;
+  });
+  sim.run();
+  EXPECT_EQ(fired, 2);
+  sim.cancel(early);  // and again after the run
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(Simulator, CancelledIdIsNotReusedForNewEvents) {
+  // Cancelling an id and then scheduling again must not resurrect the
+  // cancelled handler or confuse bookkeeping.
+  Simulator sim;
+  bool cancelled_fired = false;
+  bool fresh_fired = false;
+  const auto id = sim.schedule_at(1.0, [&] { cancelled_fired = true; });
+  sim.cancel(id);
+  const auto fresh = sim.schedule_at(1.0, [&] { fresh_fired = true; });
+  EXPECT_NE(id, fresh);
+  sim.run();
+  EXPECT_FALSE(cancelled_fired);
+  EXPECT_TRUE(fresh_fired);
+}
+
+TEST(Simulator, RunUntilFiresEventsAtExactlyTheHorizon) {
+  Simulator sim;
+  bool at_horizon = false;
+  bool past_horizon = false;
+  sim.schedule_at(5.0, [&] { at_horizon = true; });
+  sim.schedule_at(5.0 + 1e-9, [&] { past_horizon = true; });
+  sim.run_until(5.0);
+  EXPECT_TRUE(at_horizon);
+  EXPECT_FALSE(past_horizon);
+  EXPECT_DOUBLE_EQ(sim.now_ms(), 5.0);
+  EXPECT_EQ(sim.pending_count(), 1u);
+}
+
+TEST(Simulator, RunUntilCanBeResumedRepeatedly) {
+  Simulator sim;
+  std::vector<double> fired;
+  for (double t = 1.0; t <= 6.0; t += 1.0) {
+    sim.schedule_at(t, [&fired, &sim] { fired.push_back(sim.now_ms()); });
+  }
+  sim.run_until(2.0);
+  EXPECT_EQ(fired.size(), 2u);
+  sim.run_until(2.0);  // same horizon again: nothing new fires
+  EXPECT_EQ(fired.size(), 2u);
+  sim.run_until(4.5);
+  EXPECT_EQ(fired.size(), 4u);
+  EXPECT_DOUBLE_EQ(sim.now_ms(), 4.5);
+  sim.run();
+  EXPECT_EQ(fired, (std::vector<double>{1.0, 2.0, 3.0, 4.0, 5.0, 6.0}));
+}
+
+TEST(Simulator, PendingCountTracksScheduleCancelAndFire) {
+  Simulator sim;
+  EXPECT_EQ(sim.pending_count(), 0u);
+  const auto a = sim.schedule_at(1.0, [] {});
+  sim.schedule_at(2.0, [] {});
+  const auto c = sim.schedule_at(3.0, [] {});
+  EXPECT_EQ(sim.pending_count(), 3u);
+  sim.cancel(a);
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.cancel(a);  // double-cancel: no effect
+  EXPECT_EQ(sim.pending_count(), 2u);
+  sim.run_until(2.0);
+  EXPECT_EQ(sim.pending_count(), 1u);
+  sim.cancel(c);
+  EXPECT_EQ(sim.pending_count(), 0u);
+  sim.run();  // nothing left; must not fire or throw
+  EXPECT_DOUBLE_EQ(sim.now_ms(), 2.0);
+}
+
 TEST(Simulator, TimerRestartPattern) {
   // The RRC inactivity-timer idiom: cancel + reschedule on each activity.
   Simulator sim;

@@ -3,6 +3,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "core/error.h"
@@ -91,5 +93,55 @@ TEST(TraceIo, CampaignRoundTrip) {
 TEST(TraceIo, CampaignRejectsShortRow) {
   std::stringstream buffer(
       "t_s,rsrp_dbm,dl_mbps,ul_mbps,power_mw\n1,2,3\n");
+  EXPECT_THROW((void)wt::read_campaign_csv(buffer), wild5g::Error);
+}
+
+TEST(TraceIo, RejectsTruncatedRow) {
+  // A file cut off mid-row (fewer fields) or mid-number must raise a clean
+  // wild5g::Error, never parse garbage.
+  {
+    std::stringstream buffer("trace_id,interval_s,index,mbps\nt0,1.0,0\n");
+    EXPECT_THROW((void)wt::read_traces_csv(buffer), wild5g::Error);
+  }
+  {
+    std::stringstream buffer("trace_id,interval_s,index,mbps\nt0,1.0,0,5.3e");
+    EXPECT_THROW((void)wt::read_traces_csv(buffer), wild5g::Error);
+  }
+  {
+    // Header itself truncated.
+    std::stringstream buffer("trace_id,interval_s,ind");
+    EXPECT_THROW((void)wt::read_traces_csv(buffer), wild5g::Error);
+  }
+}
+
+TEST(TraceIo, RejectsNonFiniteFieldsOnRead) {
+  for (const char* bad : {"nan", "inf", "-inf", "NAN"}) {
+    std::stringstream buffer(std::string("trace_id,interval_s,index,mbps\n") +
+                             "t0,1.0,0," + bad + "\n");
+    EXPECT_THROW((void)wt::read_traces_csv(buffer), wild5g::Error)
+        << "field: " << bad;
+  }
+  std::stringstream campaign(
+      "t_s,rsrp_dbm,dl_mbps,ul_mbps,power_mw\n0.0,nan,1,2,3\n");
+  EXPECT_THROW((void)wt::read_campaign_csv(campaign), wild5g::Error);
+}
+
+TEST(TraceIo, RejectsNonFiniteFieldsOnWrite) {
+  wt::Trace trace;
+  trace.id = "t0";
+  trace.interval_s = 1.0;
+  trace.mbps = {1.0, std::nan(""), 3.0};
+  std::stringstream buffer;
+  EXPECT_THROW(wt::write_traces_csv(buffer, {trace}), wild5g::Error);
+
+  std::vector<wild5g::power::CampaignSample> samples(1);
+  samples[0] = {0.0, -90.0, std::numeric_limits<double>::infinity(), 1.0,
+                2000.0};
+  std::stringstream campaign;
+  EXPECT_THROW(wt::write_campaign_csv(campaign, samples), wild5g::Error);
+}
+
+TEST(TraceIo, CampaignEmptyInputRejected) {
+  std::stringstream buffer("");
   EXPECT_THROW((void)wt::read_campaign_csv(buffer), wild5g::Error);
 }
