@@ -92,9 +92,11 @@ class Comparator {
                        Tolerance tol) {
     const double diff = std::fabs(fresh - golden);
     if (diff <= tol.abs || diff <= tol.rel * std::fabs(golden)) return;
-    const double rel =
-        golden != 0.0 ? diff / std::fabs(golden)
-                      : std::numeric_limits<double>::infinity();
+    // wild5g-lint: allow(float-equality) exact-zero guard before dividing;
+    // any nonzero magnitude, however small, has a well-defined relative drift.
+    const double rel = golden != 0.0
+                           ? diff / std::fabs(golden)
+                           : std::numeric_limits<double>::infinity();
     drift(path, "golden " + json::format_number(golden) + ", fresh " +
                     json::format_number(fresh) + " (abs drift " +
                     json::format_number(diff) + ", rel drift " +

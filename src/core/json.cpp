@@ -86,6 +86,8 @@ std::string format_number(double value) {
   // goldens human-readable and the writer deterministic.
   char buffer[40];
   for (int precision = 1; precision <= 17; ++precision) {
+    // wild5g-lint: allow(printf-float) this IS the deterministic formatter:
+    // %.*g feeds the shortest-round-trip search every other caller must use.
     std::snprintf(buffer, sizeof(buffer), "%.*g", precision, value);
     if (std::strtod(buffer, nullptr) == value) break;
   }

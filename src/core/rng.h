@@ -3,9 +3,23 @@
 // Every stochastic component in the library draws from an explicitly threaded
 // Rng so that campaigns, traces, and benchmarks are reproducible bit-for-bit
 // from a seed. Components that need independent streams fork() a child rng.
+//
+// Portability: the raw std::mt19937_64 bit stream is fully specified by the
+// C++ standard, but the std::*_distribution adaptors are only required to be
+// *a* correct distribution — their output differs between libstdc++, libc++,
+// and MSVC. Golden baselines must not depend on which standard library built
+// the binary, so every distribution below is hand-rolled on top of the raw
+// 64-bit stream: uniform doubles via the top 53 bits, integers via unbiased
+// rejection sampling, normal via Box-Muller, exponential/lognormal via
+// inverse transform, bernoulli via a single threshold compare. This class is
+// the only place in the tree allowed to touch <random> — tools/wild5g_lint
+// enforces that (rule ban-raw-engine).
 #pragma once
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
+#include <numbers>
 #include <random>
 #include <span>
 
@@ -13,8 +27,8 @@
 
 namespace wild5g {
 
-/// Seeded pseudo-random source wrapping std::mt19937_64 with the
-/// distributions used throughout the library.
+/// Seeded pseudo-random source built on the (portable) std::mt19937_64 bit
+/// stream with hand-rolled, standard-library-independent distributions.
 class Rng {
  public:
   explicit Rng(std::uint64_t seed) : engine_(seed), seed_(seed) {}
@@ -22,35 +36,58 @@ class Rng {
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) {
     require(lo <= hi, "Rng::uniform: lo > hi");
-    return std::uniform_real_distribution<double>(lo, hi)(engine_);
+    const double x = lo + unit() * (hi - lo);
+    // Rounding at the top of the range can land exactly on hi; nudge back
+    // inside so the half-open contract holds (nextafter(hi, lo) == lo when
+    // the interval is empty).
+    return x < hi ? x : std::nextafter(hi, lo);
   }
 
-  /// Uniform integer in [lo, hi] inclusive.
+  /// Uniform integer in [lo, hi] inclusive. Unbiased: draws are rejected
+  /// (deterministically, as part of the stream) rather than folded with a
+  /// biased modulo.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
     require(lo <= hi, "Rng::uniform_int: lo > hi");
-    return std::uniform_int_distribution<std::int64_t>(lo, hi)(engine_);
+    const std::uint64_t span =
+        static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1u;
+    std::uint64_t r = next_u64();
+    if (span != 0) {  // span == 0 means the full 64-bit range: accept any r.
+      const std::uint64_t reject_below =
+          (std::numeric_limits<std::uint64_t>::max() % span + 1u) % span;
+      if (reject_below != 0) {
+        // Accept r in [0, 2^64 - (2^64 mod span)); that window holds an exact
+        // multiple of span values, so `r % span` is uniform.
+        const std::uint64_t limit = 0u - reject_below;
+        while (r >= limit) r = next_u64();
+      }
+      r %= span;
+    }
+    return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) + r);
   }
 
-  /// Gaussian with the given mean and standard deviation.
+  /// Gaussian with the given mean and standard deviation (Box-Muller; two
+  /// uniform draws per variate, no cached spare, so the stream position is a
+  /// pure function of the call count).
   double normal(double mean, double stddev) {
-    return std::normal_distribution<double>(mean, stddev)(engine_);
+    const double u1 = 1.0 - unit();  // (0, 1]: keeps the log finite.
+    const double u2 = unit();
+    const double radius = std::sqrt(-2.0 * std::log(u1));
+    return mean + stddev * radius * std::cos(2.0 * std::numbers::pi * u2);
   }
 
   /// Log-normal parameterized by the underlying normal's mu/sigma.
   double lognormal(double mu, double sigma) {
-    return std::lognormal_distribution<double>(mu, sigma)(engine_);
+    return std::exp(normal(mu, sigma));
   }
 
-  /// Exponential with the given mean (= 1/rate).
+  /// Exponential with the given mean (= 1/rate), via inverse transform.
   double exponential(double mean) {
     require(mean > 0.0, "Rng::exponential: mean must be positive");
-    return std::exponential_distribution<double>(1.0 / mean)(engine_);
+    return -mean * std::log(1.0 - unit());
   }
 
-  /// True with probability p.
-  bool bernoulli(double p) {
-    return std::bernoulli_distribution(p)(engine_);
-  }
+  /// True with probability p. Consumes exactly one draw either way.
+  bool bernoulli(double p) { return unit() < p; }
 
   /// Uniformly chosen element of a non-empty span.
   template <typename T>
@@ -79,9 +116,14 @@ class Rng {
     }
   }
 
-  std::mt19937_64& engine() { return engine_; }
-
  private:
+  /// Next raw 64-bit word of the (standard-specified) mt19937_64 stream.
+  std::uint64_t next_u64() { return engine_(); }
+
+  /// Uniform double in [0, 1): top 53 bits scaled by 2^-53, so every value
+  /// is exactly representable and the mapping is identical on every platform.
+  double unit() { return static_cast<double>(next_u64() >> 11) * 0x1.0p-53; }
+
   std::mt19937_64 engine_;
   std::uint64_t seed_;
 };

@@ -88,6 +88,8 @@ double mape_percent(std::span<const double> truth,
   require(!truth.empty(), "stats::mape: empty sample");
   double acc = 0.0;
   for (std::size_t i = 0; i < truth.size(); ++i) {
+    // wild5g-lint: allow(float-equality) exact-zero guard before dividing;
+    // MAPE is undefined only at exactly zero ground truth.
     require(truth[i] != 0.0, "stats::mape: zero ground-truth value");
     acc += std::abs((truth[i] - predicted[i]) / truth[i]);
   }

@@ -1,0 +1,5 @@
+// Fixture: trips allow-needs-justification and nothing else — the directive
+// names a real rule but gives no reason, which is itself a finding.
+// Never compiled — wild5g_lint input only (see test_lint_fixtures.cpp).
+// wild5g-lint: allow(float-equality)
+int answer() { return 42; }

@@ -1,0 +1,5 @@
+// Fixture: trips ban-c-rand and nothing else. Never compiled — this file
+// exists only as wild5g_lint input (see test_lint_fixtures.cpp).
+#include <cstdlib>
+
+int noisy_percent() { return std::rand() % 100; }

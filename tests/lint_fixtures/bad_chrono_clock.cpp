@@ -1,0 +1,8 @@
+// Fixture: trips ban-wall-clock (std::chrono clocks) and nothing else.
+// Never compiled — wild5g_lint input only (see test_lint_fixtures.cpp).
+#include <chrono>
+
+long long monotonic_ns() {
+  const auto now = std::chrono::steady_clock::now();
+  return now.time_since_epoch().count();
+}

@@ -1,0 +1,10 @@
+// Fixture: trips ban-raw-engine (distribution construction — its output is
+// implementation-defined even over a fixed engine) and nothing else.
+// Never compiled — wild5g_lint input only (see test_lint_fixtures.cpp).
+#include <random>
+
+template <typename Engine>
+double sample_unit(Engine& gen) {
+  std::uniform_real_distribution<double> dist(0.0, 1.0);
+  return dist(gen);
+}

@@ -1,0 +1,3 @@
+// Fixture: trips float-equality and nothing else. Never compiled —
+// wild5g_lint input only (see test_lint_fixtures.cpp).
+bool converged(double residual) { return residual == 0.0; }

@@ -1,0 +1,7 @@
+// Fixture: trips printf-float and nothing else. Never compiled —
+// wild5g_lint input only (see test_lint_fixtures.cpp).
+#include <cstdio>
+
+void report_throughput(double mbps) {
+  std::printf("throughput: %7.2f Mbps\n", mbps);
+}

@@ -1,0 +1,8 @@
+// Fixture: trips ban-random-device and nothing else. Never compiled — this
+// file exists only as wild5g_lint input (see test_lint_fixtures.cpp).
+#include <random>
+
+unsigned nondeterministic_seed() {
+  std::random_device dev;
+  return dev();
+}

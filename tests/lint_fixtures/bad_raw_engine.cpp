@@ -1,0 +1,8 @@
+// Fixture: trips ban-raw-engine (engine construction) and nothing else.
+// Never compiled — wild5g_lint input only (see test_lint_fixtures.cpp).
+#include <random>
+
+unsigned raw_engine_draw() {
+  std::mt19937 gen(12345u);
+  return gen();
+}

@@ -1,0 +1,5 @@
+// Fixture: trips unknown-rule and nothing else — the directive names a rule
+// wild5g_lint does not define (typo-guard for suppressions).
+// Never compiled — wild5g_lint input only (see test_lint_fixtures.cpp).
+// wild5g-lint: allow(no-such-rule) this rule does not exist
+int answer() { return 42; }

@@ -1,0 +1,17 @@
+// Fixture: trips unordered-iteration and nothing else — the file "feeds a
+// metrics sink" (includes core/json.h) and range-fors over a hash map, so
+// hash order would leak into the emitted document.
+// Never compiled — wild5g_lint input only (see test_lint_fixtures.cpp).
+#include <string>
+#include <unordered_map>
+
+#include "core/json.h"
+
+wild5g::json::Value dump_counts(
+    const std::unordered_map<std::string, int>& counts) {
+  wild5g::json::Value out = wild5g::json::Value::object();
+  for (const auto& [key, value] : counts) {
+    out.set(key, value);
+  }
+  return out;
+}

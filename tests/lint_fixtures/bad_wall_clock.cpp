@@ -1,0 +1,5 @@
+// Fixture: trips ban-wall-clock and nothing else. Never compiled — this file
+// exists only as wild5g_lint input (see test_lint_fixtures.cpp).
+#include <ctime>
+
+long epoch_seconds() { return static_cast<long>(time(nullptr)); }

@@ -1,0 +1,10 @@
+// Fixture: clean — the banned construct carries a justified suppression, so
+// wild5g_lint must exit 0 with no findings.
+// Never compiled — wild5g_lint input only (see test_lint_fixtures.cpp).
+#include <cstdio>
+
+void report_throughput(double mbps) {
+  // wild5g-lint: allow(printf-float) console-only progress line in a fixture;
+  // nothing here is ever written into a golden document.
+  std::printf("throughput: %7.2f Mbps\n", mbps);
+}

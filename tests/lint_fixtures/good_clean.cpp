@@ -1,0 +1,18 @@
+// Fixture: clean — ordered containers, tolerance-based comparison, and the
+// seeded Rng API; wild5g_lint must exit 0 with no findings.
+// Never compiled — wild5g_lint input only (see test_lint_fixtures.cpp).
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "core/rng.h"
+
+bool nearly(double a, double b) { return std::fabs(a - b) < 1e-9; }
+
+double jitter(wild5g::Rng& rng) { return rng.uniform(-1.0, 1.0); }
+
+int total(const std::map<std::string, int>& counts) {
+  int sum = 0;
+  for (const auto& [key, value] : counts) sum += value;
+  return sum;
+}

@@ -1,0 +1,169 @@
+// Tests for tools/wild5g_lint: every fixture in tests/lint_fixtures/ must
+// trip exactly its intended rule, justified suppressions must silence their
+// finding, and the real tree (src/, bench/, tools/, examples/) must lint
+// clean — that last assertion is the determinism contract the golden-metrics
+// harness rests on.
+//
+// The linter binary path and fixture directory come in as compile
+// definitions (see tests/CMakeLists.txt); runs go through popen so we
+// exercise the actual CLI, --json output, and exit codes end to end.
+#include <gtest/gtest.h>
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <set>
+#include <string>
+
+#include "core/json.h"
+
+namespace {
+
+namespace json = wild5g::json;
+
+struct LintRun {
+  int exit_code = -1;
+  std::string output;
+};
+
+LintRun run_lint(const std::string& args) {
+  const std::string command =
+      std::string(WILD5G_LINT_BIN) + " " + args + " 2>/dev/null";
+  FILE* pipe = popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr) << "failed to launch: " << command;
+  LintRun run;
+  if (pipe == nullptr) return run;
+  char buffer[4096];
+  std::size_t n = 0;
+  while ((n = fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    run.output.append(buffer, n);
+  }
+  const int status = pclose(pipe);
+  run.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return run;
+}
+
+std::string fixture(const std::string& name) {
+  return std::string(WILD5G_LINT_FIXTURES) + "/" + name;
+}
+
+/// Runs the linter on one fixture and asserts that it exits 1 and that every
+/// finding carries exactly the expected rule (counts may exceed one, rules
+/// may not differ — a fixture that trips a neighboring rule is a test bug).
+void expect_only_rule(const std::string& name, const std::string& rule) {
+  const LintRun run = run_lint("--json " + fixture(name));
+  ASSERT_EQ(run.exit_code, 1) << name << " output:\n" << run.output;
+  const json::Value doc = json::parse(run.output);
+  const json::Value* findings = doc.find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_GE(findings->size(), 1u) << name;
+  for (const auto& entry : findings->as_array()) {
+    const json::Value* got = entry.find("rule");
+    ASSERT_NE(got, nullptr);
+    EXPECT_EQ(got->as_string(), rule)
+        << name << " tripped a rule it should not have:\n"
+        << run.output;
+    const json::Value* line = entry.find("line");
+    ASSERT_NE(line, nullptr);
+    EXPECT_GT(line->as_number(), 0) << name;
+  }
+}
+
+void expect_clean(const std::string& name) {
+  const LintRun run = run_lint("--json " + fixture(name));
+  EXPECT_EQ(run.exit_code, 0) << name << " output:\n" << run.output;
+  const json::Value doc = json::parse(run.output);
+  const json::Value* count = doc.find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->as_number(), 0) << name;
+}
+
+TEST(lint, fixture_ban_random_device) {
+  expect_only_rule("bad_random_device.cpp", "ban-random-device");
+}
+
+TEST(lint, fixture_ban_c_rand) {
+  expect_only_rule("bad_c_rand.cpp", "ban-c-rand");
+}
+
+TEST(lint, fixture_ban_wall_clock_time) {
+  expect_only_rule("bad_wall_clock.cpp", "ban-wall-clock");
+}
+
+TEST(lint, fixture_ban_wall_clock_chrono) {
+  expect_only_rule("bad_chrono_clock.cpp", "ban-wall-clock");
+}
+
+TEST(lint, fixture_ban_raw_engine) {
+  expect_only_rule("bad_raw_engine.cpp", "ban-raw-engine");
+}
+
+TEST(lint, fixture_ban_raw_distribution) {
+  expect_only_rule("bad_distribution.cpp", "ban-raw-engine");
+}
+
+TEST(lint, fixture_unordered_iteration) {
+  expect_only_rule("bad_unordered_iteration.cpp", "unordered-iteration");
+}
+
+TEST(lint, fixture_float_equality) {
+  expect_only_rule("bad_float_equality.cpp", "float-equality");
+}
+
+TEST(lint, fixture_printf_float) {
+  expect_only_rule("bad_printf_float.cpp", "printf-float");
+}
+
+TEST(lint, fixture_allow_needs_justification) {
+  expect_only_rule("bad_allow_missing_justification.cpp",
+                   "allow-needs-justification");
+}
+
+TEST(lint, fixture_unknown_rule) {
+  expect_only_rule("bad_unknown_rule.cpp", "unknown-rule");
+}
+
+TEST(lint, fixture_good_allow_suppresses) { expect_clean("good_allow.cpp"); }
+
+TEST(lint, fixture_good_clean) { expect_clean("good_clean.cpp"); }
+
+TEST(lint, every_bad_fixture_has_a_test) {
+  // Walking the fixture dir keeps this suite honest: adding a fixture
+  // without a matching expect_only_rule() call fails here.
+  const std::set<std::string> covered = {
+      "bad_random_device.cpp",    "bad_c_rand.cpp",
+      "bad_wall_clock.cpp",       "bad_chrono_clock.cpp",
+      "bad_raw_engine.cpp",       "bad_distribution.cpp",
+      "bad_unordered_iteration.cpp", "bad_float_equality.cpp",
+      "bad_printf_float.cpp",     "bad_allow_missing_justification.cpp",
+      "bad_unknown_rule.cpp",     "good_allow.cpp",
+      "good_clean.cpp"};
+  const LintRun listing =
+      run_lint("--json " + std::string(WILD5G_LINT_FIXTURES));
+  const json::Value doc = json::parse(listing.output);
+  const json::Value* scanned = doc.find("files_scanned");
+  ASSERT_NE(scanned, nullptr);
+  EXPECT_EQ(static_cast<std::size_t>(scanned->as_number()), covered.size())
+      << "fixture added or removed without updating test_lint_fixtures.cpp";
+}
+
+TEST(lint, clean_tree) {
+  // The repo's own sources must satisfy the determinism contract. This is
+  // the same gate as ctest's lint.tree, asserted here with --json so a
+  // regression names the offending rule in the failure message.
+  const std::string root(WILD5G_SOURCE_ROOT);
+  const LintRun run = run_lint("--json " + root + "/src " + root + "/bench " +
+                               root + "/tools " + root + "/examples");
+  EXPECT_EQ(run.exit_code, 0) << "tree has lint findings:\n" << run.output;
+}
+
+TEST(lint, list_rules_covers_registry) {
+  const LintRun run = run_lint("--list-rules");
+  EXPECT_EQ(run.exit_code, 0);
+  for (const std::string rule :
+       {"ban-random-device", "ban-c-rand", "ban-wall-clock", "ban-raw-engine",
+        "unordered-iteration", "float-equality", "printf-float"}) {
+    EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
+  }
+}
+
+}  // namespace

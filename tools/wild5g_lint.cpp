@@ -1,0 +1,745 @@
+// wild5g-lint: source-level enforcement of the repo's determinism contract.
+//
+// The golden-metrics harness (bench/golden/, tools/golden_check) only proves
+// reproducibility if nothing in the tree can smuggle nondeterminism past the
+// seeded wild5g::Rng streams. This linter makes that contract machine-checked:
+// a hand-rolled tokenizer (no libclang dependency) runs a small rule engine
+// over src/, bench/, tools/, and examples/ and fails the build on violations.
+//
+// Rules (see --list-rules):
+//   ban-random-device    std::random_device anywhere
+//   ban-c-rand           rand()/srand()/drand48() family
+//   ban-wall-clock       system_clock/steady_clock/time(nullptr)/gettimeofday
+//   ban-raw-engine       raw <random> engines or *_distribution construction
+//                        outside src/core/rng.h
+//   unordered-iteration  iterating an unordered_{map,set} in a file that
+//                        includes core/json.h or bench_common.h (hash order
+//                        would leak into emitted metrics)
+//   float-equality       ==/!= against a floating-point literal
+//   printf-float         printf-family %f/%g/%e formatting (bypasses the
+//                        deterministic JSON number writer)
+//
+// Suppression: a finding is waived by a directive comment — on the same line
+// as the finding, or on its own line(s) directly above it — of the form
+//     wild5g-lint: allow(<rule>) <non-empty justification>
+// (in a // or /* */ comment). The directive covers its own line and the next
+// line that contains code, so a multi-line justification comment still
+// attaches to the statement below it. A directive without a justification,
+// or naming an unknown rule, is itself reported (allow-needs-justification /
+// unknown-rule); placeholder text that is not a well-formed rule identifier
+// is ignored so documentation can mention the syntax.
+//
+// Output: one `file:line: rule: message` per finding (stable order), or a
+// machine-readable document with --json. Exit 0 on a clean tree, 1 when any
+// finding survives suppression, 2 on usage or I/O errors.
+#include <algorithm>
+#include <array>
+#include <cctype>
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/json.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// ---------------------------------------------------------------------------
+// Rule registry.
+
+struct RuleInfo {
+  std::string_view id;
+  std::string_view summary;
+};
+
+constexpr std::array<RuleInfo, 9> kRules = {{
+    {"ban-random-device",
+     "std::random_device is nondeterministic; seed a wild5g::Rng instead"},
+    {"ban-c-rand", "C PRNG family bypasses the seeded wild5g::Rng"},
+    {"ban-wall-clock",
+     "wall-clock reads break bit-for-bit reproducibility; thread simulated "
+     "time explicitly"},
+    {"ban-raw-engine",
+     "raw <random> engines/distributions are implementation-defined outside "
+     "src/core/rng.h; use the typed Rng API"},
+    {"unordered-iteration",
+     "unordered container iteration order can leak into emitted metrics; "
+     "iterate a sorted copy"},
+    {"float-equality",
+     "exact ==/!= against a floating-point literal; compare with a "
+     "tolerance"},
+    {"printf-float",
+     "printf-style float formatting bypasses json::format_number's "
+     "deterministic rendering"},
+    {"allow-needs-justification",
+     "wild5g-lint: allow(<rule>) requires a justification after the ')'"},
+    {"unknown-rule", "allow(...) names a rule this linter does not define"},
+}};
+
+bool is_known_rule(std::string_view id) {
+  return std::any_of(kRules.begin(), kRules.end(),
+                     [&](const RuleInfo& r) { return r.id == id; });
+}
+
+struct Finding {
+  std::string file;
+  int line = 0;
+  std::string rule;
+  std::string message;
+};
+
+// ---------------------------------------------------------------------------
+// Tokenizer. Strings and comments never produce identifier tokens, so rule
+// keywords inside literals or prose cannot trip rules; comments are kept
+// (per line) for suppression directives, string literals are kept as tokens
+// so printf-float can inspect format strings.
+
+struct Token {
+  enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
+  Kind kind;
+  std::string text;
+  int line;
+};
+
+struct LexedFile {
+  std::vector<Token> tokens;
+  std::map<int, std::string> comments;  // line -> concatenated comment text
+};
+
+bool ident_start(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+bool ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+LexedFile lex(const std::string& src) {
+  LexedFile out;
+  const std::size_t n = src.size();
+  std::size_t i = 0;
+  int line = 1;
+
+  auto note_comment = [&](int first_line, int last_line,
+                          const std::string& text) {
+    for (int l = first_line; l <= last_line; ++l) out.comments[l] += text;
+  };
+
+  auto lex_quoted = [&](char quote) {
+    // Plain (non-raw) string or char literal with backslash escapes.
+    std::string text;
+    ++i;  // opening quote
+    while (i < n && src[i] != quote) {
+      if (src[i] == '\\' && i + 1 < n) {
+        text += src[i];
+        text += src[i + 1];
+        if (src[i + 1] == '\n') ++line;
+        i += 2;
+        continue;
+      }
+      if (src[i] == '\n') ++line;  // unterminated literal; keep line counts
+      text += src[i++];
+    }
+    if (i < n) ++i;  // closing quote
+    return text;
+  };
+
+  while (i < n) {
+    const char c = src[i];
+    if (c == '\n') {
+      ++line;
+      ++i;
+      continue;
+    }
+    if (std::isspace(static_cast<unsigned char>(c)) != 0) {
+      ++i;
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '/') {
+      const std::size_t start = i;
+      while (i < n && src[i] != '\n') ++i;
+      note_comment(line, line, src.substr(start, i - start));
+      continue;
+    }
+    if (c == '/' && i + 1 < n && src[i + 1] == '*') {
+      const int first_line = line;
+      const std::size_t start = i;
+      i += 2;
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
+        if (src[i] == '\n') ++line;
+        ++i;
+      }
+      i = (i + 1 < n) ? i + 2 : n;
+      note_comment(first_line, line, src.substr(start, i - start));
+      continue;
+    }
+    if (ident_start(c)) {
+      const std::size_t start = i;
+      while (i < n && ident_char(src[i])) ++i;
+      std::string word = src.substr(start, i - start);
+      // String-literal prefixes: R"...(raw)...", u8"...", L'...', etc.
+      const bool raw = !word.empty() && word.back() == 'R';
+      const bool prefix =
+          word == "R" || word == "u8" || word == "u" || word == "L" ||
+          word == "u8R" || word == "uR" || word == "LR" || word == "UR" ||
+          word == "U";
+      if (prefix && i < n && (src[i] == '"' || src[i] == '\'')) {
+        if (raw && src[i] == '"') {
+          ++i;  // opening quote
+          std::string delim;
+          while (i < n && src[i] != '(') delim += src[i++];
+          const std::string closer = ")" + delim + "\"";
+          const std::size_t body = (i < n) ? i + 1 : n;
+          const std::size_t end = src.find(closer, body);
+          std::string text = src.substr(body, (end == std::string::npos)
+                                                  ? n - body
+                                                  : end - body);
+          line += static_cast<int>(
+              std::count(text.begin(), text.end(), '\n'));
+          i = (end == std::string::npos) ? n : end + closer.size();
+          out.tokens.push_back({Token::Kind::kString, std::move(text), line});
+        } else {
+          const char quote = src[i];
+          const int at = line;
+          std::string text = lex_quoted(quote);
+          out.tokens.push_back({quote == '"' ? Token::Kind::kString
+                                             : Token::Kind::kChar,
+                                std::move(text), at});
+        }
+        continue;
+      }
+      out.tokens.push_back({Token::Kind::kIdent, std::move(word), line});
+      continue;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(src[i + 1])) != 0)) {
+      const std::size_t start = i;
+      while (i < n) {
+        const char d = src[i];
+        if (ident_char(d) || d == '.' || d == '\'') {
+          // Exponent signs belong to the literal: 1e-3, 0x1p+4.
+          if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') && i + 1 < n &&
+              (src[i + 1] == '+' || src[i + 1] == '-')) {
+            i += 2;
+            continue;
+          }
+          ++i;
+          continue;
+        }
+        break;
+      }
+      out.tokens.push_back(
+          {Token::Kind::kNumber, src.substr(start, i - start), line});
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const int at = line;
+      std::string text = lex_quoted(c);
+      out.tokens.push_back(
+          {c == '"' ? Token::Kind::kString : Token::Kind::kChar,
+           std::move(text), at});
+      continue;
+    }
+    // Punctuation; fuse the two-char operators the rules care about. '<' and
+    // '>' stay single-char so template-argument balancing sees each bracket.
+    static constexpr std::array<std::string_view, 12> kTwoChar = {
+        "::", "->", "==", "!=", "<=", ">=", "&&", "||", "+=", "-=", "*=",
+        "/="};
+    std::string text(1, c);
+    if (i + 1 < n) {
+      const std::string two{src[i], src[i + 1]};
+      if (std::find(kTwoChar.begin(), kTwoChar.end(), two) != kTwoChar.end()) {
+        text = two;
+      }
+    }
+    i += text.size();
+    out.tokens.push_back({Token::Kind::kPunct, std::move(text), line});
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Suppression directives.
+
+struct Allow {
+  int line;
+  std::string rule;
+};
+
+void collect_allows(const LexedFile& lexed, const std::string& file,
+                    std::vector<Allow>& allows, std::vector<Finding>& meta) {
+  std::set<std::pair<int, std::string>> seen;  // block comments span lines
+  for (const auto& [line, text] : lexed.comments) {
+    static const std::string kTag = "wild5g-lint: allow(";
+    std::size_t pos = 0;
+    while ((pos = text.find(kTag, pos)) != std::string::npos) {
+      pos += kTag.size();
+      const std::size_t close = text.find(')', pos);
+      if (close == std::string::npos) break;
+      const std::string rule = text.substr(pos, close - pos);
+      // Only well-formed rule identifiers count as directive attempts;
+      // placeholders in prose ("allow(<rule>)") are not directives.
+      const bool plausible =
+          !rule.empty() &&
+          std::islower(static_cast<unsigned char>(rule.front())) != 0 &&
+          std::all_of(rule.begin(), rule.end(), [](char ch) {
+            return std::islower(static_cast<unsigned char>(ch)) != 0 ||
+                   std::isdigit(static_cast<unsigned char>(ch)) != 0 ||
+                   ch == '-';
+          });
+      if (!plausible) {
+        pos = close;
+        continue;
+      }
+      std::string rest = text.substr(close + 1);
+      const auto last = rest.find_last_not_of(" \t*/-:");
+      const auto first = rest.find_first_not_of(" \t*/-:");
+      rest = (first == std::string::npos)
+                 ? std::string{}
+                 : rest.substr(first, last - first + 1);
+      if (!seen.insert({line, rule + "|" + rest}).second) {
+        pos = close;
+        continue;
+      }
+      if (!is_known_rule(rule)) {
+        meta.push_back({file, line, "unknown-rule",
+                        "allow(" + rule + ") names a rule wild5g-lint does "
+                        "not define (see --list-rules)"});
+      } else if (rest.empty()) {
+        meta.push_back({file, line, "allow-needs-justification",
+                        "allow(" + rule + ") must be followed by a "
+                        "justification explaining why the construct is safe"});
+      } else {
+        allows.push_back({line, rule});
+      }
+      pos = close;
+    }
+  }
+}
+
+/// A directive covers its own line (trailing-comment style) and the first
+/// line at or after it that contains code, so a multi-line justification
+/// comment still attaches to the statement below it.
+bool suppressed(const std::vector<Allow>& allows,
+                const std::set<int>& token_lines, const Finding& f) {
+  return std::any_of(allows.begin(), allows.end(), [&](const Allow& a) {
+    if (a.rule != f.rule) return false;
+    if (a.line == f.line) return true;
+    const auto next_code = token_lines.upper_bound(a.line);
+    return next_code != token_lines.end() && *next_code == f.line;
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Rule implementations over the token stream.
+
+bool is_float_literal(const std::string& t) {
+  if (t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
+    return t.find('p') != std::string::npos || t.find('P') != std::string::npos;
+  }
+  if (t.find('.') != std::string::npos) return true;
+  if (t.find('e') != std::string::npos || t.find('E') != std::string::npos) {
+    return true;
+  }
+  const char suffix = t.empty() ? '\0' : t.back();
+  return suffix == 'f' || suffix == 'F';
+}
+
+/// True when token i is a free-function-style use: not a member access, and
+/// not qualified by a namespace other than std.
+bool free_call_context(const std::vector<Token>& toks, std::size_t i) {
+  if (i == 0) return true;
+  const std::string& prev = toks[i - 1].text;
+  if (prev == "." || prev == "->") return false;
+  if (prev == "::" && i >= 2 && toks[i - 2].text != "std") return false;
+  return true;
+}
+
+bool next_is(const std::vector<Token>& toks, std::size_t i,
+             std::string_view text) {
+  return i + 1 < toks.size() && toks[i + 1].text == text;
+}
+
+struct FileContext {
+  std::string display_path;  // as reported in findings
+  bool is_rng_header = false;
+  bool feeds_metrics = false;  // includes core/json.h or bench_common.h
+};
+
+void check_banned_idents(const std::vector<Token>& toks,
+                         const FileContext& ctx,
+                         std::vector<Finding>& out) {
+  static const std::set<std::string> kCRand = {"rand", "srand", "rand_r",
+                                              "drand48", "srand48", "lrand48"};
+  static const std::set<std::string> kClockIdents = {
+      "system_clock",   "steady_clock", "high_resolution_clock",
+      "gettimeofday",   "clock_gettime", "timespec_get",
+      "localtime",      "gmtime",        "mktime"};
+  static const std::set<std::string> kClockCalls = {"time", "clock"};
+  static const std::set<std::string> kEngines = {
+      "mt19937",        "mt19937_64",    "minstd_rand",
+      "minstd_rand0",   "ranlux24",      "ranlux24_base",
+      "ranlux48",       "ranlux48_base", "knuth_b",
+      "default_random_engine", "random_shuffle"};
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    const std::string& id = toks[i].text;
+    const int line = toks[i].line;
+
+    if (id == "random_device") {
+      out.push_back({ctx.display_path, line, "ban-random-device",
+                     "std::random_device is nondeterministic; seed a "
+                     "wild5g::Rng and fork() child streams instead"});
+      continue;
+    }
+    if (kCRand.count(id) != 0 && next_is(toks, i, "(") &&
+        free_call_context(toks, i)) {
+      out.push_back({ctx.display_path, line, "ban-c-rand",
+                     "'" + id + "' bypasses the seeded wild5g::Rng; draw "
+                     "from an explicitly threaded Rng instead"});
+      continue;
+    }
+    if (kClockIdents.count(id) != 0 ||
+        (kClockCalls.count(id) != 0 && next_is(toks, i, "(") &&
+         free_call_context(toks, i))) {
+      out.push_back({ctx.display_path, line, "ban-wall-clock",
+                     "wall-clock source '" + id + "' breaks bit-for-bit "
+                     "reproducibility; thread simulated time explicitly"});
+      continue;
+    }
+    const bool distribution_like =
+        id.size() > 13 &&
+        id.compare(id.size() - 13, 13, "_distribution") == 0;
+    if (!ctx.is_rng_header && (kEngines.count(id) != 0 || distribution_like)) {
+      out.push_back({ctx.display_path, line, "ban-raw-engine",
+                     "'" + id + "' constructs a raw <random> " +
+                         (distribution_like ? "distribution" : "engine") +
+                         " outside src/core/rng.h; its output is "
+                         "implementation-defined — use the typed "
+                         "wild5g::Rng API"});
+    }
+  }
+}
+
+void check_float_equality(const std::vector<Token>& toks,
+                          const FileContext& ctx,
+                          std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kPunct ||
+        (toks[i].text != "==" && toks[i].text != "!=")) {
+      continue;
+    }
+    const Token* lit = nullptr;
+    if (i > 0 && toks[i - 1].kind == Token::Kind::kNumber &&
+        is_float_literal(toks[i - 1].text)) {
+      lit = &toks[i - 1];
+    }
+    if (lit == nullptr && i + 1 < toks.size() &&
+        toks[i + 1].kind == Token::Kind::kNumber &&
+        is_float_literal(toks[i + 1].text)) {
+      lit = &toks[i + 1];
+    }
+    if (lit != nullptr) {
+      out.push_back({ctx.display_path, toks[i].line, "float-equality",
+                     "exact '" + toks[i].text + "' against floating-point "
+                     "literal " + lit->text + "; compare with an explicit "
+                     "tolerance (or justify via allow)"});
+    }
+  }
+}
+
+void check_printf_float(const std::vector<Token>& toks, const FileContext& ctx,
+                        std::vector<Finding>& out) {
+  static const std::set<std::string> kPrintf = {
+      "printf",  "fprintf",  "sprintf",  "snprintf",
+      "vprintf", "vfprintf", "vsprintf", "vsnprintf", "dprintf"};
+
+  auto has_float_conversion = [](const std::string& fmt) {
+    for (std::size_t p = 0; p + 1 < fmt.size(); ++p) {
+      if (fmt[p] != '%') continue;
+      std::size_t q = p + 1;
+      if (q < fmt.size() && fmt[q] == '%') {  // literal percent
+        p = q;
+        continue;
+      }
+      while (q < fmt.size() &&
+             (std::isdigit(static_cast<unsigned char>(fmt[q])) != 0 ||
+              fmt[q] == '#' || fmt[q] == '0' || fmt[q] == '-' ||
+              fmt[q] == '+' || fmt[q] == ' ' || fmt[q] == '.' ||
+              fmt[q] == '*' || fmt[q] == '\'' || fmt[q] == 'l' ||
+              fmt[q] == 'h' || fmt[q] == 'L' || fmt[q] == 'z' ||
+              fmt[q] == 'j' || fmt[q] == 't')) {
+        ++q;
+      }
+      if (q < fmt.size()) {
+        const char conv = fmt[q];
+        if (conv == 'f' || conv == 'F' || conv == 'e' || conv == 'E' ||
+            conv == 'g' || conv == 'G' || conv == 'a' || conv == 'A') {
+          return true;
+        }
+      }
+      p = q;
+    }
+    return false;
+  };
+
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent ||
+        kPrintf.count(toks[i].text) == 0 || !next_is(toks, i, "(") ||
+        !free_call_context(toks, i)) {
+      continue;
+    }
+    int depth = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].kind == Token::Kind::kPunct) {
+        if (toks[j].text == "(") ++depth;
+        if (toks[j].text == ")" && --depth == 0) break;
+      }
+      if (toks[j].kind == Token::Kind::kString &&
+          has_float_conversion(toks[j].text)) {
+        out.push_back({ctx.display_path, toks[i].line, "printf-float",
+                       "'" + toks[i].text + "' formats a float directly; "
+                       "route numbers through json::format_number / the "
+                       "Table formatter so rendering stays deterministic"});
+        break;
+      }
+    }
+  }
+}
+
+void check_unordered_iteration(const std::vector<Token>& toks,
+                               const FileContext& ctx,
+                               std::vector<Finding>& out) {
+  if (!ctx.feeds_metrics) return;
+  static const std::set<std::string> kUnordered = {
+      "unordered_map", "unordered_set", "unordered_multimap",
+      "unordered_multiset"};
+
+  // Pass 1: names declared with an unordered type in this file.
+  std::set<std::string> names;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent ||
+        kUnordered.count(toks[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < toks.size() && toks[j].text == "<") {
+      int depth = 0;
+      for (; j < toks.size(); ++j) {
+        if (toks[j].text == "<") ++depth;
+        if (toks[j].text == ">" && --depth == 0) {
+          ++j;
+          break;
+        }
+      }
+    }
+    while (j < toks.size() &&
+           (toks[j].text == "&" || toks[j].text == "*" ||
+            toks[j].text == "const")) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].kind == Token::Kind::kIdent) {
+      names.insert(toks[j].text);
+    }
+  }
+  if (names.empty()) return;
+
+  // Pass 2a: range-for whose range expression mentions a tracked name.
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || toks[i].text != "for" ||
+        !next_is(toks, i, "(")) {
+      continue;
+    }
+    int depth = 0;
+    std::size_t colon = 0;
+    std::size_t close = 0;
+    for (std::size_t j = i + 1; j < toks.size(); ++j) {
+      if (toks[j].kind != Token::Kind::kPunct) continue;
+      if (toks[j].text == "(") ++depth;
+      if (toks[j].text == ")" && --depth == 0) {
+        close = j;
+        break;
+      }
+      if (toks[j].text == ":" && depth == 1 && colon == 0) colon = j;
+    }
+    if (colon == 0 || close == 0) continue;
+    for (std::size_t j = colon + 1; j < close; ++j) {
+      if (toks[j].kind == Token::Kind::kIdent &&
+          names.count(toks[j].text) != 0) {
+        out.push_back({ctx.display_path, toks[i].line, "unordered-iteration",
+                       "range-for over unordered container '" + toks[j].text +
+                           "' in a file that emits metrics; hash order is "
+                           "nondeterministic across standard libraries — "
+                           "iterate a sorted copy of the keys"});
+        break;
+      }
+    }
+  }
+
+  // Pass 2b: explicit iterator walks (x.begin() / x->cbegin() ...).
+  static const std::set<std::string> kBegin = {"begin", "cbegin", "rbegin",
+                                              "crbegin"};
+  for (std::size_t i = 0; i + 3 < toks.size(); ++i) {
+    if (toks[i].kind == Token::Kind::kIdent &&
+        names.count(toks[i].text) != 0 &&
+        (toks[i + 1].text == "." || toks[i + 1].text == "->") &&
+        kBegin.count(toks[i + 2].text) != 0 && toks[i + 3].text == "(") {
+      out.push_back({ctx.display_path, toks[i].line, "unordered-iteration",
+                     "iterator walk over unordered container '" +
+                         toks[i].text + "' in a file that emits metrics; "
+                         "hash order is nondeterministic — iterate a sorted "
+                         "copy of the keys"});
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Driver.
+
+bool path_ends_with(const fs::path& path, std::string_view suffix) {
+  const std::string generic = path.generic_string();
+  return generic.size() >= suffix.size() &&
+         generic.compare(generic.size() - suffix.size(), suffix.size(),
+                         suffix) == 0;
+}
+
+std::vector<Finding> lint_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    return {{path.generic_string(), 0, "io-error", "cannot open file"}};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string src = buffer.str();
+
+  FileContext ctx;
+  ctx.display_path = path.lexically_normal().generic_string();
+  ctx.is_rng_header = path_ends_with(path, "src/core/rng.h");
+  ctx.feeds_metrics =
+      src.find("#include \"core/json.h\"") != std::string::npos ||
+      src.find("#include \"bench_common.h\"") != std::string::npos ||
+      path_ends_with(path, "bench/bench_common.h") ||
+      path_ends_with(path, "src/core/json.h");
+
+  const LexedFile lexed = lex(src);
+  std::set<int> token_lines;
+  for (const auto& tok : lexed.tokens) token_lines.insert(tok.line);
+
+  std::vector<Allow> allows;
+  std::vector<Finding> findings;
+  collect_allows(lexed, ctx.display_path, allows, findings);
+
+  std::vector<Finding> raw;
+  check_banned_idents(lexed.tokens, ctx, raw);
+  check_float_equality(lexed.tokens, ctx, raw);
+  check_printf_float(lexed.tokens, ctx, raw);
+  check_unordered_iteration(lexed.tokens, ctx, raw);
+
+  for (auto& f : raw) {
+    if (!suppressed(allows, token_lines, f)) findings.push_back(std::move(f));
+  }
+  std::sort(findings.begin(), findings.end(),
+            [](const Finding& a, const Finding& b) {
+              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+            });
+  return findings;
+}
+
+bool lintable(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".h" || ext == ".hpp" || ext == ".cpp" || ext == ".cc" ||
+         ext == ".cxx";
+}
+
+int usage() {
+  std::cerr << "usage: wild5g_lint [--json] [--list-rules] <file-or-dir>...\n";
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool as_json = false;
+  std::vector<fs::path> roots;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--json") {
+      as_json = true;
+    } else if (arg == "--list-rules") {
+      for (const auto& rule : kRules) {
+        std::cout << rule.id << ": " << rule.summary << "\n";
+      }
+      return 0;
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "wild5g_lint: unknown flag '" << arg << "'\n";
+      return usage();
+    } else {
+      roots.emplace_back(arg);
+    }
+  }
+  if (roots.empty()) return usage();
+
+  std::vector<fs::path> files;
+  for (const auto& root : roots) {
+    std::error_code ec;
+    if (fs::is_directory(root, ec)) {
+      for (auto it = fs::recursive_directory_iterator(root, ec);
+           !ec && it != fs::recursive_directory_iterator(); ++it) {
+        if (it->is_regular_file() && lintable(it->path())) {
+          files.push_back(it->path());
+        }
+      }
+    } else if (fs::is_regular_file(root, ec)) {
+      files.push_back(root);
+    } else {
+      std::cerr << "wild5g_lint: no such file or directory: "
+                << root.generic_string() << "\n";
+      return 2;
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Finding> findings;
+  for (const auto& file : files) {
+    auto file_findings = lint_file(file);
+    findings.insert(findings.end(),
+                    std::make_move_iterator(file_findings.begin()),
+                    std::make_move_iterator(file_findings.end()));
+  }
+
+  if (as_json) {
+    namespace json = wild5g::json;
+    json::Value doc = json::Value::object();
+    json::Value list = json::Value::array();
+    for (const auto& f : findings) {
+      json::Value entry = json::Value::object();
+      entry.set("file", f.file);
+      entry.set("line", f.line);
+      entry.set("rule", f.rule);
+      entry.set("message", f.message);
+      list.push_back(std::move(entry));
+    }
+    doc.set("files_scanned", static_cast<std::int64_t>(files.size()));
+    doc.set("count", static_cast<std::int64_t>(findings.size()));
+    doc.set("findings", std::move(list));
+    std::cout << json::dump(doc);
+  } else {
+    for (const auto& f : findings) {
+      std::cout << f.file << ":" << f.line << ": " << f.rule << ": "
+                << f.message << "\n";
+    }
+    std::cerr << "wild5g_lint: " << files.size() << " file(s), "
+              << findings.size() << " finding(s)\n";
+  }
+  return findings.empty() ? 0 : 1;
+}
