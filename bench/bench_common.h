@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstdlib>
 #include <exception>
 #include <fstream>
 #include <iostream>
@@ -19,6 +20,7 @@
 
 #include "core/error.h"
 #include "core/json.h"
+#include "core/parallel.h"
 #include "core/table.h"
 
 namespace wild5g::bench {
@@ -41,20 +43,40 @@ inline void measured_note(const std::string& text) {
 }
 
 /// Collects a bench run's figure/table data and, when the binary was invoked
-/// with `--json <path>` (or `--json=<path>`), writes it as deterministic JSON
-/// on destruction. Recognized flags are stripped from argv so benches that
-/// forward argv to another flag parser (google-benchmark) stay compatible.
+/// with `--json <path>` (or `--json=<path>`), writes it as deterministic
+/// JSON. Bench mains end with `return emitter.finalize() ? 0 : 1;` so a
+/// failed metrics write exits non-zero; the destructor is only a safety net
+/// (and skips writing entirely when an exception is unwinding the stack, so
+/// a bench that throws mid-run cannot leave a half-populated document for
+/// the golden gate to diff confusingly).
+///
+/// Also strips `--threads N` (or `--threads=N`) and configures the parallel
+/// campaign runner with it; `1` forces serial execution and the default is
+/// WILD5G_THREADS / hardware concurrency (core/parallel.h). The emitted
+/// document never mentions the thread count: output is byte-identical
+/// regardless of it, and the determinism gate asserts that.
+///
+/// Recognized flags are stripped from argv so benches that forward argv to
+/// another flag parser (google-benchmark) stay compatible.
 class MetricsEmitter {
  public:
   MetricsEmitter(int& argc, char** argv, std::string bench_id)
-      : bench_id_(std::move(bench_id)) {
+      : bench_id_(std::move(bench_id)),
+        uncaught_on_entry_(std::uncaught_exceptions()) {
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
-      if (arg == "--json" && i + 1 < argc) {
+      if (arg == "--json") {
+        if (i + 1 >= argc) usage_error("--json requires a path argument");
         json_path_ = argv[++i];
       } else if (arg.rfind("--json=", 0) == 0) {
         json_path_ = arg.substr(7);
+        if (json_path_.empty()) usage_error("--json= requires a path");
+      } else if (arg == "--threads") {
+        if (i + 1 >= argc) usage_error("--threads requires a count argument");
+        set_threads(argv[++i]);
+      } else if (arg.rfind("--threads=", 0) == 0) {
+        set_threads(arg.substr(10));
       } else {
         argv[kept++] = argv[i];
       }
@@ -72,7 +94,25 @@ class MetricsEmitter {
   MetricsEmitter& operator=(const MetricsEmitter&) = delete;
 
   ~MetricsEmitter() {
-    if (json_path_.empty()) return;
+    // Mid-unwind the document is half-populated: leave nothing behind (a
+    // missing file makes the golden gate fail loudly, a partial one would
+    // diff confusingly) and let the exception terminate the process.
+    if (std::uncaught_exceptions() > uncaught_on_entry_) {
+      if (!json_path_.empty()) std::remove(json_path_.c_str());
+      return;
+    }
+    if (!finalized_) (void)finalize();
+  }
+
+  /// Writes the document (when `--json` was given) and reports whether this
+  /// run's metrics made it to disk. Bench mains must end with
+  /// `return emitter.finalize() ? 0 : 1;` — a swallowed write failure would
+  /// otherwise exit 0 with no JSON on disk and the campaign driver would
+  /// never notice.
+  [[nodiscard]] bool finalize() {
+    if (finalized_) return ok_;
+    finalized_ = true;
+    if (json_path_.empty()) return ok_;
     try {
       write(json_path_);
     } catch (const std::exception& e) {
@@ -81,8 +121,13 @@ class MetricsEmitter {
       std::remove(json_path_.c_str());
       std::cerr << "MetricsEmitter: failed to write '" << json_path_
                 << "': " << e.what() << "\n";
+      ok_ = false;
     }
+    return ok_;
   }
+
+  /// True while no failure has been recorded (write errors set this false).
+  [[nodiscard]] bool ok() const { return ok_; }
 
   /// True when this run was asked for a JSON document; benches with
   /// machine-dependent phases (microbenchmark timing) skip them under this.
@@ -157,8 +202,35 @@ class MetricsEmitter {
   }
 
  private:
+  /// Flag-parse failures are usage errors, not campaign results: print a
+  /// clear message and exit non-zero immediately instead of silently
+  /// forwarding a half-parsed flag to the rest of argv.
+  [[noreturn]] void usage_error(const std::string& message) const {
+    std::cerr << bench_id_ << ": " << message << "\n";
+    std::exit(2);
+  }
+
+  void set_threads(const std::string& text) const {
+    if (text.empty()) usage_error("--threads requires a count argument");
+    std::size_t parsed = 0;
+    unsigned long value = 0;
+    try {
+      value = std::stoul(text, &parsed);
+    } catch (const std::exception&) {
+      usage_error("--threads: '" + text + "' is not a thread count");
+    }
+    if (parsed != text.size()) {
+      usage_error("--threads: '" + text + "' is not a thread count");
+    }
+    // 0 = auto (WILD5G_THREADS / hardware), matching core/parallel.h.
+    parallel::set_thread_count(static_cast<std::size_t>(value));
+  }
+
   std::string bench_id_;
   std::string json_path_;
+  int uncaught_on_entry_ = 0;
+  bool finalized_ = false;
+  bool ok_ = true;
   double rel_ = 1e-6;
   double abs_ = 1e-9;
   json::Value doc_;

@@ -69,5 +69,5 @@ int main(int argc, char** argv) {
       "BBR stays within a few percent of UDP at every distance, while CUBIC"
       " decays with RTT: a transport fix recovers the capacity the paper"
       " shows being left on the table.");
-  return 0;
+  return emitter.finalize() ? 0 : 1;
 }

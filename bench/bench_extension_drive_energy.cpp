@@ -68,5 +68,5 @@ int main(int argc, char** argv) {
       "NSA's vertical-handoff storm costs an order of magnitude more switch"
       " energy per km than SA — quantifying why the paper recommends"
       " avoiding intermittent 4G/5G toggling.");
-  return 0;
+  return emitter.finalize() ? 0 : 1;
 }

@@ -52,5 +52,5 @@ int main(int argc, char** argv) {
       "multiplexing compresses the 4G-vs-5G PLT gap on small pages and"
       " widens 5G's lead on heavy ones (bandwidth finally binds); both"
       " radios save energy in proportion to the PLT cut.");
-  return 0;
+  return emitter.finalize() ? 0 : 1;
 }

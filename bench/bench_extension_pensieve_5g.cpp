@@ -81,5 +81,5 @@ int main(int argc, char** argv) {
       Table::num(100.0 * (stall_4g_trained - stall_5g_trained) /
                      stall_4g_trained, 0) +
       "%, confirming the paper's larger-5G-dataset hypothesis.");
-  return 0;
+  return emitter.finalize() ? 0 : 1;
 }

@@ -85,5 +85,5 @@ int main(int argc, char** argv) {
                        " ms over mmWave (paper: 6-8 ms)");
   bench::measured_note("LTE adds " + Table::num(lte_gap, 1) +
                        " ms over low-band (paper: 6-15 ms over 5G)");
-  return 0;
+  return emitter.finalize() ? 0 : 1;
 }

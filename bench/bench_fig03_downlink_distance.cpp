@@ -36,16 +36,32 @@ int main(int argc, char** argv) {
   table.set_header({"server", "km", "multi-conn", "single-conn", "RTT ms"});
   Rng rng(bench::kBenchSeed);
 
+  // Server sweep: one task per server, two substreams forked up front
+  // (multi- and single-connection campaigns); reductions in server order.
+  struct ServerResult {
+    net::SpeedtestResult multi;
+    net::SpeedtestResult single;
+  };
+  Rng base = rng.split();
+  const auto results =
+      parallel::parallel_map(servers.size(), [&](std::size_t i) {
+        Rng multi_rng = base.fork(2 * i);
+        Rng single_rng = base.fork(2 * i + 1);
+        return ServerResult{
+            harness.peak_of(servers[i], net::ConnectionMode::kMultiple, 10,
+                            multi_rng),
+            harness.peak_of(servers[i], net::ConnectionMode::kSingle, 10,
+                            single_rng)};
+      });
+
   double multi_min = 1e18;
   double single_near = 0.0;
   double single_far = 0.0;
-  for (const auto& server : servers) {
-    const double km = geo::haversine_km(config.ue_location, server.location);
-    const auto multi =
-        harness.peak_of(server, net::ConnectionMode::kMultiple, 10, rng);
-    const auto single =
-        harness.peak_of(server, net::ConnectionMode::kSingle, 10, rng);
-    table.add_row({server.name, Table::num(km, 0),
+  for (std::size_t i = 0; i < servers.size(); ++i) {
+    const double km =
+        geo::haversine_km(config.ue_location, servers[i].location);
+    const auto& [multi, single] = results[i];
+    table.add_row({servers[i].name, Table::num(km, 0),
                    Table::num(multi.downlink_mbps, 0),
                    Table::num(single.downlink_mbps, 0),
                    Table::num(multi.rtt_ms, 1)});
@@ -61,5 +77,5 @@ int main(int argc, char** argv) {
   bench::measured_note("single-conn near/far = " + Table::num(single_near, 0) +
                        " / " + Table::num(single_far, 0) +
                        " Mbps (paper: ~3 Gbps near, decaying with distance)");
-  return 0;
+  return emitter.finalize() ? 0 : 1;
 }

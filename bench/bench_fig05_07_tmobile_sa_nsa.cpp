@@ -73,5 +73,5 @@ int main(int argc, char** argv) {
   bench::measured_note("mean SA-NSA RTT gap = " +
                        Table::num(rtt_gap / rows, 2) +
                        " ms (paper: no significant difference)");
-  return 0;
+  return emitter.finalize() ? 0 : 1;
 }

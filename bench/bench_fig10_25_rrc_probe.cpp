@@ -44,5 +44,5 @@ int main(int argc, char** argv) {
   bench::measured_note(
       "plateau structure per configuration matches the figure: three levels"
       " for SA and NSA low-band, two for mmWave and 4G.");
-  return 0;
+  return emitter.finalize() ? 0 : 1;
 }

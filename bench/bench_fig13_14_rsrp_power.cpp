@@ -99,5 +99,5 @@ int main(int argc, char** argv) {
   bench::measured_note(
       "energy/bit decreases monotonically with RSRP in both cities;"
       " Minneapolis mixes the low-band cluster into the low-RSRP bins.");
-  return 0;
+  return emitter.finalize() ? 0 : 1;
 }

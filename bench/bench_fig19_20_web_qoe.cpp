@@ -104,5 +104,5 @@ int main(int argc, char** argv) {
                        " s; median energy: 5G " +
                        Table::num(stats::median(en5), 2) + " J vs 4G " +
                        Table::num(stats::median(en4), 2) + " J");
-  return 0;
+  return emitter.finalize() ? 0 : 1;
 }

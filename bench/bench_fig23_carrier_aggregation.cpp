@@ -52,5 +52,5 @@ int main(int argc, char** argv) {
                        Table::num(100.0 * (s20_multi - px5_multi) / px5_multi,
                                   0) +
                        "% (paper: +50-60%)");
-  return 0;
+  return emitter.finalize() ? 0 : 1;
 }

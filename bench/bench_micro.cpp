@@ -162,11 +162,13 @@ int main(int argc, char** argv) {
   inventory.add_row({"BM_MpcDecision", "1"});
   inventory.add_row({"BM_StreamingSession", "1"});
   emitter.record(inventory);
-  if (emitter.json_requested()) return 0;  // golden run: inventory only
+  if (emitter.json_requested()) {
+    return emitter.finalize() ? 0 : 1;  // golden run: inventory only
+  }
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return 0;
+  return emitter.finalize() ? 0 : 1;
 }

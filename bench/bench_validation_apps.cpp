@@ -149,5 +149,5 @@ int main(int argc, char** argv) {
       "the data-driven model transfers from the walking campaign to unseen"
       " application workloads with single-digit relative error, as in the"
       " paper's validation.");
-  return 0;
+  return emitter.finalize() ? 0 : 1;
 }

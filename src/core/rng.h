@@ -98,9 +98,28 @@ class Rng {
   }
 
   /// Derives an independent child stream; deterministic in (seed, salt).
+  /// Note fork() depends on the *construction seed*, not the stream
+  /// position: forking the same salt from the same Rng twice yields
+  /// identical children. Campaign loops that fork one child per task index
+  /// should fork from a split() of their parent so that successive
+  /// campaigns on one Rng get distinct substream families.
   [[nodiscard]] Rng fork(std::uint64_t salt) const {
     // SplitMix64-style mix so nearby salts give uncorrelated streams.
     std::uint64_t z = seed_ + salt * 0x9E3779B97F4A7C15ull;
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+    return Rng(z ^ (z >> 31));
+  }
+
+  /// Derives an independent child stream from the *current position* of
+  /// this stream, advancing the parent by one draw. This is the parallel
+  /// campaign primitive: split() once on the caller's thread, then
+  /// fork(index) one substream per task, so every task's draws are a pure
+  /// function of (parent state, task index) and never of scheduling order.
+  [[nodiscard]] Rng split() {
+    // Mix the raw draw (SplitMix64 finalizer) so the child seed is not a
+    // raw engine word, keeping child streams uncorrelated with the parent.
+    std::uint64_t z = next_u64() + 0x9E3779B97F4A7C15ull;
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
     return Rng(z ^ (z >> 31));

@@ -15,6 +15,8 @@ double mean(std::span<const double> xs) {
 }
 
 double stddev(std::span<const double> xs) {
+  // Same contract as mean(): an empty sample is a caller bug, not a 0.0.
+  require(!xs.empty(), "stats::stddev: empty sample");
   if (xs.size() < 2) return 0.0;
   const double m = mean(xs);
   double ss = 0.0;

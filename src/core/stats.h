@@ -10,7 +10,8 @@ namespace wild5g::stats {
 /// Arithmetic mean of a non-empty sample.
 [[nodiscard]] double mean(std::span<const double> xs);
 
-/// Sample standard deviation (n-1 denominator); 0 for samples of size < 2.
+/// Sample standard deviation (n-1 denominator) of a non-empty sample;
+/// 0 for a single-element sample.
 [[nodiscard]] double stddev(std::span<const double> xs);
 
 /// Harmonic mean of a non-empty, strictly positive sample. Used by the

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/error.h"
+#include "core/parallel.h"
 #include "core/stats.h"
 
 namespace wild5g::net {
@@ -145,11 +146,20 @@ SpeedtestResult SpeedtestHarness::peak_of(const SpeedtestServer& server,
                                           ConnectionMode mode, int repeats,
                                           Rng& rng) const {
   require(repeats > 0, "SpeedtestHarness::peak_of: repeats must be positive");
+  // Independent repeats run in parallel. Each trial's Rng is forked up
+  // front from one split of the caller's stream, so trial i's draws depend
+  // only on (parent state, i) — never on thread count or completion order.
+  Rng base = rng.split();
+  const auto trials = parallel::parallel_map(
+      static_cast<std::size_t>(repeats), [&](std::size_t i) {
+        Rng trial_rng = base.fork(i);
+        return run(server, mode, trial_rng);
+      });
+  // Index-ordered reduction on the caller's thread.
   std::vector<double> dl;
   std::vector<double> ul;
   std::vector<double> rtt;
-  for (int i = 0; i < repeats; ++i) {
-    const auto r = run(server, mode, rng);
+  for (const auto& r : trials) {
     dl.push_back(r.downlink_mbps);
     ul.push_back(r.uplink_mbps);
     rtt.push_back(r.rtt_ms);

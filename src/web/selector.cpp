@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "core/error.h"
+#include "core/parallel.h"
 #include "core/stats.h"
 
 namespace wild5g::web {
@@ -15,14 +16,18 @@ std::vector<SiteMeasurement> measure_corpus(
   const auto config_5g = mmwave_page_config();
   const auto config_4g = lte_page_config();
 
-  std::vector<SiteMeasurement> measurements;
-  measurements.reserve(corpus.size());
-  for (const auto& site : corpus) {
+  // Sites are measured in parallel: one Rng substream per site, forked up
+  // front from a split of the caller's stream, so site i's page loads draw
+  // the same randomness at any thread count. Per-site repeat sums stay in
+  // repeat order on a single thread.
+  Rng base = rng.split();
+  return parallel::parallel_map(corpus.size(), [&](std::size_t i) {
+    Rng site_rng = base.fork(i);
     SiteMeasurement m;
-    m.site = site;
+    m.site = corpus[i];
     for (int r = 0; r < repeats; ++r) {
-      const auto r5 = load_page(site, config_5g, device, rng);
-      const auto r4 = load_page(site, config_4g, device, rng);
+      const auto r5 = load_page(m.site, config_5g, device, site_rng);
+      const auto r4 = load_page(m.site, config_4g, device, site_rng);
       m.plt_5g_s += r5.plt_s;
       m.energy_5g_j += r5.energy_j;
       m.plt_4g_s += r4.plt_s;
@@ -33,9 +38,8 @@ std::vector<SiteMeasurement> measure_corpus(
     m.energy_5g_j /= n;
     m.plt_4g_s /= n;
     m.energy_4g_j /= n;
-    measurements.push_back(m);
-  }
-  return measurements;
+    return m;
+  });
 }
 
 std::vector<QoeWeights> paper_qoe_models() {

@@ -30,6 +30,11 @@ TEST(Stats, StddevOfSingletonIsZero) {
   EXPECT_DOUBLE_EQ(ws::stddev(xs), 0.0);
 }
 
+TEST(Stats, StddevThrowsOnEmpty) {
+  // Same contract as mean(): an empty sample is a caller bug, not 0.0.
+  EXPECT_THROW((void)ws::stddev({}), wild5g::Error);
+}
+
 TEST(Stats, HarmonicMeanKnownValue) {
   const std::vector<double> xs{1.0, 2.0, 4.0};
   EXPECT_NEAR(ws::harmonic_mean(xs), 3.0 / (1.0 + 0.5 + 0.25), 1e-12);
@@ -64,6 +69,18 @@ TEST(Stats, PercentileRejectsOutOfRangeP) {
   EXPECT_THROW((void)ws::percentile(xs, 101.0), wild5g::Error);
 }
 
+TEST(Stats, PercentileOfSingleElementIsThatElementForAllP) {
+  const std::vector<double> xs{42.0};
+  for (double p = 0.0; p <= 100.0; p += 12.5) {
+    EXPECT_DOUBLE_EQ(ws::percentile(xs, p), 42.0) << "p=" << p;
+  }
+}
+
+TEST(Stats, PercentileThrowsOnEmpty) {
+  EXPECT_THROW((void)ws::percentile({}, 50.0), wild5g::Error);
+  EXPECT_THROW((void)ws::median({}), wild5g::Error);
+}
+
 TEST(Stats, EmpiricalCdfIsMonotone) {
   wild5g::Rng rng(7);
   std::vector<double> xs;
@@ -76,6 +93,30 @@ TEST(Stats, EmpiricalCdfIsMonotone) {
               cdf[i - 1].cumulative_probability);
   }
   EXPECT_DOUBLE_EQ(cdf.back().cumulative_probability, 1.0);
+}
+
+TEST(Stats, EmpiricalCdfSingleElement) {
+  const std::vector<double> xs{2.5};
+  const auto cdf = ws::empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 1u);
+  EXPECT_DOUBLE_EQ(cdf[0].value, 2.5);
+  EXPECT_DOUBLE_EQ(cdf[0].cumulative_probability, 1.0);
+}
+
+TEST(Stats, EmpiricalCdfThrowsOnEmpty) {
+  EXPECT_THROW((void)ws::empirical_cdf({}), wild5g::Error);
+}
+
+TEST(Stats, EmpiricalCdfTiedValuesKeepDistinctSteps) {
+  // Duplicates get one point each, with probability stepping by 1/n — the
+  // convention the CDF figure emitters (Figs. 3-7) rely on.
+  const std::vector<double> xs{1.0, 1.0, 2.0};
+  const auto cdf = ws::empirical_cdf(xs);
+  ASSERT_EQ(cdf.size(), 3u);
+  EXPECT_DOUBLE_EQ(cdf[0].cumulative_probability, 1.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cdf[1].cumulative_probability, 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(cdf[1].value, 1.0);
+  EXPECT_DOUBLE_EQ(cdf[2].cumulative_probability, 1.0);
 }
 
 TEST(Stats, LinearFitRecoversExactLine) {

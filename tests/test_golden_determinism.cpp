@@ -24,13 +24,16 @@ std::string read_file(const std::string& path) {
   return buffer.str();
 }
 
-std::string run_bench_json(const std::string& bench, const std::string& tag) {
+std::string run_bench_json(const std::string& bench, const std::string& tag,
+                           const std::string& extra_args = "") {
   const std::string out_path =
       ::testing::TempDir() + "wild5g_determinism_" + bench + "_" + tag +
       ".json";
   std::remove(out_path.c_str());
   const std::string command = std::string(WILD5G_BENCH_DIR) + "/" + bench +
-                              " --json " + out_path + " > /dev/null";
+                              " --json " + out_path +
+                              (extra_args.empty() ? "" : " " + extra_args) +
+                              " > /dev/null";
   const int rc = std::system(command.c_str());
   EXPECT_EQ(rc, 0) << command;
   const std::string content = read_file(out_path);
@@ -57,4 +60,34 @@ TEST(GoldenDeterminism, HandoffBenchIsByteIdentical) {
 
 TEST(GoldenDeterminism, AbrQoeBenchIsByteIdentical) {
   expect_two_runs_identical("bench_fig17_abr_qoe");
+}
+
+// The parallel campaign runner's contract: thread count is a pure
+// performance knob. One worker vs eight must emit byte-identical metrics
+// documents (per-task forked Rng substreams, index-ordered reduction), on a
+// bench whose campaign loops actually fan out.
+TEST(GoldenDeterminism, ThreadCountDoesNotChangeBytes) {
+  const std::string serial =
+      run_bench_json("bench_fig24_server_survey", "t1", "--threads 1");
+  const std::string threaded =
+      run_bench_json("bench_fig24_server_survey", "t8", "--threads 8");
+  ASSERT_FALSE(serial.empty());
+  EXPECT_EQ(serial, threaded)
+      << "bench_fig24_server_survey output depends on thread count";
+  // The document must not record the thread count, or byte-identity across
+  // --threads values could never hold.
+  EXPECT_EQ(serial.find("threads"), std::string::npos);
+}
+
+TEST(GoldenDeterminism, ThreadCountEnvVarDoesNotChangeBytes) {
+  const std::string flagged =
+      run_bench_json("bench_fig09_handoffs", "flag", "--threads 8");
+  const std::string via_env = [] {
+    ::setenv("WILD5G_THREADS", "3", 1);
+    std::string out = run_bench_json("bench_fig09_handoffs", "env");
+    ::unsetenv("WILD5G_THREADS");
+    return out;
+  }();
+  EXPECT_EQ(flagged, via_env)
+      << "bench_fig09_handoffs output depends on WILD5G_THREADS";
 }
