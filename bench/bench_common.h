@@ -14,6 +14,7 @@
 #include <exception>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <utility>
 #include <vector>
@@ -22,6 +23,7 @@
 #include "core/json.h"
 #include "core/parallel.h"
 #include "core/table.h"
+#include "faults/injector.h"
 
 namespace wild5g::bench {
 
@@ -56,6 +58,15 @@ inline void measured_note(const std::string& text) {
 /// document never mentions the thread count: output is byte-identical
 /// regardless of it, and the determinism gate asserts that.
 ///
+/// Also strips `--faults <plan.json>` (or `--faults=<plan.json>`): the plan
+/// is loaded, validated, and wrapped in a faults::Injector seeded with
+/// kBenchSeed; benches pass `faults()` into their harness configs. Without
+/// the flag `faults()` is null, the harnesses run their exact pre-fault
+/// code paths, and the emitted document is byte-identical to a build
+/// without the fault layer — the golden gate relies on that. With the flag
+/// the document records the plan name under "fault_plan", so a faulted run
+/// can never be confused with (or diffed against) a default golden.
+///
 /// Recognized flags are stripped from argv so benches that forward argv to
 /// another flag parser (google-benchmark) stay compatible.
 class MetricsEmitter {
@@ -77,6 +88,11 @@ class MetricsEmitter {
         set_threads(argv[++i]);
       } else if (arg.rfind("--threads=", 0) == 0) {
         set_threads(arg.substr(10));
+      } else if (arg == "--faults") {
+        if (i + 1 >= argc) usage_error("--faults requires a plan path");
+        load_faults(argv[++i]);
+      } else if (arg.rfind("--faults=", 0) == 0) {
+        load_faults(arg.substr(9));
       } else {
         argv[kept++] = argv[i];
       }
@@ -85,6 +101,9 @@ class MetricsEmitter {
     doc_ = json::Value::object();
     doc_.set("bench", bench_id_);
     doc_.set("seed", kBenchSeed);
+    if (injector_ != nullptr) {
+      doc_.set("fault_plan", injector_->plan().name);
+    }
     tables_ = json::Value::array();
     metrics_ = json::Value::object();
     tolerances_ = json::Value::object();
@@ -132,6 +151,13 @@ class MetricsEmitter {
   /// True when this run was asked for a JSON document; benches with
   /// machine-dependent phases (microbenchmark timing) skip them under this.
   [[nodiscard]] bool json_requested() const { return !json_path_.empty(); }
+
+  /// The fault injector from `--faults <plan.json>`, or null when the run
+  /// is fault-free. Benches thread this into their harness configs; null
+  /// means every harness takes its exact pre-fault code path.
+  [[nodiscard]] const faults::Injector* faults() const {
+    return injector_.get();
+  }
 
   /// Default tolerance written into the document; golden_check uses the
   /// GOLDEN file's tolerance, so regenerating goldens is how these take
@@ -226,8 +252,21 @@ class MetricsEmitter {
     parallel::set_thread_count(static_cast<std::size_t>(value));
   }
 
+  void load_faults(const std::string& path) {
+    if (path.empty()) usage_error("--faults requires a plan path");
+    try {
+      injector_ = std::make_unique<faults::Injector>(faults::FaultPlan::load(path),
+                                                     kBenchSeed);
+    } catch (const std::exception& e) {
+      // A bad plan is a usage error, not a measurement: refuse to run
+      // rather than silently measuring something other than what was asked.
+      usage_error(std::string("--faults: ") + e.what());
+    }
+  }
+
   std::string bench_id_;
   std::string json_path_;
+  std::unique_ptr<faults::Injector> injector_;
   int uncaught_on_entry_ = 0;
   bool finalized_ = false;
   bool ok_ = true;

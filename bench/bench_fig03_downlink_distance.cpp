@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
                     radio::DeploymentMode::kNsa};
   config.ue = radio::galaxy_s20u();
   config.ue_location = geo::minneapolis().point;
+  config.faults = emitter.faults();
   net::SpeedtestHarness harness(config);
 
   // Sort servers by distance for a readable series.

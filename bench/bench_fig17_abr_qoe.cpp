@@ -29,6 +29,7 @@ int main(int argc, char** argv) {
 
   abr::SessionOptions options;
   options.chunk_count = 60;  // 4-minute video at 4 s chunks
+  options.faults = emitter.faults();
 
   // Algorithm roster. Pensieve trains on 4G-character traces (see
   // DESIGN.md's substitution note).

@@ -19,7 +19,8 @@ int main(int argc, char** argv) {
   Rng rng(bench::kBenchSeed);
   const auto corpus = web::generate_corpus(1500, rng);
   const auto device = power::DevicePowerProfile::s10();
-  const auto measurements = web::measure_corpus(corpus, 8, device, rng);
+  const auto measurements =
+      web::measure_corpus(corpus, 8, device, rng, emitter.faults());
 
   // Fig. 19a: by object count.
   struct Bin {
@@ -97,6 +98,15 @@ int main(int argc, char** argv) {
                    Table::num(stats::percentile(en5, p), 2)});
   }
   emitter.report(fig20);
+
+  if (emitter.faults() != nullptr) {
+    // Faulted runs only: the default document must match the golden.
+    int failed_objects = 0;
+    for (const auto& m : measurements) failed_objects += m.failed_objects;
+    emitter.metric("failed_objects", failed_objects);
+    bench::measured_note("object fetches failed under fault plan = " +
+                         std::to_string(failed_objects));
+  }
 
   bench::measured_note("median PLT: 5G " +
                        Table::num(stats::median(plt5), 2) + " s vs 4G " +

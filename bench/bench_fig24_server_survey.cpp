@@ -23,6 +23,7 @@ int main(int argc, char** argv) {
                     radio::DeploymentMode::kNsa};
   config.ue = radio::galaxy_s20u();
   config.ue_location = geo::minneapolis().point;
+  config.faults = emitter.faults();
   net::SpeedtestHarness harness(config);
 
   Table table("Downlink (Mbps, p95 of 10, multi-conn) per server");
@@ -40,7 +41,9 @@ int main(int argc, char** argv) {
       });
   double best = 0.0;
   std::string best_name;
+  int errors = 0;
   for (std::size_t i = 0; i < servers.size(); ++i) {
+    errors += results[i].errors;
     table.add_row({std::to_string(i + 1), servers[i].name,
                    servers[i].port_cap_mbps > 0.0
                        ? Table::num(servers[i].port_cap_mbps, 0)
@@ -52,6 +55,13 @@ int main(int argc, char** argv) {
     }
   }
   emitter.report(table);
+  if (emitter.faults() != nullptr) {
+    // Only faulted runs carry an error tally: the default document must
+    // stay byte-identical to the committed golden.
+    emitter.metric("connection_errors", errors);
+    bench::measured_note("connection errors under fault plan = " +
+                         std::to_string(errors));
+  }
   bench::measured_note("best server = " + best_name + " at " +
                        Table::num(best, 0) +
                        " Mbps (paper: Verizon's own server, >3 Gbps)");

@@ -16,8 +16,8 @@ constexpr double kMinBandwidthMbps = 0.05;
 
 SessionResult stream(const VideoProfile& video, const BandwidthSource& source,
                      AbrAlgorithm& algorithm, const SessionOptions& options) {
-  require(video.track_count() >= 1, "stream: empty ladder");
-  require(options.chunk_count >= 1, "stream: no chunks");
+  WILD5G_REQUIRE(video.track_count() >= 1, "stream: empty ladder");
+  WILD5G_REQUIRE(options.chunk_count >= 1, "stream: no chunks");
   const double rebuffer_penalty = options.qoe_rebuffer_penalty < 0.0
                                       ? video.top_mbps()
                                       : options.qoe_rebuffer_penalty;
@@ -89,7 +89,14 @@ SessionResult stream(const VideoProfile& video, const BandwidthSource& source,
           aborted = true;
           break;
         }
-        const double bw = std::max(kMinBandwidthMbps, source.mbps_at(t));
+        // Fault shaping multiplies the trace sample before the progress
+        // floor: a full outage pins the link at the floor rate, so the
+        // download crawls (stalls accrue) but the session always finishes.
+        const double fault_scale =
+            options.faults != nullptr ? options.faults->bandwidth_scale_at(t)
+                                      : 1.0;
+        const double bw =
+            std::max(kMinBandwidthMbps, source.mbps_at(t) * fault_scale);
         const double slice_end = std::floor(t) + 1.0;
         const double slice = slice_end - t;
         const double slice_mbits = bw * slice;

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "abr/video.h"
+#include "faults/injector.h"
 #include "traces/traces.h"
 
 namespace wild5g::abr {
@@ -101,6 +102,12 @@ struct SessionOptions {
   /// ladder's top bitrate (set <0 to request that default).
   double qoe_rebuffer_penalty = -1.0;
   double qoe_smoothness = 1.0;
+  /// Optional fault injector (not owned; null = no faults). Chunk stalls,
+  /// NR->LTE fallback and radio outages scale the bandwidth the session
+  /// sees sample by sample; the player degrades gracefully (downloads slow
+  /// down, the buffer drains, stalls accrue as rebuffer time) instead of
+  /// failing — matching how a real DASH player rides out dead air.
+  const faults::Injector* faults = nullptr;
 };
 
 struct SessionResult {

@@ -3,6 +3,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <utility>
 
 namespace wild5g {
 
@@ -11,13 +12,61 @@ namespace wild5g {
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  explicit Error(const char* what) : std::runtime_error(what) {}
 };
+
+namespace detail {
+
+/// Cold failure paths for require()/WILD5G_REQUIRE. Out-of-line [[noreturn]]
+/// helpers keep the success path to a predictable branch and let the
+/// compiler treat the throw machinery as cold code.
+[[noreturn]] inline void require_fail(const char* message) {
+  throw Error(message);
+}
+[[noreturn]] inline void require_fail(const std::string& message) {
+  throw Error(message);
+}
+/// WILD5G_REQUIRE variant: prefixes the message with file:line (basename
+/// only, so messages do not leak build-tree paths) so errors surfaced from
+/// deep inside a faulted campaign are attributable to their check site.
+[[noreturn]] inline void require_fail_at(const char* file, int line,
+                                         const std::string& message) {
+  std::string where(file);
+  const auto slash = where.find_last_of("/\\");
+  if (slash != std::string::npos) where.erase(0, slash + 1);
+  throw Error(where + ":" + std::to_string(line) + ": " + message);
+}
+
+}  // namespace detail
 
 /// Throws wild5g::Error with `message` when `condition` is false.
 /// Used to validate public-API preconditions (never for internal invariants,
 /// which use assert-style checks in tests).
+///
+/// NOTE: the `message` argument is evaluated before the call, so callers
+/// that build a message (`"x: " + detail`) pay for the std::string even when
+/// the condition holds. That is fine on cold configuration paths; hot paths
+/// (per-draw, per-event, per-chunk checks) use WILD5G_REQUIRE below, which
+/// is zero-cost on success.
+inline void require(bool condition, const char* message) {
+  if (!condition) [[unlikely]] detail::require_fail(message);
+}
 inline void require(bool condition, const std::string& message) {
-  if (!condition) throw Error(message);
+  if (!condition) [[unlikely]] detail::require_fail(message);
 }
 
 }  // namespace wild5g
+
+/// Precondition check that is zero-cost on the success path: the message
+/// expression is only evaluated (constructed, concatenated) after the
+/// condition has already failed, and the thrown wild5g::Error is prefixed
+/// with `file:line` of the check so fault-path errors are attributable.
+///
+///   WILD5G_REQUIRE(lo <= hi, "Rng::uniform: lo > hi");
+///   WILD5G_REQUIRE(found, "no profile named '" + name + "'");  // lazy +
+#define WILD5G_REQUIRE(condition, message)                              \
+  do {                                                                  \
+    if (!(condition)) [[unlikely]] {                                    \
+      ::wild5g::detail::require_fail_at(__FILE__, __LINE__, (message)); \
+    }                                                                   \
+  } while (false)

@@ -35,7 +35,7 @@ class Rng {
 
   /// Uniform double in [lo, hi).
   double uniform(double lo, double hi) {
-    require(lo <= hi, "Rng::uniform: lo > hi");
+    WILD5G_REQUIRE(lo <= hi, "Rng::uniform: lo > hi");
     const double x = lo + unit() * (hi - lo);
     // Rounding at the top of the range can land exactly on hi; nudge back
     // inside so the half-open contract holds (nextafter(hi, lo) == lo when
@@ -47,7 +47,7 @@ class Rng {
   /// (deterministically, as part of the stream) rather than folded with a
   /// biased modulo.
   std::int64_t uniform_int(std::int64_t lo, std::int64_t hi) {
-    require(lo <= hi, "Rng::uniform_int: lo > hi");
+    WILD5G_REQUIRE(lo <= hi, "Rng::uniform_int: lo > hi");
     const std::uint64_t span =
         static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1u;
     std::uint64_t r = next_u64();
@@ -82,7 +82,7 @@ class Rng {
 
   /// Exponential with the given mean (= 1/rate), via inverse transform.
   double exponential(double mean) {
-    require(mean > 0.0, "Rng::exponential: mean must be positive");
+    WILD5G_REQUIRE(mean > 0.0, "Rng::exponential: mean must be positive");
     return -mean * std::log(1.0 - unit());
   }
 
@@ -92,7 +92,7 @@ class Rng {
   /// Uniformly chosen element of a non-empty span.
   template <typename T>
   const T& pick(std::span<const T> items) {
-    require(!items.empty(), "Rng::pick: empty span");
+    WILD5G_REQUIRE(!items.empty(), "Rng::pick: empty span");
     return items[static_cast<std::size_t>(
         uniform_int(0, static_cast<std::int64_t>(items.size()) - 1))];
   }

@@ -1,0 +1,114 @@
+// wild5g/faults: declarative, seeded fault plans for the measurement
+// substrate.
+//
+// The paper's field campaigns are defined as much by failures as by
+// successes: mmWave blockage and dead zones, NR->LTE fallback during drives
+// (Sec. 3.3), stalled or unreachable speedtest servers, rebuffering ABR
+// sessions (Sec. 5), and truncated trace files. A FaultPlan declares those
+// impairments as explicit time windows — parsed from JSON (`--faults
+// <plan.json>` on every bench binary) or built programmatically — and a
+// faults::Injector (injector.h) evaluates them deterministically, so a given
+// (plan, seed) pair perturbs a campaign bit-for-bit reproducibly at any
+// thread count. The chaos suite (`ctest -R chaos`) sweeps committed plans
+// under bench/faults/ over representative benches.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/json.h"
+
+namespace wild5g::faults {
+
+/// The impairment taxonomy, covering the substrate end to end.
+enum class FaultKind {
+  /// Radio: an mmWave blockage burst. `magnitude` = extra path attenuation
+  /// in dB (link capacity collapses but rarely to zero).
+  kMmwaveBlockage,
+  /// Radio: the NR carrier drops and the UE falls back to LTE for the
+  /// window. `magnitude` = residual bandwidth fraction in [0, 1] for
+  /// consumers that shape bandwidth directly (trace-driven ABR).
+  kNrToLteOutage,
+  /// Radio: a dead zone — no service at all. `magnitude` is ignored
+  /// (severity is always total).
+  kRadioOutage,
+  /// Transport: a loss-burst episode. `magnitude` = extra loss events/s.
+  kLossBurst,
+  /// Transport: a latency spike. `magnitude` = extra RTT in ms.
+  kLatencySpike,
+  /// Net: the speedtest server stalls mid-test. `magnitude` = stalled
+  /// fraction of the overlapped test time, in [0, 1].
+  kServerStall,
+  /// Net: the server is unreachable (connect fails; the harness retries
+  /// with bounded deterministic backoff). `magnitude` is ignored.
+  kServerUnreachable,
+  /// ABR: chunk downloads crawl. `magnitude` = severity in [0, 1];
+  /// bandwidth is scaled by (1 - magnitude) inside the window.
+  kChunkStall,
+  /// Web: object fetches fail. `magnitude` = per-object failure
+  /// probability in [0, 1] inside the window.
+  kObjectFail,
+  /// Traces: serialized records are corrupted. `magnitude` = per-record
+  /// corruption probability in [0, 1] (windows are in record-index space:
+  /// record i maps to t = i).
+  kTraceCorrupt,
+};
+
+/// Canonical snake_case name, as used in plan JSON.
+[[nodiscard]] const char* to_string(FaultKind kind);
+
+/// Inverse of to_string(); throws wild5g::Error on an unknown kind name.
+[[nodiscard]] FaultKind kind_from_string(std::string_view name);
+
+/// One impairment window on the campaign timeline (seconds).
+struct FaultWindow {
+  FaultKind kind = FaultKind::kRadioOutage;
+  double start_s = 0.0;
+  double duration_s = 0.0;
+  double magnitude = 0.0;
+
+  [[nodiscard]] double end_s() const { return start_s + duration_s; }
+  /// Half-open containment: start <= t < end.
+  [[nodiscard]] bool covers(double t_s) const {
+    return t_s >= start_s && t_s < end_s();
+  }
+  /// Length of the overlap between this window and [a_s, b_s).
+  [[nodiscard]] double overlap_s(double a_s, double b_s) const;
+};
+
+/// A named, validated collection of fault windows.
+///
+/// Validation rules (enforced by validate(), and by from_json on load):
+///  - start_s >= 0, duration_s > 0, all fields finite;
+///  - magnitude within the kind's range (probabilities and severities in
+///    [0, 1]; dB / ms / rate magnitudes >= 0);
+///  - windows of the same kind must not overlap (two blockage bursts at
+///    once is one longer burst — force the plan author to say so).
+/// Windows of *different* kinds may overlap freely (a latency spike during
+/// a loss burst is exactly the compound weather the chaos suite wants).
+struct FaultPlan {
+  std::string name = "unnamed";
+  /// Salted into the injector's decision streams so two plans with the
+  /// same windows can still perturb stochastic faults differently.
+  std::uint64_t seed_salt = 0;
+  std::vector<FaultWindow> windows;
+
+  [[nodiscard]] bool empty() const { return windows.empty(); }
+
+  /// Throws wild5g::Error describing the first violated rule.
+  void validate() const;
+
+  /// Plan document shape:
+  ///   { "name": "...", "seed_salt": 7,
+  ///     "windows": [ { "kind": "nr_to_lte_outage", "start_s": 3,
+  ///                    "duration_s": 5, "magnitude": 0.1 }, ... ] }
+  /// All parsers validate before returning.
+  [[nodiscard]] static FaultPlan from_json(const json::Value& doc);
+  [[nodiscard]] static FaultPlan parse(std::string_view text);
+  [[nodiscard]] static FaultPlan load(const std::string& path);
+  [[nodiscard]] json::Value to_json() const;
+};
+
+}  // namespace wild5g::faults

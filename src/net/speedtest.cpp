@@ -101,22 +101,69 @@ SpeedtestHarness::SpeedtestHarness(SpeedtestConfig config)
 
 SpeedtestResult SpeedtestHarness::run(const SpeedtestServer& server,
                                       ConnectionMode mode, Rng& rng) const {
+  return run_at(server, mode, rng, 0.0);
+}
+
+SpeedtestResult SpeedtestHarness::run_at(const SpeedtestServer& server,
+                                         ConnectionMode mode, Rng& rng,
+                                         double start_s) const {
+  const faults::Injector* faults = config_.faults;
+  SpeedtestResult result;
+
+  // Connection phase. Under a server_unreachable window the harness retries
+  // with *deterministic* exponential backoff (no rng draw), so the retry
+  // machinery cannot perturb the measurement draw stream; when the retry
+  // budget is exhausted the trial degrades to a failed partial result
+  // instead of throwing.
+  double t = start_s;
+  if (faults != nullptr) {
+    double backoff_s = config_.retry_backoff_s;
+    int attempts_left = config_.max_retries;
+    while (faults->server_unreachable_at(t)) {
+      ++result.errors;
+      if (attempts_left-- <= 0) {
+        result.failed = true;
+        return result;
+      }
+      t += backoff_s;
+      backoff_s *= 2.0;
+    }
+  }
+
   const double distance_km =
       geo::haversine_km(config_.ue_location, server.location);
-  const double base_rtt = path_rtt_ms(config_.network, distance_km) +
-                          server.hosting_penalty_ms;
+  // NR->LTE outage: the session camps on the LTE fallback service for
+  // capacity and access latency alike.
+  radio::NetworkConfig network = config_.network;
+  if (faults != nullptr && faults->nr_fallback_at(t)) {
+    network.band = radio::Band::kLte;
+  }
+  const double base_rtt =
+      path_rtt_ms(network, distance_km) + server.hosting_penalty_ms;
 
-  SpeedtestResult result;
   // Latency phase: several pings, report the mean with jitter.
   result.rtt_ms = base_rtt + std::abs(rng.normal(0.0, 1.2));
+  if (faults != nullptr) result.rtt_ms += faults->extra_rtt_ms_at(t);
 
-  // Session signal draw (stationary, LoS to the panel).
-  const double rsrp = rng.normal(config_.session_rsrp_mean_dbm,
-                                 config_.session_rsrp_stddev_db);
+  // Session signal draw (stationary, LoS to the panel), minus any mmWave
+  // blockage attenuation active at connect time.
+  double rsrp = rng.normal(config_.session_rsrp_mean_dbm,
+                           config_.session_rsrp_stddev_db);
+  if (faults != nullptr) rsrp -= faults->rsrp_penalty_db_at(t);
+
+  // Fractions of the measurement window lost to dead air / server stalls;
+  // goodput scales down by the lost share (throughput is zero during a
+  // full-window outage).
+  double degrade = 1.0;
+  if (faults != nullptr) {
+    const double end_s = t + config_.test_duration_s;
+    degrade *= 1.0 - faults->outage_fraction(t, end_s);
+    degrade *= 1.0 - faults->server_stall_fraction(t, end_s);
+  }
 
   auto run_direction = [&](radio::Direction direction) {
-    double radio_cap = radio::link_capacity_mbps(config_.network, config_.ue,
-                                                 direction, rsrp);
+    double radio_cap =
+        radio::link_capacity_mbps(network, config_.ue, direction, rsrp);
     // Session-level capacity wobble: scheduler share, cross traffic.
     radio_cap *= rng.uniform(0.92, 1.0);
     transport::PathConfig path;
@@ -127,6 +174,9 @@ SpeedtestResult SpeedtestHarness::run(const SpeedtestServer& server,
     if (!server.carrier_hosted) path.capacity_mbps *= 0.93;  // transit hops
     path.loss_event_rate_per_s = loss_event_rate_per_s(path.rtt_ms);
     path.loss_per_packet = loss_per_packet(path.rtt_ms);
+    if (faults != nullptr) {
+      path.loss_event_rate_per_s += faults->extra_loss_events_per_s_at(t);
+    }
 
     // Speedtest servers run with large, tuned send buffers.
     transport::TcpOptions options = transport::tuned_tcp_options();
@@ -135,7 +185,8 @@ SpeedtestResult SpeedtestHarness::run(const SpeedtestServer& server,
                           : 1;
     return transport::simulate_tcp(conns, path, options,
                                    config_.test_duration_s, rng)
-        .aggregate_goodput_mbps;
+               .aggregate_goodput_mbps *
+           degrade;
   };
   result.downlink_mbps = run_direction(radio::Direction::kDownlink);
   result.uplink_mbps = run_direction(radio::Direction::kUplink);
@@ -153,19 +204,31 @@ SpeedtestResult SpeedtestHarness::peak_of(const SpeedtestServer& server,
   const auto trials = parallel::parallel_map(
       static_cast<std::size_t>(repeats), [&](std::size_t i) {
         Rng trial_rng = base.fork(i);
-        return run(server, mode, trial_rng);
+        // Trial i sits at its own spot on the fault timeline, so a sweep
+        // of trials samples fault windows the way repeated real-world
+        // sessions would (ignored when no injector is configured).
+        return run_at(server, mode, trial_rng,
+                      static_cast<double>(i) * config_.trial_spacing_s);
       });
-  // Index-ordered reduction on the caller's thread.
+  // Index-ordered reduction on the caller's thread. Failed trials
+  // contribute their error counts but not their (zeroed) metrics.
   std::vector<double> dl;
   std::vector<double> ul;
   std::vector<double> rtt;
+  int errors = 0;
   for (const auto& r : trials) {
+    errors += r.errors;
+    if (r.failed) continue;
     dl.push_back(r.downlink_mbps);
     ul.push_back(r.uplink_mbps);
     rtt.push_back(r.rtt_ms);
   }
+  if (dl.empty()) {
+    // Every trial failed: degrade to an explicit empty result.
+    return {0.0, 0.0, 0.0, errors, true};
+  }
   return {stats::percentile(dl, 95.0), stats::percentile(ul, 95.0),
-          stats::percentile(rtt, 5.0)};
+          stats::percentile(rtt, 5.0), errors, false};
 }
 
 }  // namespace wild5g::net

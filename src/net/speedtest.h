@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/rng.h"
+#include "faults/injector.h"
 #include "geo/geo.h"
 #include "radio/channel.h"
 #include "radio/types.h"
@@ -59,6 +60,13 @@ struct SpeedtestResult {
   double downlink_mbps = 0.0;
   double uplink_mbps = 0.0;
   double rtt_ms = 0.0;
+  /// Connection attempts that failed (server unreachable) before this
+  /// result was obtained; aggregated by peak_of across trials.
+  int errors = 0;
+  /// True when no data could be collected at all (every connection attempt
+  /// exhausted its retry budget, or every trial of a campaign failed).
+  /// Metrics fields are zero in that case — partial results, not a throw.
+  bool failed = false;
 };
 
 struct SpeedtestConfig {
@@ -69,6 +77,19 @@ struct SpeedtestConfig {
   double session_rsrp_mean_dbm = -76.0;
   double session_rsrp_stddev_db = 2.5;
   double test_duration_s = 15.0;
+
+  /// Optional fault injector (not owned; null = no faults, and the harness
+  /// then executes the exact pre-fault code path and draw sequence).
+  const faults::Injector* faults = nullptr;
+  /// Graceful-degradation knobs, only consulted when faults are active:
+  /// a server_unreachable window triggers up to `max_retries` reconnects
+  /// with deterministic exponential backoff (retry_backoff_s * 2^attempt —
+  /// no rng involved, so retries never perturb the draw stream).
+  int max_retries = 3;
+  double retry_backoff_s = 1.0;
+  /// Wall-clock spacing between the start times of successive trials in
+  /// peak_of; gives each trial a distinct position on the fault timeline.
+  double trial_spacing_s = 20.0;
 };
 
 /// Runs speedtest sessions against servers.
@@ -76,12 +97,23 @@ class SpeedtestHarness {
  public:
   explicit SpeedtestHarness(SpeedtestConfig config);
 
-  /// One full test (latency probe + downlink + uplink phases).
+  /// One full test (latency probe + downlink + uplink phases) starting at
+  /// t = 0 on the fault timeline.
   [[nodiscard]] SpeedtestResult run(const SpeedtestServer& server,
                                     ConnectionMode mode, Rng& rng) const;
 
+  /// Like run(), but the session starts at `start_s` on the fault timeline
+  /// (fault windows are evaluated against [start_s, start_s + duration)).
+  /// With no injector configured, start_s is irrelevant and ignored.
+  [[nodiscard]] SpeedtestResult run_at(const SpeedtestServer& server,
+                                       ConnectionMode mode, Rng& rng,
+                                       double start_s) const;
+
   /// Repeats the test and reports the per-metric 95th percentile (latency
-  /// uses the 5th percentile: "peak performance" means lowest RTT).
+  /// uses the 5th percentile: "peak performance" means lowest RTT). Trial i
+  /// starts at i * trial_spacing_s on the fault timeline. Failed trials are
+  /// excluded from the percentiles; their connection errors are summed into
+  /// `errors`, and `failed` is set only when every trial failed.
   [[nodiscard]] SpeedtestResult peak_of(const SpeedtestServer& server,
                                         ConnectionMode mode, int repeats,
                                         Rng& rng) const;

@@ -5,8 +5,9 @@
 namespace wild5g::sim {
 
 EventId Simulator::schedule_at(double at_ms, Handler handler) {
-  require(at_ms >= now_ms_, "Simulator::schedule_at: time in the past");
-  require(static_cast<bool>(handler), "Simulator::schedule_at: null handler");
+  WILD5G_REQUIRE(at_ms >= now_ms_, "Simulator::schedule_at: time in the past");
+  WILD5G_REQUIRE(static_cast<bool>(handler),
+                 "Simulator::schedule_at: null handler");
   const EventId id = next_id_++;
   queue_.push(Event{at_ms, next_seq_++, id});
   handlers_.emplace(id, std::move(handler));
@@ -14,7 +15,7 @@ EventId Simulator::schedule_at(double at_ms, Handler handler) {
 }
 
 EventId Simulator::schedule_in(double delay_ms, Handler handler) {
-  require(delay_ms >= 0.0, "Simulator::schedule_in: negative delay");
+  WILD5G_REQUIRE(delay_ms >= 0.0, "Simulator::schedule_in: negative delay");
   return schedule_at(now_ms_ + delay_ms, std::move(handler));
 }
 
@@ -39,18 +40,22 @@ void Simulator::run() {
     now_ms_ = event.at_ms;
     auto it = handlers_.find(event.id);
     Handler handler = std::move(it->second);
+    // Erase before invoking: the running handler must not be cancellable
+    // (self-cancel is a no-op) and must not block re-use of its id slot.
     handlers_.erase(it);
     handler();
   }
 }
 
 void Simulator::run_until(double until_ms) {
-  require(until_ms >= now_ms_, "Simulator::run_until: time in the past");
+  WILD5G_REQUIRE(until_ms >= now_ms_, "Simulator::run_until: time in the past");
   Event event{};
   while (!queue_.empty() && queue_.top().at_ms <= until_ms) {
     if (!pop_next(event)) break;
     if (event.at_ms > until_ms) {
-      // Event popped past the horizon: put it back and stop.
+      // Event popped past the horizon: put it back (seq preserved, so its
+      // FIFO rank among simultaneous events survives the round-trip) and
+      // stop.
       queue_.push(event);
       break;
     }
@@ -60,6 +65,9 @@ void Simulator::run_until(double until_ms) {
     handlers_.erase(it);
     handler();
   }
+  // Contract: the clock always lands exactly on the horizon, even when the
+  // queue drained early — callers tile timelines with consecutive
+  // run_until calls and anchor schedule_in offsets at window boundaries.
   now_ms_ = until_ms;
 }
 

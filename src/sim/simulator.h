@@ -30,7 +30,12 @@ class Simulator {
   EventId schedule_in(double delay_ms, Handler handler);
 
   /// Cancels a pending event. Cancelling an already-fired or unknown event
-  /// is a no-op (timers race with the activity that restarts them).
+  /// is a no-op (timers race with the activity that restarts them). This
+  /// extends to the dispatch path: a handler that cancels *itself* (its own
+  /// id) or another event scheduled for the same instant is also a no-op /
+  /// takes effect respectively — the running handler's entry is removed from
+  /// the registry before invocation, so self-cancel finds nothing, and a
+  /// same-instant victim simply never fires.
   void cancel(EventId id);
 
   /// Runs until the event queue drains.
@@ -38,6 +43,12 @@ class Simulator {
 
   /// Runs until simulated time reaches `until_ms` (events at exactly
   /// `until_ms` still fire) or the queue drains, whichever is first.
+  /// Postcondition: now_ms() == until_ms in *both* cases — when the queue
+  /// drains early the clock still advances to the horizon, so back-to-back
+  /// run_until calls tile a timeline without gaps and schedule_in offsets
+  /// after a drained window are anchored at the window's end, not at the
+  /// last event. (Events cancelled-but-unpopped do not hold the clock back
+  /// either; they are skipped without dispatching.)
   void run_until(double until_ms);
 
   /// Number of scheduled-but-not-yet-fired (and not cancelled) events.

@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "core/error.h"
+#include "faults/injector.h"
 
 namespace wild5g::traces {
 
@@ -34,9 +35,24 @@ double parse_double(const std::string& field, const std::string& what) {
 }
 
 double check_finite(double value, const char* what) {
-  require(std::isfinite(value),
-          std::string("trace_io: cannot serialize non-finite ") + what);
+  WILD5G_REQUIRE(std::isfinite(value),
+                 std::string("trace_io: cannot serialize non-finite ") + what);
   return value;
+}
+
+/// Lenient-mode wrapper: runs `parse_row` (which throws on any malformed
+/// row); strict mode propagates, lenient mode counts and drops the row.
+template <typename ParseRow>
+void consume_row(TraceReadStats* stats, ParseRow&& parse_row) {
+  if (stats == nullptr) {
+    parse_row();
+    return;
+  }
+  try {
+    parse_row();
+  } catch (const Error&) {
+    ++stats->skipped_records;
+  }
 }
 
 }  // namespace
@@ -52,7 +68,7 @@ void write_traces_csv(std::ostream& out, const std::vector<Trace>& traces) {
   }
 }
 
-std::vector<Trace> read_traces_csv(std::istream& in) {
+std::vector<Trace> read_traces_csv(std::istream& in, TraceReadStats* stats) {
   std::string line;
   require(static_cast<bool>(std::getline(in, line)),
           "trace_io: empty input");
@@ -62,20 +78,28 @@ std::vector<Trace> read_traces_csv(std::istream& in) {
   std::vector<Trace> traces;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    const auto fields = split_csv_line(line);
-    require(fields.size() == 4, "trace_io: expected 4 fields, got " +
-                                    std::to_string(fields.size()));
-    if (traces.empty() || traces.back().id != fields[0]) {
-      Trace trace;
-      trace.id = fields[0];
-      trace.interval_s = parse_double(fields[1], "interval");
-      traces.push_back(std::move(trace));
-    }
-    const auto index =
-        static_cast<std::size_t>(parse_double(fields[2], "index"));
-    require(index == traces.back().mbps.size(),
-            "trace_io: non-contiguous sample index in trace " + fields[0]);
-    traces.back().mbps.push_back(parse_double(fields[3], "mbps"));
+    consume_row(stats, [&] {
+      const auto fields = split_csv_line(line);
+      require(fields.size() == 4, "trace_io: expected 4 fields, got " +
+                                      std::to_string(fields.size()));
+      // Parse every field before mutating `traces`, so a row rejected in
+      // lenient mode leaves no half-applied state (e.g. an empty trace
+      // created for a row whose mbps field turns out to be garbage).
+      const double interval = parse_double(fields[1], "interval");
+      const auto index =
+          static_cast<std::size_t>(parse_double(fields[2], "index"));
+      const double mbps = parse_double(fields[3], "mbps");
+      const bool new_trace = traces.empty() || traces.back().id != fields[0];
+      require(index == (new_trace ? 0 : traces.back().mbps.size()),
+              "trace_io: non-contiguous sample index in trace " + fields[0]);
+      if (new_trace) {
+        Trace trace;
+        trace.id = fields[0];
+        trace.interval_s = interval;
+        traces.push_back(std::move(trace));
+      }
+      traces.back().mbps.push_back(mbps);
+    });
   }
   return traces;
 }
@@ -87,10 +111,11 @@ void save_traces_csv(const std::string& path,
   write_traces_csv(out, traces);
 }
 
-std::vector<Trace> load_traces_csv(const std::string& path) {
+std::vector<Trace> load_traces_csv(const std::string& path,
+                                   TraceReadStats* stats) {
   std::ifstream in(path);
   require(in.good(), "trace_io: cannot open '" + path + "' for reading");
-  return read_traces_csv(in);
+  return read_traces_csv(in, stats);
 }
 
 void write_campaign_csv(std::ostream& out,
@@ -106,7 +131,8 @@ void write_campaign_csv(std::ostream& out,
   }
 }
 
-std::vector<power::CampaignSample> read_campaign_csv(std::istream& in) {
+std::vector<power::CampaignSample> read_campaign_csv(std::istream& in,
+                                                     TraceReadStats* stats) {
   std::string line;
   require(static_cast<bool>(std::getline(in, line)),
           "trace_io: empty input");
@@ -115,16 +141,47 @@ std::vector<power::CampaignSample> read_campaign_csv(std::istream& in) {
   std::vector<power::CampaignSample> samples;
   while (std::getline(in, line)) {
     if (line.empty()) continue;
-    const auto fields = split_csv_line(line);
-    require(fields.size() == 5, "trace_io: expected 5 fields, got " +
-                                    std::to_string(fields.size()));
-    samples.push_back({parse_double(fields[0], "t_s"),
-                       parse_double(fields[1], "rsrp"),
-                       parse_double(fields[2], "dl"),
-                       parse_double(fields[3], "ul"),
-                       parse_double(fields[4], "power")});
+    consume_row(stats, [&] {
+      const auto fields = split_csv_line(line);
+      require(fields.size() == 5, "trace_io: expected 5 fields, got " +
+                                      std::to_string(fields.size()));
+      samples.push_back({parse_double(fields[0], "t_s"),
+                         parse_double(fields[1], "rsrp"),
+                         parse_double(fields[2], "dl"),
+                         parse_double(fields[3], "ul"),
+                         parse_double(fields[4], "power")});
+    });
   }
   return samples;
+}
+
+std::string corrupt_traces_csv(const std::vector<Trace>& traces,
+                               const faults::Injector& injector,
+                               std::size_t* corrupted_out) {
+  std::ostringstream clean;
+  write_traces_csv(clean, traces);
+  std::istringstream in(clean.str());
+
+  std::ostringstream out;
+  std::string line;
+  std::getline(in, line);  // Header stays intact: corruption targets records.
+  out << line << '\n';
+
+  std::size_t corrupted = 0;
+  std::uint64_t record = 0;
+  while (std::getline(in, line)) {
+    if (injector.corrupt_record(record)) {
+      // Truncate mid-field: keeps the trace_id prefix plausible while
+      // guaranteeing the numeric tail no longer parses.
+      out << line.substr(0, line.size() / 2) << "#corrupt\n";
+      ++corrupted;
+    } else {
+      out << line << '\n';
+    }
+    ++record;
+  }
+  if (corrupted_out != nullptr) *corrupted_out = corrupted;
+  return out.str();
 }
 
 }  // namespace wild5g::traces

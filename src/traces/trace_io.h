@@ -3,8 +3,19 @@
 // The paper's artifact ships its datasets as CSV; these routines let users
 // export generated populations in the same spirit (and re-import them, so
 // an exported dataset round-trips exactly at the stored precision).
+//
+// Two read modes:
+//  - strict (default): any malformed row throws wild5g::Error. Generated
+//    datasets are trusted; silent repair there would hide writer bugs.
+//  - lenient: pass a TraceReadStats* and malformed rows (bad field count,
+//    unparseable or non-finite numbers, broken index contiguity) are
+//    skipped and counted instead of thrown. This is the graceful-degradation
+//    path for field data and for the fault-injection chaos suite, which
+//    deliberately corrupts records on disk (see corrupt_traces_csv).
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 #include <vector>
@@ -12,24 +23,48 @@
 #include "power/campaign.h"
 #include "traces/traces.h"
 
+namespace wild5g::faults {
+class Injector;
+}
+
 namespace wild5g::traces {
+
+/// Tallies from a lenient read. A strict read never populates one.
+struct TraceReadStats {
+  std::size_t skipped_records = 0;
+};
 
 /// Writes traces in long form: header `trace_id,interval_s,index,mbps`,
 /// one row per sample.
 void write_traces_csv(std::ostream& out, const std::vector<Trace>& traces);
 
-/// Reads the long-form CSV back. Throws wild5g::Error on malformed input.
-[[nodiscard]] std::vector<Trace> read_traces_csv(std::istream& in);
+/// Reads the long-form CSV back. Strict when `stats` is null (throws
+/// wild5g::Error on malformed input); lenient when non-null (malformed rows
+/// are skipped and counted in stats->skipped_records). The header row is
+/// always strict: a wrong header means the wrong file, not a bad record.
+[[nodiscard]] std::vector<Trace> read_traces_csv(
+    std::istream& in, TraceReadStats* stats = nullptr);
 
 /// File-path conveniences.
 void save_traces_csv(const std::string& path,
                      const std::vector<Trace>& traces);
-[[nodiscard]] std::vector<Trace> load_traces_csv(const std::string& path);
+[[nodiscard]] std::vector<Trace> load_traces_csv(
+    const std::string& path, TraceReadStats* stats = nullptr);
 
 /// Walking-campaign log: header `t_s,rsrp_dbm,dl_mbps,ul_mbps,power_mw`.
+/// Same strict/lenient contract as read_traces_csv.
 void write_campaign_csv(std::ostream& out,
                         const std::vector<power::CampaignSample>& samples);
 [[nodiscard]] std::vector<power::CampaignSample> read_campaign_csv(
-    std::istream& in);
+    std::istream& in, TraceReadStats* stats = nullptr);
+
+/// Serializes `traces`, then deterministically mangles the data rows whose
+/// record index the injector's trace_corrupt windows select (record i sits
+/// at t = i in window space). Used by the chaos suite to produce on-disk
+/// corruption that lenient readers must survive. Returns the corrupted CSV
+/// text and the number of rows mangled via `corrupted_out` (optional).
+[[nodiscard]] std::string corrupt_traces_csv(
+    const std::vector<Trace>& traces, const faults::Injector& injector,
+    std::size_t* corrupted_out = nullptr);
 
 }  // namespace wild5g::traces

@@ -10,8 +10,8 @@
 namespace wild5g::traces {
 
 double Trace::at(double t_s) const {
-  require(!mbps.empty(), "Trace::at: empty trace");
-  require(t_s >= 0.0, "Trace::at: negative time");
+  WILD5G_REQUIRE(!mbps.empty(), "Trace::at: empty trace");
+  WILD5G_REQUIRE(t_s >= 0.0, "Trace::at: negative time");
   const auto index = std::min(
       mbps.size() - 1, static_cast<std::size_t>(t_s / interval_s));
   return mbps[index];

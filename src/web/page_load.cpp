@@ -56,6 +56,15 @@ PageLoadResult load_page(const Website& site, const PageLoadConfig& config,
   require(site.object_count > 0, "load_page: empty website");
   require(config.parallel_connections > 0, "load_page: no connections");
 
+  // Fault-failure predicate for one object. Checked *before* any per-object
+  // rng draws, and failed objects draw nothing — so with a null injector the
+  // draw sequence is byte-identical to the pre-fault code path.
+  auto fetch_fails = [&](std::size_t object_index, double t_s) {
+    return config.faults != nullptr &&
+           config.faults->object_fetch_fails(config.fault_salt, object_index,
+                                             t_s);
+  };
+
   const double capacity_mbps =
       radio::link_capacity_mbps(config.network, config.ue,
                                 radio::Direction::kDownlink, config.rsrp_dbm) *
@@ -121,6 +130,13 @@ PageLoadResult load_page(const Website& site, const PageLoadConfig& config,
       double round_mbits = 0.0;
       double max_think_s = 0.0;
       for (auto index : objects) {
+        if (fetch_fails(index, plt)) {
+          // The failed stream transfers nothing; the client abandons it at
+          // the timeout, which gates the round like the slowest think time.
+          ++result.failed_objects;
+          max_think_s = std::max(max_think_s, config.object_timeout_s);
+          continue;
+        }
         round_mbits += sizes_kb[index] * 8.0 / 1024.0;
         if (rng.bernoulli(dyn_fraction)) {
           max_think_s = std::max(
@@ -142,6 +158,13 @@ PageLoadResult load_page(const Website& site, const PageLoadConfig& config,
     durations.reserve(objects.size());
     double round_mbits = 0.0;
     for (auto index : objects) {
+      if (fetch_fails(index, plt)) {
+        // Failed fetch: holds its connection slot until the client's
+        // timeout, delivers no bytes, consumes no rng draws.
+        ++result.failed_objects;
+        durations.push_back(config.object_timeout_s);
+        continue;
+      }
       const bool dynamic = rng.bernoulli(dyn_fraction);
       durations.push_back(
           object_fetch_s(sizes_kb[index], dynamic, config, share_mbps, rng));

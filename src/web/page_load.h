@@ -7,9 +7,11 @@
 // radio energy (from the device power rails over the transfer timeline).
 #pragma once
 
+#include <cstdint>
 #include <vector>
 
 #include "core/rng.h"
+#include "faults/injector.h"
 #include "power/power_model.h"
 #include "radio/types.h"
 #include "radio/ue.h"
@@ -30,6 +32,18 @@ struct PageLoadConfig {
   /// ramps). Narayanan et al. [39] studied protocol versions over mmWave;
   /// this knob reproduces that comparison (see bench_extension_http2).
   bool multiplexed = false;
+  /// Optional fault injector (not owned; null = no faults). Object fetches
+  /// that the injector fails occupy their connection slot for
+  /// `object_timeout_s` (the client's give-up deadline), transfer no bytes,
+  /// and are counted in PageLoadResult::failed_objects — the page still
+  /// completes, with the timeout folded into PLT like a real browser's
+  /// error-and-continue behavior.
+  const faults::Injector* faults = nullptr;
+  /// Keys the injector's per-object failure decisions; give each page of a
+  /// corpus a distinct salt (e.g. its site index) so one plan fails
+  /// different object subsets on different pages.
+  std::uint64_t fault_salt = 0;
+  double object_timeout_s = 2.0;
 };
 
 /// Defaults for the paper's two settings: stationary LoS Verizon mmWave 5G
@@ -40,6 +54,8 @@ struct PageLoadConfig {
 struct PageLoadResult {
   double plt_s = 0.0;
   double energy_j = 0.0;
+  /// Object fetches the fault injector failed (0 without an injector).
+  int failed_objects = 0;
   /// Downlink megabits transferred per integral second (for power models).
   std::vector<double> per_second_dl_mbps;
 };

@@ -10,11 +10,14 @@ namespace wild5g::web {
 
 std::vector<SiteMeasurement> measure_corpus(
     const std::vector<Website>& corpus, int repeats,
-    const power::DevicePowerProfile& device, Rng& rng) {
+    const power::DevicePowerProfile& device, Rng& rng,
+    const faults::Injector* faults) {
   require(!corpus.empty(), "measure_corpus: empty corpus");
   require(repeats > 0, "measure_corpus: repeats must be positive");
-  const auto config_5g = mmwave_page_config();
-  const auto config_4g = lte_page_config();
+  auto config_5g = mmwave_page_config();
+  auto config_4g = lte_page_config();
+  config_5g.faults = faults;
+  config_4g.faults = faults;
 
   // Sites are measured in parallel: one Rng substream per site, forked up
   // front from a split of the caller's stream, so site i's page loads draw
@@ -23,15 +26,22 @@ std::vector<SiteMeasurement> measure_corpus(
   Rng base = rng.split();
   return parallel::parallel_map(corpus.size(), [&](std::size_t i) {
     Rng site_rng = base.fork(i);
+    // Per-site salt: the same plan fails different object subsets on
+    // different sites, deterministically in the site's corpus position.
+    auto config_5g_site = config_5g;
+    auto config_4g_site = config_4g;
+    config_5g_site.fault_salt = i;
+    config_4g_site.fault_salt = i;
     SiteMeasurement m;
     m.site = corpus[i];
     for (int r = 0; r < repeats; ++r) {
-      const auto r5 = load_page(m.site, config_5g, device, site_rng);
-      const auto r4 = load_page(m.site, config_4g, device, site_rng);
+      const auto r5 = load_page(m.site, config_5g_site, device, site_rng);
+      const auto r4 = load_page(m.site, config_4g_site, device, site_rng);
       m.plt_5g_s += r5.plt_s;
       m.energy_5g_j += r5.energy_j;
       m.plt_4g_s += r4.plt_s;
       m.energy_4g_j += r4.energy_j;
+      m.failed_objects += r5.failed_objects + r4.failed_objects;
     }
     const auto n = static_cast<double>(repeats);
     m.plt_5g_s /= n;

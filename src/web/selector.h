@@ -25,12 +25,20 @@ struct SiteMeasurement {
   double plt_5g_s = 0.0;
   double energy_4g_j = 0.0;
   double energy_5g_j = 0.0;
+  /// Total fault-failed object fetches across all loads of this site
+  /// (always 0 when no injector is passed to measure_corpus).
+  int failed_objects = 0;
 };
 
 /// Loads every site on both radios `repeats` times (the paper repeats >= 8).
+/// With a fault injector, failed objects degrade each load's PLT (timeout
+/// slots) and are tallied per site; the campaign itself never aborts. Each
+/// site keys the injector's object-failure decisions with its corpus index,
+/// so one plan fails different object subsets on different sites.
 [[nodiscard]] std::vector<SiteMeasurement> measure_corpus(
     const std::vector<Website>& corpus, int repeats,
-    const power::DevicePowerProfile& device, Rng& rng);
+    const power::DevicePowerProfile& device, Rng& rng,
+    const faults::Injector* faults = nullptr);
 
 /// The five QoE weightings of Table 6.
 struct QoeWeights {

@@ -1,0 +1,30 @@
+// Fixture: catch (...) blocks that swallow the exception — no rethrow, no
+// stored exception_ptr, no diagnostic. Must trip exactly catch-swallow.
+int risky();
+
+int swallow_silently() {
+  try {
+    return risky();
+  } catch (...) {
+  }
+  return -1;
+}
+
+int swallow_with_recovery_code() {
+  int fallback = 0;
+  try {
+    fallback = risky();
+  } catch (...) {
+    fallback = -1;  // recovers, but nobody ever learns a failure happened
+  }
+  return fallback;
+}
+
+// A handled catch (...) must NOT trip the rule: rethrowing counts.
+int rethrow_is_fine() {
+  try {
+    return risky();
+  } catch (...) {
+    throw;
+  }
+}

@@ -1,0 +1,244 @@
+// Unit tests for the fault-injection layer: FaultPlan JSON parsing and
+// validation rejects, and the Injector's pure deterministic query surface.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "core/error.h"
+#include "faults/fault_plan.h"
+#include "faults/injector.h"
+#include "sim/simulator.h"
+
+namespace {
+
+using wild5g::Error;
+using wild5g::faults::FaultKind;
+using wild5g::faults::FaultPlan;
+using wild5g::faults::FaultWindow;
+using wild5g::faults::Injector;
+
+FaultPlan plan_of(std::vector<FaultWindow> windows) {
+  FaultPlan plan;
+  plan.name = "test";
+  plan.windows = std::move(windows);
+  return plan;
+}
+
+TEST(FaultPlan, ParsesWellFormedDocument) {
+  const auto plan = FaultPlan::parse(R"({
+    "name": "demo", "seed_salt": 7,
+    "windows": [
+      {"kind": "nr_to_lte_outage", "start_s": 3, "duration_s": 5,
+       "magnitude": 0.1},
+      {"kind": "server_unreachable", "start_s": 20, "duration_s": 2}
+    ]
+  })");
+  EXPECT_EQ(plan.name, "demo");
+  EXPECT_EQ(plan.seed_salt, 7u);
+  ASSERT_EQ(plan.windows.size(), 2u);
+  EXPECT_EQ(plan.windows[0].kind, FaultKind::kNrToLteOutage);
+  EXPECT_DOUBLE_EQ(plan.windows[0].end_s(), 8.0);
+  EXPECT_DOUBLE_EQ(plan.windows[1].magnitude, 0.0);  // optional, defaults 0
+}
+
+TEST(FaultPlan, RoundTripsThroughJson) {
+  const auto plan = FaultPlan::parse(R"({
+    "name": "rt", "seed_salt": 3,
+    "windows": [{"kind": "loss_burst", "start_s": 1, "duration_s": 2,
+                 "magnitude": 0.5}]
+  })");
+  const auto reparsed = FaultPlan::from_json(plan.to_json());
+  EXPECT_EQ(reparsed.name, plan.name);
+  ASSERT_EQ(reparsed.windows.size(), 1u);
+  EXPECT_EQ(reparsed.windows[0].kind, FaultKind::kLossBurst);
+  EXPECT_DOUBLE_EQ(reparsed.windows[0].magnitude, 0.5);
+}
+
+TEST(FaultPlan, RejectsUnknownKind) {
+  EXPECT_THROW(FaultPlan::parse(R"({"windows": [
+    {"kind": "gamma_ray_burst", "start_s": 0, "duration_s": 1}
+  ]})"),
+               Error);
+}
+
+TEST(FaultPlan, RejectsNegativeDuration) {
+  EXPECT_THROW(FaultPlan::parse(R"({"windows": [
+    {"kind": "radio_outage", "start_s": 0, "duration_s": -5}
+  ]})"),
+               Error);
+  EXPECT_THROW(FaultPlan::parse(R"({"windows": [
+    {"kind": "radio_outage", "start_s": 0, "duration_s": 0}
+  ]})"),
+               Error);
+}
+
+TEST(FaultPlan, RejectsNegativeStartAndMissingFields) {
+  EXPECT_THROW(FaultPlan::parse(R"({"windows": [
+    {"kind": "radio_outage", "start_s": -1, "duration_s": 5}
+  ]})"),
+               Error);
+  EXPECT_THROW(FaultPlan::parse(R"({"windows": [
+    {"kind": "radio_outage", "duration_s": 5}
+  ]})"),
+               Error);
+  EXPECT_THROW(FaultPlan::parse(R"({"windows": [
+    {"start_s": 0, "duration_s": 5}
+  ]})"),
+               Error);
+  EXPECT_THROW(FaultPlan::parse(R"({"name": "no windows key"})"), Error);
+}
+
+TEST(FaultPlan, RejectsOverlappingSameKindWindows) {
+  EXPECT_THROW(FaultPlan::parse(R"({"windows": [
+    {"kind": "radio_outage", "start_s": 0, "duration_s": 10},
+    {"kind": "radio_outage", "start_s": 5, "duration_s": 10}
+  ]})"),
+               Error);
+  // Different kinds may overlap freely.
+  EXPECT_NO_THROW(FaultPlan::parse(R"({"windows": [
+    {"kind": "radio_outage", "start_s": 0, "duration_s": 10},
+    {"kind": "latency_spike", "start_s": 5, "duration_s": 10,
+     "magnitude": 20}
+  ]})"));
+  // Touching half-open windows do not overlap.
+  EXPECT_NO_THROW(FaultPlan::parse(R"({"windows": [
+    {"kind": "radio_outage", "start_s": 0, "duration_s": 10},
+    {"kind": "radio_outage", "start_s": 10, "duration_s": 10}
+  ]})"));
+}
+
+TEST(FaultPlan, RejectsOutOfRangeFractionMagnitude) {
+  EXPECT_THROW(FaultPlan::parse(R"({"windows": [
+    {"kind": "object_fail", "start_s": 0, "duration_s": 1, "magnitude": 1.5}
+  ]})"),
+               Error);
+  // Additive magnitudes (dB, ms) may exceed 1.
+  EXPECT_NO_THROW(FaultPlan::parse(R"({"windows": [
+    {"kind": "latency_spike", "start_s": 0, "duration_s": 1,
+     "magnitude": 250}
+  ]})"));
+}
+
+TEST(FaultWindow, CoversIsHalfOpen) {
+  const FaultWindow w{FaultKind::kRadioOutage, 2.0, 3.0, 0.0};
+  EXPECT_FALSE(w.covers(1.999));
+  EXPECT_TRUE(w.covers(2.0));
+  EXPECT_TRUE(w.covers(4.999));
+  EXPECT_FALSE(w.covers(5.0));
+}
+
+TEST(Injector, AnswersTimeQueries) {
+  const Injector injector(
+      plan_of({{FaultKind::kMmwaveBlockage, 10.0, 5.0, 18.0},
+               {FaultKind::kLatencySpike, 10.0, 5.0, 40.0},
+               {FaultKind::kRadioOutage, 30.0, 10.0, 0.0}}),
+      1234);
+  EXPECT_DOUBLE_EQ(injector.rsrp_penalty_db_at(12.0), 18.0);
+  EXPECT_DOUBLE_EQ(injector.rsrp_penalty_db_at(16.0), 0.0);
+  EXPECT_DOUBLE_EQ(injector.extra_rtt_ms_at(12.0), 40.0);
+  EXPECT_TRUE(injector.radio_outage_at(35.0));
+  EXPECT_FALSE(injector.radio_outage_at(29.0));
+  // Half the [25, 45) window sits inside the outage.
+  EXPECT_DOUBLE_EQ(injector.outage_fraction(25.0, 45.0), 0.5);
+  EXPECT_DOUBLE_EQ(injector.outage_fraction(30.0, 40.0), 1.0);
+  EXPECT_DOUBLE_EQ(injector.outage_fraction(0.0, 10.0), 0.0);
+}
+
+TEST(Injector, BandwidthScaleComposes) {
+  const Injector injector(
+      plan_of({{FaultKind::kChunkStall, 0.0, 10.0, 0.9},
+               {FaultKind::kNrToLteOutage, 5.0, 10.0, 0.2},
+               {FaultKind::kRadioOutage, 20.0, 5.0, 0.0}}),
+      1);
+  EXPECT_NEAR(injector.bandwidth_scale_at(2.0), 0.1, 1e-12);
+  EXPECT_NEAR(injector.bandwidth_scale_at(7.0), 0.1 * 0.2, 1e-12);
+  EXPECT_NEAR(injector.bandwidth_scale_at(12.0), 0.2, 1e-12);
+  EXPECT_DOUBLE_EQ(injector.bandwidth_scale_at(22.0), 0.0);
+  EXPECT_DOUBLE_EQ(injector.bandwidth_scale_at(50.0), 1.0);
+}
+
+TEST(Injector, StochasticDecisionsAreDeterministicAndSeedSensitive) {
+  const auto plan = plan_of({{FaultKind::kObjectFail, 0.0, 100.0, 0.3}});
+  const Injector a(plan, 42);
+  const Injector b(plan, 42);
+  const Injector c(plan, 43);
+  int differs = 0;
+  int fails = 0;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.object_fetch_fails(9, i, 1.0), b.object_fetch_fails(9, i, 1.0));
+    if (a.object_fetch_fails(9, i, 1.0) != c.object_fetch_fails(9, i, 1.0)) {
+      ++differs;
+    }
+    if (a.object_fetch_fails(9, i, 1.0)) ++fails;
+  }
+  EXPECT_GT(differs, 0) << "campaign seed does not reach decisions";
+  // ~30% of 500 draws; generous envelope.
+  EXPECT_GT(fails, 90);
+  EXPECT_LT(fails, 220);
+  // Outside any window nothing fails.
+  EXPECT_FALSE(a.object_fetch_fails(9, 1, 200.0));
+  // Different salts select different object subsets.
+  int salt_differs = 0;
+  for (std::uint64_t i = 0; i < 500; ++i) {
+    if (a.object_fetch_fails(1, i, 1.0) != a.object_fetch_fails(2, i, 1.0)) {
+      ++salt_differs;
+    }
+  }
+  EXPECT_GT(salt_differs, 0);
+}
+
+TEST(Injector, CorruptRecordRespectsIndexWindows) {
+  const Injector injector(
+      plan_of({{FaultKind::kTraceCorrupt, 100.0, 50.0, 1.0}}), 7);
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    EXPECT_FALSE(injector.corrupt_record(i));
+  }
+  int corrupted = 0;
+  for (std::uint64_t i = 100; i < 150; ++i) {
+    if (injector.corrupt_record(i)) ++corrupted;
+  }
+  EXPECT_EQ(corrupted, 50);  // magnitude 1.0 = every record in the window
+  EXPECT_FALSE(injector.corrupt_record(150));
+}
+
+TEST(Injector, RejectsInvalidPlanAtConstruction) {
+  EXPECT_THROW(Injector(plan_of({{FaultKind::kRadioOutage, 0.0, -1.0, 0.0}}),
+                        1),
+               Error);
+}
+
+TEST(Injector, ArmSchedulesEdgesOnSimulator) {
+  const Injector injector(
+      plan_of({{FaultKind::kServerStall, 2.0, 3.0, 0.5}}), 1);
+  wild5g::sim::Simulator sim;
+  std::vector<std::pair<double, bool>> edges;
+  injector.arm(sim, [&](const FaultWindow& w, bool is_start) {
+    EXPECT_EQ(w.kind, FaultKind::kServerStall);
+    edges.emplace_back(sim.now_ms(), is_start);
+  });
+  sim.run();
+  ASSERT_EQ(edges.size(), 2u);
+  EXPECT_DOUBLE_EQ(edges[0].first, 2000.0);
+  EXPECT_TRUE(edges[0].second);
+  EXPECT_DOUBLE_EQ(edges[1].first, 5000.0);
+  EXPECT_FALSE(edges[1].second);
+}
+
+TEST(Injector, ArmSkipsWindowsAlreadyInProgress) {
+  const Injector injector(
+      plan_of({{FaultKind::kServerStall, 1.0, 10.0, 0.5},
+               {FaultKind::kLossBurst, 8.0, 2.0, 0.1}}),
+      1);
+  wild5g::sim::Simulator sim;
+  sim.schedule_at(5000.0, [] {});
+  sim.run();  // now at t = 5 s: the stall window already started
+  int edges = 0;
+  injector.arm(sim, [&](const FaultWindow& w, bool) {
+    EXPECT_EQ(w.kind, FaultKind::kLossBurst);
+    ++edges;
+  });
+  sim.run();
+  EXPECT_EQ(edges, 2);
+}
+
+}  // namespace

@@ -113,6 +113,10 @@ TEST(lint, fixture_printf_float) {
   expect_only_rule("bad_printf_float.cpp", "printf-float");
 }
 
+TEST(lint, fixture_catch_swallow) {
+  expect_only_rule("bad_catch_swallow.cpp", "catch-swallow");
+}
+
 TEST(lint, fixture_allow_needs_justification) {
   expect_only_rule("bad_allow_missing_justification.cpp",
                    "allow-needs-justification");
@@ -135,8 +139,8 @@ TEST(lint, every_bad_fixture_has_a_test) {
       "bad_raw_engine.cpp",       "bad_distribution.cpp",
       "bad_unordered_iteration.cpp", "bad_float_equality.cpp",
       "bad_printf_float.cpp",     "bad_allow_missing_justification.cpp",
-      "bad_unknown_rule.cpp",     "good_allow.cpp",
-      "good_clean.cpp"};
+      "bad_unknown_rule.cpp",     "bad_catch_swallow.cpp",
+      "good_allow.cpp",           "good_clean.cpp"};
   const LintRun listing =
       run_lint("--json " + std::string(WILD5G_LINT_FIXTURES));
   const json::Value doc = json::parse(listing.output);
@@ -161,7 +165,8 @@ TEST(lint, list_rules_covers_registry) {
   EXPECT_EQ(run.exit_code, 0);
   for (const std::string rule :
        {"ban-random-device", "ban-c-rand", "ban-wall-clock", "ban-raw-engine",
-        "unordered-iteration", "float-equality", "printf-float"}) {
+        "unordered-iteration", "float-equality", "printf-float",
+        "catch-swallow"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }

@@ -210,6 +210,81 @@ TEST(Simulator, PendingCountTracksScheduleCancelAndFire) {
   EXPECT_DOUBLE_EQ(sim.now_ms(), 2.0);
 }
 
+TEST(Simulator, SelfCancelInsideHandlerIsNoop) {
+  // A handler cancelling its own id must be a no-op: the entry is removed
+  // from the registry before invocation, so there is nothing to cancel and
+  // nothing to double-free or re-fire.
+  Simulator sim;
+  int fired = 0;
+  wild5g::sim::EventId self = 0;
+  self = sim.schedule_at(3.0, [&] {
+    sim.cancel(self);
+    ++fired;
+  });
+  sim.run();
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.pending_count(), 0u);
+  sim.cancel(self);  // still a no-op afterwards
+}
+
+TEST(Simulator, HandlerCanCancelFutureEventDuringDispatch) {
+  Simulator sim;
+  bool future_fired = false;
+  const auto future = sim.schedule_at(10.0, [&] { future_fired = true; });
+  sim.schedule_at(5.0, [&] { sim.cancel(future); });
+  sim.run();
+  EXPECT_FALSE(future_fired);
+  // The cancelled event is skipped without dispatch, and the clock still
+  // reflects the last *fired* event.
+  EXPECT_DOUBLE_EQ(sim.now_ms(), 5.0);
+}
+
+TEST(Simulator, RunUntilAdvancesClockOnEarlyDrain) {
+  // The queue drains at t=3 but the horizon is 100: the clock must land on
+  // the horizon so back-to-back run_until calls tile a timeline gap-free.
+  Simulator sim;
+  sim.schedule_at(3.0, [] {});
+  sim.run_until(100.0);
+  EXPECT_DOUBLE_EQ(sim.now_ms(), 100.0);
+  EXPECT_EQ(sim.pending_count(), 0u);
+  // schedule_in after the drained window anchors at the horizon, not at
+  // the last event.
+  double fired_at = -1.0;
+  sim.schedule_in(5.0, [&] { fired_at = sim.now_ms(); });
+  sim.run();
+  EXPECT_DOUBLE_EQ(fired_at, 105.0);
+}
+
+TEST(Simulator, RunUntilClockAdvancesWhenOnlyCancelledEventsRemain) {
+  // Cancelled-but-unpopped events must not hold the clock back or count as
+  // work: run_until over them behaves exactly like an empty queue.
+  Simulator sim;
+  const auto id = sim.schedule_at(4.0, [] {});
+  sim.cancel(id);
+  sim.run_until(10.0);
+  EXPECT_DOUBLE_EQ(sim.now_ms(), 10.0);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(Simulator, RunUntilPreservesFifoForEventPushedBackPastHorizon) {
+  // run_until may pop an event past the horizon and push it back; its seq
+  // must survive the round-trip so FIFO among simultaneous events holds on
+  // the next run.
+  Simulator sim;
+  std::vector<int> order;
+  // A cancelled event inside the horizon forces pop_next past it and onto
+  // the first live 10.0 event, which is then past the horizon: push-back.
+  const auto decoy = sim.schedule_at(3.0, [] {});
+  sim.schedule_at(10.0, [&] { order.push_back(1); });
+  sim.schedule_at(10.0, [&] { order.push_back(2); });
+  sim.schedule_at(10.0, [&] { order.push_back(3); });
+  sim.cancel(decoy);
+  sim.run_until(5.0);  // pops the first 10.0 event, pushes it back
+  EXPECT_TRUE(order.empty());
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
 TEST(Simulator, TimerRestartPattern) {
   // The RRC inactivity-timer idiom: cancel + reschedule on each activity.
   Simulator sim;

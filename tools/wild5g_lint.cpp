@@ -18,6 +18,9 @@
 //   float-equality       ==/!= against a floating-point literal
 //   printf-float         printf-family %f/%g/%e formatting (bypasses the
 //                        deterministic JSON number writer)
+//   catch-swallow        catch (...) blocks that neither rethrow nor report
+//                        the exception — silent failures can mask broken
+//                        fault handling (see src/faults/)
 //
 // Suppression: a finding is waived by a directive comment — on the same line
 // as the finding, or on its own line(s) directly above it — of the form
@@ -59,7 +62,7 @@ struct RuleInfo {
   std::string_view summary;
 };
 
-constexpr std::array<RuleInfo, 9> kRules = {{
+constexpr std::array<RuleInfo, 10> kRules = {{
     {"ban-random-device",
      "std::random_device is nondeterministic; seed a wild5g::Rng instead"},
     {"ban-c-rand", "C PRNG family bypasses the seeded wild5g::Rng"},
@@ -78,6 +81,9 @@ constexpr std::array<RuleInfo, 9> kRules = {{
     {"printf-float",
      "printf-style float formatting bypasses json::format_number's "
      "deterministic rendering"},
+    {"catch-swallow",
+     "catch (...) without rethrow/report hides failures; rethrow, store "
+     "std::current_exception(), or log before recovering"},
     {"allow-needs-justification",
      "wild5g-lint: allow(<rule>) requires a justification after the ')'"},
     {"unknown-rule", "allow(...) names a rule this linter does not define"},
@@ -371,6 +377,7 @@ struct FileContext {
   std::string display_path;  // as reported in findings
   bool is_rng_header = false;
   bool feeds_metrics = false;  // includes core/json.h or bench_common.h
+  bool swallow_allowed = false;  // file is on the catch-swallow allow-list
 };
 
 void check_banned_idents(const std::vector<Token>& toks,
@@ -515,6 +522,50 @@ void check_printf_float(const std::vector<Token>& toks, const FileContext& ctx,
   }
 }
 
+void check_catch_swallow(const std::vector<Token>& toks,
+                         const FileContext& ctx,
+                         std::vector<Finding>& out) {
+  if (ctx.swallow_allowed) return;
+  // Identifiers that count as handling the exception inside the catch body:
+  // rethrowing it, capturing it as an exception_ptr, terminating, or writing
+  // a diagnostic somewhere a caller or human will see.
+  static const std::set<std::string> kHandles = {
+      "throw",          "current_exception", "rethrow_exception",
+      "rethrow_if_nested", "cerr",           "clog",
+      "perror",         "fprintf",           "printf",
+      "syslog",         "exit",              "_Exit",
+      "quick_exit",     "abort",             "terminate"};
+  for (std::size_t i = 0; i + 6 < toks.size(); ++i) {
+    // The lexer emits the ellipsis parameter as three '.' punct tokens.
+    if (toks[i].kind != Token::Kind::kIdent || toks[i].text != "catch" ||
+        toks[i + 1].text != "(" || toks[i + 2].text != "." ||
+        toks[i + 3].text != "." || toks[i + 4].text != "." ||
+        toks[i + 5].text != ")" || toks[i + 6].text != "{") {
+      continue;
+    }
+    int depth = 0;
+    bool handled = false;
+    for (std::size_t j = i + 6; j < toks.size(); ++j) {
+      if (toks[j].kind == Token::Kind::kPunct) {
+        if (toks[j].text == "{") ++depth;
+        if (toks[j].text == "}" && --depth == 0) break;
+      }
+      if (toks[j].kind == Token::Kind::kIdent &&
+          kHandles.count(toks[j].text) != 0) {
+        handled = true;
+        break;
+      }
+    }
+    if (!handled) {
+      out.push_back({ctx.display_path, toks[i].line, "catch-swallow",
+                     "catch (...) swallows the exception without rethrowing, "
+                     "storing std::current_exception(), or reporting it; a "
+                     "silent failure here can mask a broken fault path — "
+                     "handle it or justify via allow"});
+    }
+  }
+}
+
 void check_unordered_iteration(const std::vector<Token>& toks,
                                const FileContext& ctx,
                                std::vector<Finding>& out) {
@@ -628,6 +679,13 @@ std::vector<Finding> lint_file(const fs::path& path) {
       src.find("#include \"bench_common.h\"") != std::string::npos ||
       path_ends_with(path, "bench/bench_common.h") ||
       path_ends_with(path, "src/core/json.h");
+  // Path suffixes where a silent catch (...) is deliberate. Empty today —
+  // every swallow in the tree must rethrow, store, or report; add a suffix
+  // here (with a comment saying why) before exempting a whole file.
+  static constexpr std::array<std::string_view, 0> kSwallowAllowed = {};
+  ctx.swallow_allowed = std::any_of(
+      kSwallowAllowed.begin(), kSwallowAllowed.end(),
+      [&](std::string_view suffix) { return path_ends_with(path, suffix); });
 
   const LexedFile lexed = lex(src);
   std::set<int> token_lines;
@@ -641,6 +699,7 @@ std::vector<Finding> lint_file(const fs::path& path) {
   check_banned_idents(lexed.tokens, ctx, raw);
   check_float_equality(lexed.tokens, ctx, raw);
   check_printf_float(lexed.tokens, ctx, raw);
+  check_catch_swallow(lexed.tokens, ctx, raw);
   check_unordered_iteration(lexed.tokens, ctx, raw);
 
   for (auto& f : raw) {
