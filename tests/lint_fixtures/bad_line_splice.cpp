@@ -1,0 +1,7 @@
+// Fixture: a backslash-newline splice may not hide a banned identifier from
+// the token stream — phase-2 translation joins the lines before lexing, so
+// the split call below must still trip ban-c-rand (and nothing else).
+int demo() {
+  return ra\
+nd();
+}

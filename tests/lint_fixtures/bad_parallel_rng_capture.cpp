@@ -1,0 +1,17 @@
+// Fixture: an Rng captured by reference into a parallel_map task lambda
+// must trip parallel-rng-capture (and nothing else). The body only calls
+// fork(), which is const and deterministic — the capture itself is the
+// violation, because nothing stops a later edit from drawing through it.
+struct Rng {
+  Rng fork(long salt) const;
+};
+template <typename F>
+void parallel_map(int n, F f);
+
+void demo() {
+  Rng rng;
+  parallel_map(8, [&rng](int i) {
+    Rng child = rng.fork(i);
+    (void)child;
+  });
+}

@@ -1,0 +1,19 @@
+// Fixture: a draw inside a parallel_map task body on a stream that is not
+// derived per task must trip parallel-rng-stream (and nothing else). The
+// default [&] capture is the tree-wide idiom and is not itself a finding —
+// the racing uniform() call on the outer stream is.
+struct Rng {
+  double uniform();
+  Rng fork(long salt) const;
+};
+template <typename F>
+void parallel_map(int n, F f);
+
+void demo() {
+  Rng rng;
+  parallel_map(8, [&](int i) {
+    double x = rng.uniform();
+    (void)x;
+    (void)i;
+  });
+}

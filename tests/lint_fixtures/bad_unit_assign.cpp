@@ -1,0 +1,10 @@
+// Fixture: assigning a seconds value to a milliseconds variable must trip
+// unit-mismatch-assign (and nothing else). The numeric initializers are
+// unit-silent on purpose — literals carry no suffix, so only the cross-unit
+// assignment below is a finding.
+void demo() {
+  double rtt_ms = 0.0;
+  double wait_s = 2.0;
+  rtt_ms = wait_s;
+  (void)rtt_ms;
+}

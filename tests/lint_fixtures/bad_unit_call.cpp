@@ -1,0 +1,10 @@
+// Fixture: passing a seconds value where the signature declares a
+// milliseconds parameter must trip unit-mismatch-call (and nothing else).
+// The declaration itself seeds the signature index; the call site binds an
+// argument whose suffix disagrees with the parameter's.
+void record_latency(double rtt_ms);
+
+void demo() {
+  double delay_s = 1.5;
+  record_latency(delay_s);
+}

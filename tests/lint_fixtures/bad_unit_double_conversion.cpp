@@ -1,0 +1,16 @@
+// Fixture: redundant units.h conversions must trip unit-double-conversion
+// (and nothing else) in both shapes — an argument that already carries the
+// target unit, and an inverse pair that cancels to an identity.
+namespace wild5g {
+constexpr double ms_to_s(double ms) { return ms / 1e3; }
+constexpr double s_to_ms(double s) { return s * 1e3; }
+}  // namespace wild5g
+
+void demo() {
+  double wait_s = 3.0;
+  double t_ms = 7.0;
+  double already = wild5g::ms_to_s(wait_s);
+  double round_trip = wild5g::s_to_ms(wild5g::ms_to_s(t_ms));
+  (void)already;
+  (void)round_trip;
+}

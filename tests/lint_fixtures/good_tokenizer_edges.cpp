@@ -1,0 +1,30 @@
+// Fixture: tokenizer hazards that must not confuse any rule. Raw string
+// literals quoting banned identifiers and printf conversions, digit
+// separators, a line splice inside a comment, and UTF-8 prose — all of it
+// lints clean.
+//
+// UTF-8 in comments: latência de 5G, 吞吐量, µW, naïve — multi-byte
+// sequences stay comment text and never reach the token stream.
+namespace {
+
+// Raw strings: rule keywords inside literals are prose, not code.
+const char* kProse =
+    R"(rand() and srand() and system_clock are words, x == 1.0 is prose)";
+const char* kFmt = R"fmt(%f %g %e look like printf floats but are not)fmt";
+
+// Digit separators must lex as one number token, not a char literal.
+constexpr long kBudgetBits = 1'000'000;
+constexpr double kRate = 1.5e-3;
+
+// A splice joins the next physical line into this comment: rand() \
+   srand() — still commented out, still not a finding.
+
+inline long add(long a, long b) { return a + b; }
+
+}  // namespace
+
+long use() {
+  (void)kProse;
+  (void)kFmt;
+  return add(kBudgetBits, static_cast<long>(kRate * 0.0));
+}

@@ -1,0 +1,5 @@
+// Fixture: this file's virtual path places it in src/core, which depends on
+// nothing outside core — the radio include below must trip layering (and
+// nothing else). The target header does not need to exist: the rule reads
+// the module off the include text.
+#include "radio/types.h"

@@ -1,0 +1,4 @@
+// Fixture: a header whose include graph reaches itself must trip
+// include-cycle (and nothing else). Self-inclusion is the minimal cycle;
+// sim -> sim is layering-clean, so only the cycle rule fires.
+#include "sim/bad_include_cycle.h"

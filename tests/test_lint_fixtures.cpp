@@ -11,7 +11,9 @@
 #include <sys/wait.h>
 
 #include <cstdio>
+#include <fstream>
 #include <set>
+#include <sstream>
 #include <string>
 
 #include "core/json.h"
@@ -126,9 +128,50 @@ TEST(lint, fixture_unknown_rule) {
   expect_only_rule("bad_unknown_rule.cpp", "unknown-rule");
 }
 
+TEST(lint, fixture_unit_mismatch_assign) {
+  expect_only_rule("bad_unit_assign.cpp", "unit-mismatch-assign");
+}
+
+TEST(lint, fixture_unit_mismatch_call) {
+  expect_only_rule("bad_unit_call.cpp", "unit-mismatch-call");
+}
+
+TEST(lint, fixture_unit_double_conversion) {
+  expect_only_rule("bad_unit_double_conversion.cpp", "unit-double-conversion");
+}
+
+TEST(lint, fixture_parallel_rng_capture) {
+  expect_only_rule("bad_parallel_rng_capture.cpp", "parallel-rng-capture");
+}
+
+TEST(lint, fixture_parallel_rng_stream) {
+  expect_only_rule("bad_parallel_rng_stream.cpp", "parallel-rng-stream");
+}
+
+TEST(lint, fixture_layering) {
+  // The fixture's virtual path (…/src/core/…) puts it in src/core, so its
+  // radio include violates the layer DAG.
+  expect_only_rule("src/core/bad_layering.cpp", "layering");
+}
+
+TEST(lint, fixture_include_cycle) {
+  expect_only_rule("src/sim/bad_include_cycle.h", "include-cycle");
+}
+
+TEST(lint, fixture_line_splice_cannot_hide_a_banned_call) {
+  // Phase-2 splicing happens before lexing: ra\<newline>nd() is rand().
+  expect_only_rule("bad_line_splice.cpp", "ban-c-rand");
+}
+
 TEST(lint, fixture_good_allow_suppresses) { expect_clean("good_allow.cpp"); }
 
 TEST(lint, fixture_good_clean) { expect_clean("good_clean.cpp"); }
+
+TEST(lint, fixture_good_tokenizer_edges) {
+  // Raw strings quoting banned identifiers, digit separators, a comment
+  // line-splice, and UTF-8 prose must not confuse any rule.
+  expect_clean("good_tokenizer_edges.cpp");
+}
 
 TEST(lint, every_bad_fixture_has_a_test) {
   // Walking the fixture dir keeps this suite honest: adding a fixture
@@ -140,7 +183,12 @@ TEST(lint, every_bad_fixture_has_a_test) {
       "bad_unordered_iteration.cpp", "bad_float_equality.cpp",
       "bad_printf_float.cpp",     "bad_allow_missing_justification.cpp",
       "bad_unknown_rule.cpp",     "bad_catch_swallow.cpp",
-      "good_allow.cpp",           "good_clean.cpp"};
+      "bad_unit_assign.cpp",      "bad_unit_call.cpp",
+      "bad_unit_double_conversion.cpp", "bad_parallel_rng_capture.cpp",
+      "bad_parallel_rng_stream.cpp", "src/core/bad_layering.cpp",
+      "src/sim/bad_include_cycle.h", "bad_line_splice.cpp",
+      "good_allow.cpp",           "good_clean.cpp",
+      "good_tokenizer_edges.cpp"};
   const LintRun listing =
       run_lint("--json " + std::string(WILD5G_LINT_FIXTURES));
   const json::Value doc = json::parse(listing.output);
@@ -166,9 +214,118 @@ TEST(lint, list_rules_covers_registry) {
   for (const std::string rule :
        {"ban-random-device", "ban-c-rand", "ban-wall-clock", "ban-raw-engine",
         "unordered-iteration", "float-equality", "printf-float",
-        "catch-swallow"}) {
+        "catch-swallow", "unit-mismatch-assign", "unit-mismatch-call",
+        "unit-double-conversion", "parallel-rng-capture",
+        "parallel-rng-stream", "layering", "include-cycle"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
+}
+
+TEST(lint, list_rules_json_is_machine_readable) {
+  // --list-rules --json is the contract --rules-doc and external tooling
+  // build on: every rule carries an id, a family, and a summary.
+  const LintRun run = run_lint("--list-rules --json");
+  ASSERT_EQ(run.exit_code, 0);
+  const json::Value doc = json::parse(run.output);
+  const json::Value* rules = doc.find("rules");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_GE(rules->size(), 17u) << "registry shrank below the PR-5 set";
+  const json::Value* count = doc.find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(static_cast<std::size_t>(count->as_number()), rules->size());
+  std::set<std::string> families;
+  for (const auto& rule : rules->as_array()) {
+    const json::Value* id = rule.find("id");
+    const json::Value* family = rule.find("family");
+    const json::Value* summary = rule.find("summary");
+    ASSERT_NE(id, nullptr);
+    ASSERT_NE(family, nullptr);
+    ASSERT_NE(summary, nullptr);
+    EXPECT_FALSE(summary->as_string().empty()) << id->as_string();
+    families.insert(family->as_string());
+  }
+  for (const std::string family :
+       {"determinism", "units", "parallel", "layering", "hygiene", "meta"}) {
+    EXPECT_EQ(families.count(family), 1u) << family;
+  }
+}
+
+TEST(lint, sarif_output_matches_code_scanning_shape) {
+  // The SARIF log must carry the 2.1.0 fields GitHub code scanning requires:
+  // version, runs[0].tool.driver.{name,rules}, and per-result ruleId/level/
+  // message.text/locations[0].physicalLocation with a uri and a 1-based
+  // startLine.
+  const std::string sarif_path =
+      ::testing::TempDir() + "/wild5g_lint_fixture.sarif";
+  const LintRun run =
+      run_lint("--sarif " + sarif_path + " " + fixture("bad_c_rand.cpp"));
+  EXPECT_EQ(run.exit_code, 1);
+  std::ifstream in(sarif_path);
+  ASSERT_TRUE(in.good()) << sarif_path;
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  const json::Value doc = json::parse(buffer.str());
+  const json::Value* version = doc.find("version");
+  ASSERT_NE(version, nullptr);
+  EXPECT_EQ(version->as_string(), "2.1.0");
+  const json::Value* runs = doc.find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->size(), 1u);
+  const json::Value& the_run = runs->as_array()[0];
+  const json::Value* tool = the_run.find("tool");
+  ASSERT_NE(tool, nullptr);
+  const json::Value* driver = tool->find("driver");
+  ASSERT_NE(driver, nullptr);
+  const json::Value* name = driver->find("name");
+  ASSERT_NE(name, nullptr);
+  EXPECT_EQ(name->as_string(), "wild5g-lint");
+  const json::Value* rules = driver->find("rules");
+  ASSERT_NE(rules, nullptr);
+  EXPECT_GE(rules->size(), 17u);
+  const json::Value* results = the_run.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_GE(results->size(), 1u);
+  for (const auto& result : results->as_array()) {
+    const json::Value* rule_id = result.find("ruleId");
+    ASSERT_NE(rule_id, nullptr);
+    EXPECT_EQ(rule_id->as_string(), "ban-c-rand");
+    const json::Value* level = result.find("level");
+    ASSERT_NE(level, nullptr);
+    EXPECT_EQ(level->as_string(), "error");
+    const json::Value* message = result.find("message");
+    ASSERT_NE(message, nullptr);
+    ASSERT_NE(message->find("text"), nullptr);
+    const json::Value* locations = result.find("locations");
+    ASSERT_NE(locations, nullptr);
+    ASSERT_EQ(locations->size(), 1u);
+    const json::Value* physical =
+        locations->as_array()[0].find("physicalLocation");
+    ASSERT_NE(physical, nullptr);
+    const json::Value* artifact = physical->find("artifactLocation");
+    ASSERT_NE(artifact, nullptr);
+    ASSERT_NE(artifact->find("uri"), nullptr);
+    const json::Value* region = physical->find("region");
+    ASSERT_NE(region, nullptr);
+    const json::Value* start_line = region->find("startLine");
+    ASSERT_NE(start_line, nullptr);
+    EXPECT_GE(start_line->as_number(), 1);
+  }
+}
+
+TEST(lint, rules_doc_is_fresh) {
+  // docs/LINT_RULES.md is generated from the registry; this gate fails when
+  // a rule is added or reworded without regenerating the doc.
+  const LintRun run = run_lint("--rules-doc");
+  ASSERT_EQ(run.exit_code, 0);
+  std::ifstream in(WILD5G_LINT_RULES_DOC);
+  ASSERT_TRUE(in.good())
+      << "docs/LINT_RULES.md missing; regenerate with wild5g_lint "
+         "--rules-doc";
+  std::stringstream committed;
+  committed << in.rdbuf();
+  EXPECT_EQ(committed.str(), run.output)
+      << "docs/LINT_RULES.md is stale; regenerate with:\n"
+         "  ./build/tools/wild5g_lint --rules-doc > docs/LINT_RULES.md";
 }
 
 }  // namespace

@@ -1,26 +1,39 @@
-// wild5g-lint: source-level enforcement of the repo's determinism contract.
+// wild5g-lint / wild5g-analyze: source-level enforcement of the repo's
+// determinism, unit-hygiene, and layering contracts.
 //
 // The golden-metrics harness (bench/golden/, tools/golden_check) only proves
 // reproducibility if nothing in the tree can smuggle nondeterminism past the
-// seeded wild5g::Rng streams. This linter makes that contract machine-checked:
-// a hand-rolled tokenizer (no libclang dependency) runs a small rule engine
-// over src/, bench/, tools/, and examples/ and fails the build on violations.
+// seeded wild5g::Rng streams — and only proves *correctness* if the doubles
+// flowing into each figure carry the physical unit their name claims. This
+// tool makes both contracts machine-checked: a hand-rolled tokenizer (no
+// libclang dependency) feeds a semantic layer — a preprocessor-lite include
+// graph, per-file symbol scans, and a cross-file function-signature index —
+// and a rule engine runs over src/, bench/, tools/, and examples/, failing
+// the build on violations.
 //
-// Rules (see --list-rules):
-//   ban-random-device    std::random_device anywhere
-//   ban-c-rand           rand()/srand()/drand48() family
-//   ban-wall-clock       system_clock/steady_clock/time(nullptr)/gettimeofday
-//   ban-raw-engine       raw <random> engines or *_distribution construction
-//                        outside src/core/rng.h
-//   unordered-iteration  iterating an unordered_{map,set} in a file that
-//                        includes core/json.h or bench_common.h (hash order
-//                        would leak into emitted metrics)
-//   float-equality       ==/!= against a floating-point literal
-//   printf-float         printf-family %f/%g/%e formatting (bypasses the
-//                        deterministic JSON number writer)
-//   catch-swallow        catch (...) blocks that neither rethrow nor report
-//                        the exception — silent failures can mask broken
-//                        fault handling (see src/faults/)
+// Rule families (see --list-rules, --rules-doc, docs/LINT_RULES.md):
+//   determinism  ban-random-device, ban-c-rand, ban-wall-clock,
+//                ban-raw-engine, unordered-iteration — nothing may bypass
+//                the seeded wild5g::Rng streams or leak hash order into
+//                emitted metrics.
+//   units        unit-mismatch-assign, unit-mismatch-call,
+//                unit-double-conversion — identifier suffixes from
+//                src/core/units.h (_ms, _s, _mbps, _mw, ...) are treated as
+//                static unit annotations: assignments and call-argument
+//                bindings whose suffixes disagree must route through a
+//                units.h conversion helper, and redundant conversions are
+//                flagged.
+//   parallel     parallel-rng-capture, parallel-rng-stream — the static twin
+//                of the runtime byte-identity gate: Rng objects captured by
+//                reference into parallel_map/parallel_for task lambdas, and
+//                draws inside task bodies on streams not derived from
+//                fork(i)/split(), are flagged (see src/core/parallel.h).
+//   layering     layering, include-cycle — the include DAG flows strictly
+//                downward (src/core depends on nothing outside core, src/sim
+//                sits below radio/net/abr/web, bench/ headers are never
+//                included from src/) and cycles are findings.
+//   hygiene      float-equality, printf-float, catch-swallow.
+//   meta         allow-needs-justification, unknown-rule.
 //
 // Suppression: a finding is waived by a directive comment — on the same line
 // as the finding, or on its own line(s) directly above it — of the form
@@ -32,14 +45,17 @@
 // unknown-rule); placeholder text that is not a well-formed rule identifier
 // is ignored so documentation can mention the syntax.
 //
-// Output: one `file:line: rule: message` per finding (stable order), or a
-// machine-readable document with --json. Exit 0 on a clean tree, 1 when any
-// finding survives suppression, 2 on usage or I/O errors.
+// Output: one `file:line: rule: message` per finding (stable order; fix-it
+// hints, where mechanical, follow on an indented line), a machine-readable
+// document with --json, and/or a SARIF 2.1.0 log with --sarif <path> for
+// GitHub code scanning. Exit 0 on a clean tree, 1 when any finding survives
+// suppression, 2 on usage or I/O errors.
 #include <algorithm>
 #include <array>
 #include <cctype>
 #include <filesystem>
 #include <fstream>
+#include <functional>
 #include <iostream>
 #include <map>
 #include <set>
@@ -59,39 +75,91 @@ namespace fs = std::filesystem;
 
 struct RuleInfo {
   std::string_view id;
+  std::string_view family;
   std::string_view summary;
+  std::string_view fixit;  // generic mechanical-fix hint; empty if contextual
 };
 
-constexpr std::array<RuleInfo, 10> kRules = {{
-    {"ban-random-device",
-     "std::random_device is nondeterministic; seed a wild5g::Rng instead"},
-    {"ban-c-rand", "C PRNG family bypasses the seeded wild5g::Rng"},
-    {"ban-wall-clock",
+constexpr std::array<RuleInfo, 17> kRules = {{
+    {"ban-random-device", "determinism",
+     "std::random_device is nondeterministic; seed a wild5g::Rng instead",
+     ""},
+    {"ban-c-rand", "determinism",
+     "C PRNG family bypasses the seeded wild5g::Rng", ""},
+    {"ban-wall-clock", "determinism",
      "wall-clock reads break bit-for-bit reproducibility; thread simulated "
-     "time explicitly"},
-    {"ban-raw-engine",
+     "time explicitly",
+     ""},
+    {"ban-raw-engine", "determinism",
      "raw <random> engines/distributions are implementation-defined outside "
-     "src/core/rng.h; use the typed Rng API"},
-    {"unordered-iteration",
+     "src/core/rng.h; use the typed Rng API",
+     ""},
+    {"unordered-iteration", "determinism",
      "unordered container iteration order can leak into emitted metrics; "
-     "iterate a sorted copy"},
-    {"float-equality",
+     "iterate a sorted copy",
+     ""},
+    {"float-equality", "hygiene",
      "exact ==/!= against a floating-point literal; compare with a "
-     "tolerance"},
-    {"printf-float",
+     "tolerance",
+     ""},
+    {"printf-float", "hygiene",
      "printf-style float formatting bypasses json::format_number's "
-     "deterministic rendering"},
-    {"catch-swallow",
+     "deterministic rendering",
+     ""},
+    {"catch-swallow", "hygiene",
      "catch (...) without rethrow/report hides failures; rethrow, store "
-     "std::current_exception(), or log before recovering"},
-    {"allow-needs-justification",
-     "wild5g-lint: allow(<rule>) requires a justification after the ')'"},
-    {"unknown-rule", "allow(...) names a rule this linter does not define"},
+     "std::current_exception(), or log before recovering",
+     ""},
+    {"unit-mismatch-assign", "units",
+     "assignment or initialization whose unit suffixes disagree; route the "
+     "value through a units.h conversion helper",
+     "wrap the right-hand side in the wild5g:: conversion helper named in "
+     "the finding"},
+    {"unit-mismatch-call", "units",
+     "call argument's unit suffix disagrees with the parameter's declared "
+     "suffix; convert at the call site",
+     "wrap the argument in the wild5g:: conversion helper named in the "
+     "finding"},
+    {"unit-double-conversion", "units",
+     "redundant units.h conversion: the argument is already in the target "
+     "unit, or an inverse pair cancels out",
+     "drop the redundant conversion call(s)"},
+    {"parallel-rng-capture", "parallel",
+     "Rng captured by reference into a parallel_map/parallel_for task "
+     "lambda; concurrent draws race and break byte-identical goldens",
+     "split() a base stream outside the loop and draw from base.fork(i) "
+     "inside the task"},
+    {"parallel-rng-stream", "parallel",
+     "draw inside a parallel task body on a stream not derived from "
+     "fork(i)/split(); per-task streams keep goldens thread-count invariant",
+     "derive a per-task stream with base.fork(i) (or construct an Rng from "
+     "a per-task seed) before drawing"},
+    {"layering", "layering",
+     "include edge violates the layer DAG (core at the bottom, sim below "
+     "radio/net/abr/web, bench/ never included from src/)",
+     ""},
+    {"include-cycle", "layering",
+     "include graph contains a cycle; the layer DAG must be acyclic", ""},
+    {"allow-needs-justification", "meta",
+     "wild5g-lint: allow(<rule>) requires a justification after the ')'", ""},
+    {"unknown-rule", "meta",
+     "allow(...) names a rule this linter does not define", ""},
 }};
+
+// Family display order for --rules-doc and --list-rules grouping.
+constexpr std::array<std::string_view, 6> kFamilies = {
+    "determinism", "units", "parallel", "layering", "hygiene", "meta"};
 
 bool is_known_rule(std::string_view id) {
   return std::any_of(kRules.begin(), kRules.end(),
                      [&](const RuleInfo& r) { return r.id == id; });
+}
+
+int rule_index(std::string_view id) {
+  for (std::size_t i = 0; i < kRules.size(); ++i) {
+    if (kRules[i].id == id) return static_cast<int>(i);
+  }
+  return -1;
 }
 
 struct Finding {
@@ -99,13 +167,50 @@ struct Finding {
   int line = 0;
   std::string rule;
   std::string message;
+  std::string fixit;  // empty when no mechanical fix applies
 };
+
+// ---------------------------------------------------------------------------
+// Preprocessing: phase-2 translation (line-splice removal). A backslash
+// immediately followed by a newline joins physical lines *before* lexing, so
+// a splice can neither hide a banned identifier from the token stream nor
+// split a comment out of suppression scope. A per-character table maps each
+// surviving character back to its original physical line for reporting.
+
+struct Source {
+  std::string text;       // spliced text
+  std::vector<int> line;  // line[i] = 1-based physical line of text[i]
+};
+
+Source splice(const std::string& raw) {
+  Source out;
+  out.text.reserve(raw.size());
+  out.line.reserve(raw.size());
+  int line = 1;
+  for (std::size_t i = 0; i < raw.size();) {
+    if (raw[i] == '\\') {
+      std::size_t j = i + 1;
+      if (j < raw.size() && raw[j] == '\r') ++j;
+      if (j < raw.size() && raw[j] == '\n') {
+        ++line;
+        i = j + 1;
+        continue;
+      }
+    }
+    out.text.push_back(raw[i]);
+    out.line.push_back(line);
+    if (raw[i] == '\n') ++line;
+    ++i;
+  }
+  return out;
+}
 
 // ---------------------------------------------------------------------------
 // Tokenizer. Strings and comments never produce identifier tokens, so rule
 // keywords inside literals or prose cannot trip rules; comments are kept
 // (per line) for suppression directives, string literals are kept as tokens
-// so printf-float can inspect format strings.
+// so printf-float can inspect format strings. Operates on the spliced text
+// and reads line numbers from the Source table.
 
 struct Token {
   enum class Kind { kIdent, kNumber, kString, kChar, kPunct };
@@ -126,30 +231,36 @@ bool ident_char(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
 }
 
-LexedFile lex(const std::string& src) {
+LexedFile lex(const Source& sf) {
   LexedFile out;
+  const std::string& src = sf.text;
   const std::size_t n = src.size();
+  auto line_at = [&](std::size_t pos) {
+    if (n == 0) return 1;
+    return sf.line[pos < n ? pos : n - 1];
+  };
   std::size_t i = 0;
-  int line = 1;
 
-  auto note_comment = [&](int first_line, int last_line,
-                          const std::string& text) {
-    for (int l = first_line; l <= last_line; ++l) out.comments[l] += text;
+  auto note_comment = [&](std::size_t begin, std::size_t end) {
+    const std::string text = src.substr(begin, end - begin);
+    const int last = line_at(end > begin ? end - 1 : begin);
+    for (int l = line_at(begin); l <= last; ++l) out.comments[l] += text;
   };
 
   auto lex_quoted = [&](char quote) {
-    // Plain (non-raw) string or char literal with backslash escapes.
+    // Plain (non-raw) string or char literal with backslash escapes. Note
+    // that splice() never joins "\\\n" inside a literal differently: a
+    // backslash-newline in source is a splice everywhere, which matches the
+    // standard's phase ordering.
     std::string text;
     ++i;  // opening quote
     while (i < n && src[i] != quote) {
       if (src[i] == '\\' && i + 1 < n) {
         text += src[i];
         text += src[i + 1];
-        if (src[i + 1] == '\n') ++line;
         i += 2;
         continue;
       }
-      if (src[i] == '\n') ++line;  // unterminated literal; keep line counts
       text += src[i++];
     }
     if (i < n) ++i;  // closing quote
@@ -158,11 +269,6 @@ LexedFile lex(const std::string& src) {
 
   while (i < n) {
     const char c = src[i];
-    if (c == '\n') {
-      ++line;
-      ++i;
-      continue;
-    }
     if (std::isspace(static_cast<unsigned char>(c)) != 0) {
       ++i;
       continue;
@@ -170,19 +276,15 @@ LexedFile lex(const std::string& src) {
     if (c == '/' && i + 1 < n && src[i + 1] == '/') {
       const std::size_t start = i;
       while (i < n && src[i] != '\n') ++i;
-      note_comment(line, line, src.substr(start, i - start));
+      note_comment(start, i);
       continue;
     }
     if (c == '/' && i + 1 < n && src[i + 1] == '*') {
-      const int first_line = line;
       const std::size_t start = i;
       i += 2;
-      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) {
-        if (src[i] == '\n') ++line;
-        ++i;
-      }
+      while (i + 1 < n && !(src[i] == '*' && src[i + 1] == '/')) ++i;
       i = (i + 1 < n) ? i + 2 : n;
-      note_comment(first_line, line, src.substr(start, i - start));
+      note_comment(start, i);
       continue;
     }
     if (ident_start(c)) {
@@ -196,6 +298,7 @@ LexedFile lex(const std::string& src) {
           word == "u8R" || word == "uR" || word == "LR" || word == "UR" ||
           word == "U";
       if (prefix && i < n && (src[i] == '"' || src[i] == '\'')) {
+        const int at = line_at(start);
         if (raw && src[i] == '"') {
           ++i;  // opening quote
           std::string delim;
@@ -203,16 +306,12 @@ LexedFile lex(const std::string& src) {
           const std::string closer = ")" + delim + "\"";
           const std::size_t body = (i < n) ? i + 1 : n;
           const std::size_t end = src.find(closer, body);
-          std::string text = src.substr(body, (end == std::string::npos)
-                                                  ? n - body
-                                                  : end - body);
-          line += static_cast<int>(
-              std::count(text.begin(), text.end(), '\n'));
+          std::string text = src.substr(
+              body, (end == std::string::npos) ? n - body : end - body);
           i = (end == std::string::npos) ? n : end + closer.size();
-          out.tokens.push_back({Token::Kind::kString, std::move(text), line});
+          out.tokens.push_back({Token::Kind::kString, std::move(text), at});
         } else {
           const char quote = src[i];
-          const int at = line;
           std::string text = lex_quoted(quote);
           out.tokens.push_back({quote == '"' ? Token::Kind::kString
                                              : Token::Kind::kChar,
@@ -220,7 +319,8 @@ LexedFile lex(const std::string& src) {
         }
         continue;
       }
-      out.tokens.push_back({Token::Kind::kIdent, std::move(word), line});
+      out.tokens.push_back(
+          {Token::Kind::kIdent, std::move(word), line_at(start)});
       continue;
     }
     if (std::isdigit(static_cast<unsigned char>(c)) != 0 ||
@@ -230,7 +330,8 @@ LexedFile lex(const std::string& src) {
       while (i < n) {
         const char d = src[i];
         if (ident_char(d) || d == '.' || d == '\'') {
-          // Exponent signs belong to the literal: 1e-3, 0x1p+4.
+          // Exponent signs belong to the literal: 1e-3, 0x1p+4. Digit
+          // separators (1'000) are consumed here, never as char literals.
           if ((d == 'e' || d == 'E' || d == 'p' || d == 'P') && i + 1 < n &&
               (src[i + 1] == '+' || src[i + 1] == '-')) {
             i += 2;
@@ -242,11 +343,11 @@ LexedFile lex(const std::string& src) {
         break;
       }
       out.tokens.push_back(
-          {Token::Kind::kNumber, src.substr(start, i - start), line});
+          {Token::Kind::kNumber, src.substr(start, i - start), line_at(start)});
       continue;
     }
     if (c == '"' || c == '\'') {
-      const int at = line;
+      const int at = line_at(i);
       std::string text = lex_quoted(c);
       out.tokens.push_back(
           {c == '"' ? Token::Kind::kString : Token::Kind::kChar,
@@ -265,10 +366,36 @@ LexedFile lex(const std::string& src) {
         text = two;
       }
     }
+    const int at = line_at(i);
     i += text.size();
-    out.tokens.push_back({Token::Kind::kPunct, std::move(text), line});
+    out.tokens.push_back({Token::Kind::kPunct, std::move(text), at});
   }
   return out;
+}
+
+constexpr std::size_t kNpos = static_cast<std::size_t>(-1);
+
+/// Index of the token matching the opener at open_idx ("(", "[", "{", "<"),
+/// scanning no further than end. kNpos when unbalanced.
+std::size_t find_match(const std::vector<Token>& toks, std::size_t open_idx,
+                       std::string_view open, std::string_view close,
+                       std::size_t end) {
+  int depth = 0;
+  const std::size_t stop = std::min(end, toks.size());
+  for (std::size_t j = open_idx; j < stop; ++j) {
+    if (toks[j].kind != Token::Kind::kPunct) continue;
+    if (toks[j].text == open) {
+      ++depth;
+    } else if (toks[j].text == close && --depth == 0) {
+      return j;
+    }
+  }
+  return kNpos;
+}
+
+bool next_is(const std::vector<Token>& toks, std::size_t i,
+             std::string_view text) {
+  return i + 1 < toks.size() && toks[i + 1].text == text;
 }
 
 // ---------------------------------------------------------------------------
@@ -317,11 +444,13 @@ void collect_allows(const LexedFile& lexed, const std::string& file,
       if (!is_known_rule(rule)) {
         meta.push_back({file, line, "unknown-rule",
                         "allow(" + rule + ") names a rule wild5g-lint does "
-                        "not define (see --list-rules)"});
+                        "not define (see --list-rules)",
+                        {}});
       } else if (rest.empty()) {
         meta.push_back({file, line, "allow-needs-justification",
                         "allow(" + rule + ") must be followed by a "
-                        "justification explaining why the construct is safe"});
+                        "justification explaining why the construct is safe",
+                        {}});
       } else {
         allows.push_back({line, rule});
       }
@@ -344,7 +473,7 @@ bool suppressed(const std::vector<Allow>& allows,
 }
 
 // ---------------------------------------------------------------------------
-// Rule implementations over the token stream.
+// Token-level rule implementations (the original wild5g-lint families).
 
 bool is_float_literal(const std::string& t) {
   if (t.size() > 1 && t[0] == '0' && (t[1] == 'x' || t[1] == 'X')) {
@@ -366,11 +495,6 @@ bool free_call_context(const std::vector<Token>& toks, std::size_t i) {
   if (prev == "." || prev == "->") return false;
   if (prev == "::" && i >= 2 && toks[i - 2].text != "std") return false;
   return true;
-}
-
-bool next_is(const std::vector<Token>& toks, std::size_t i,
-             std::string_view text) {
-  return i + 1 < toks.size() && toks[i + 1].text == text;
 }
 
 struct FileContext {
@@ -404,14 +528,16 @@ void check_banned_idents(const std::vector<Token>& toks,
     if (id == "random_device") {
       out.push_back({ctx.display_path, line, "ban-random-device",
                      "std::random_device is nondeterministic; seed a "
-                     "wild5g::Rng and fork() child streams instead"});
+                     "wild5g::Rng and fork() child streams instead",
+                     {}});
       continue;
     }
     if (kCRand.count(id) != 0 && next_is(toks, i, "(") &&
         free_call_context(toks, i)) {
       out.push_back({ctx.display_path, line, "ban-c-rand",
                      "'" + id + "' bypasses the seeded wild5g::Rng; draw "
-                     "from an explicitly threaded Rng instead"});
+                     "from an explicitly threaded Rng instead",
+                     {}});
       continue;
     }
     if (kClockIdents.count(id) != 0 ||
@@ -419,7 +545,8 @@ void check_banned_idents(const std::vector<Token>& toks,
          free_call_context(toks, i))) {
       out.push_back({ctx.display_path, line, "ban-wall-clock",
                      "wall-clock source '" + id + "' breaks bit-for-bit "
-                     "reproducibility; thread simulated time explicitly"});
+                     "reproducibility; thread simulated time explicitly",
+                     {}});
       continue;
     }
     const bool distribution_like =
@@ -431,7 +558,8 @@ void check_banned_idents(const std::vector<Token>& toks,
                          (distribution_like ? "distribution" : "engine") +
                          " outside src/core/rng.h; its output is "
                          "implementation-defined — use the typed "
-                         "wild5g::Rng API"});
+                         "wild5g::Rng API",
+                     {}});
     }
   }
 }
@@ -458,7 +586,8 @@ void check_float_equality(const std::vector<Token>& toks,
       out.push_back({ctx.display_path, toks[i].line, "float-equality",
                      "exact '" + toks[i].text + "' against floating-point "
                      "literal " + lit->text + "; compare with an explicit "
-                     "tolerance (or justify via allow)"});
+                     "tolerance (or justify via allow)",
+                     {}});
     }
   }
 }
@@ -515,7 +644,8 @@ void check_printf_float(const std::vector<Token>& toks, const FileContext& ctx,
         out.push_back({ctx.display_path, toks[i].line, "printf-float",
                        "'" + toks[i].text + "' formats a float directly; "
                        "route numbers through json::format_number / the "
-                       "Table formatter so rendering stays deterministic"});
+                       "Table formatter so rendering stays deterministic",
+                       {}});
         break;
       }
     }
@@ -561,7 +691,8 @@ void check_catch_swallow(const std::vector<Token>& toks,
                      "catch (...) swallows the exception without rethrowing, "
                      "storing std::current_exception(), or reporting it; a "
                      "silent failure here can mask a broken fault path — "
-                     "handle it or justify via allow"});
+                     "handle it or justify via allow",
+                     {}});
     }
   }
 }
@@ -629,7 +760,8 @@ void check_unordered_iteration(const std::vector<Token>& toks,
                        "range-for over unordered container '" + toks[j].text +
                            "' in a file that emits metrics; hash order is "
                            "nondeterministic across standard libraries — "
-                           "iterate a sorted copy of the keys"});
+                           "iterate a sorted copy of the keys",
+                       {}});
         break;
       }
     }
@@ -647,13 +779,766 @@ void check_unordered_iteration(const std::vector<Token>& toks,
                      "iterator walk over unordered container '" +
                          toks[i].text + "' in a file that emits metrics; "
                          "hash order is nondeterministic — iterate a sorted "
-                         "copy of the keys"});
+                         "copy of the keys",
+                     {}});
     }
   }
 }
 
 // ---------------------------------------------------------------------------
-// Driver.
+// Unit vocabulary. The suffixes and conversion helpers mirror
+// src/core/units.h — a name's trailing `_<unit>` is treated as a static unit
+// annotation, and the helpers are the only sanctioned way to move a value
+// between units.
+
+const std::set<std::string>& unit_suffixes() {
+  static const std::set<std::string> kUnits = {
+      "mbps", "bps", "ms", "s", "km", "m", "mw", "w", "j", "uj", "dbm",
+      "mhz"};
+  return kUnits;
+}
+
+struct Conversion {
+  std::string from;
+  std::string to;
+};
+
+const std::map<std::string, Conversion>& conversions() {
+  static const std::map<std::string, Conversion> kConv = {
+      {"mbps_to_bps", {"mbps", "bps"}}, {"bps_to_mbps", {"bps", "mbps"}},
+      {"ms_to_s", {"ms", "s"}},         {"s_to_ms", {"s", "ms"}},
+      {"km_to_m", {"km", "m"}},         {"m_to_km", {"m", "km"}},
+      {"mw_to_w", {"mw", "w"}},         {"w_to_mw", {"w", "mw"}}};
+  return kConv;
+}
+
+std::string conversion_between(const std::string& from,
+                               const std::string& to) {
+  for (const auto& [name, conv] : conversions()) {
+    if (conv.from == from && conv.to == to) return name;
+  }
+  return {};
+}
+
+/// The unit a name carries, or "" when it carries none. The suffix after the
+/// last underscore always counts (`rtt_ms` -> ms); a bare name counts only
+/// when it is a multi-character unit word (`ms`, `km`, `mbps` — the units.h
+/// helpers name their parameter after the unit), because single letters like
+/// s/m/w/j are far too common as ordinary identifiers.
+std::string unit_of(const std::string& name) {
+  if (conversions().count(name) != 0) return {};
+  const auto& units = unit_suffixes();
+  const auto us = name.rfind('_');
+  if (us != std::string::npos) {
+    const std::string suffix = name.substr(us + 1);
+    return units.count(suffix) != 0 ? suffix : std::string{};
+  }
+  if (name.size() >= 2 && units.count(name) != 0) return name;
+  return {};
+}
+
+/// When [b, e) is `wild5g::<helper>(...)` or `<helper>(...)` spanning the
+/// whole range, reports the helper name and argument span. Used both by unit
+/// inference and by the double-conversion check.
+bool is_conversion_call(const std::vector<Token>& toks, std::size_t b,
+                        std::size_t e, std::string* name, std::size_t* arg_b,
+                        std::size_t* arg_e) {
+  std::size_t i = b;
+  if (i + 1 < e && toks[i].text == "wild5g" && toks[i + 1].text == "::") {
+    i += 2;
+  }
+  if (i >= e || toks[i].kind != Token::Kind::kIdent ||
+      conversions().count(toks[i].text) == 0) {
+    return false;
+  }
+  if (i + 1 >= e || toks[i + 1].text != "(") return false;
+  const std::size_t close = find_match(toks, i + 1, "(", ")", e);
+  if (close != e - 1) return false;
+  *name = toks[i].text;
+  *arg_b = i + 2;
+  *arg_e = close;
+  return true;
+}
+
+/// Conservative unit inference over an expression span [b, e). Only shapes
+/// whose unit is unambiguous are resolved: a units.h conversion call yields
+/// its target unit, static_cast is transparent, and a simple access chain
+/// (x, obj.field_ms, arr[i].rtt_ms, ns::var_s) yields the unit of its last
+/// component. Arithmetic, other calls, and anything else yield "" — silence
+/// beats a false positive in a lint gate that fails the build.
+std::string infer_unit(const std::vector<Token>& toks, std::size_t b,
+                       std::size_t e) {
+  while (b < e && toks[b].kind == Token::Kind::kPunct &&
+         toks[b].text == "(" && find_match(toks, b, "(", ")", e) == e - 1) {
+    ++b;
+    --e;
+  }
+  if (b >= e) return {};
+  if (toks[b].kind == Token::Kind::kIdent && toks[b].text == "static_cast" &&
+      b + 1 < e && toks[b + 1].text == "<") {
+    const std::size_t gt = find_match(toks, b + 1, "<", ">", e);
+    if (gt != kNpos && gt + 1 < e && toks[gt + 1].text == "(") {
+      const std::size_t close = find_match(toks, gt + 1, "(", ")", e);
+      if (close == e - 1) return infer_unit(toks, gt + 2, close);
+    }
+    return {};
+  }
+  std::string conv;
+  std::size_t ab = 0;
+  std::size_t ae = 0;
+  if (is_conversion_call(toks, b, e, &conv, &ab, &ae)) {
+    return conversions().at(conv).to;
+  }
+  std::string last_ident;
+  int bracket = 0;
+  for (std::size_t j = b; j < e; ++j) {
+    const Token& t = toks[j];
+    if (t.kind == Token::Kind::kPunct) {
+      if (t.text == "[") {
+        ++bracket;
+        continue;
+      }
+      if (t.text == "]") {
+        --bracket;
+        continue;
+      }
+      if (t.text == "." || t.text == "->" || t.text == "::") continue;
+      return {};
+    }
+    if (t.kind == Token::Kind::kNumber) continue;
+    if (t.kind != Token::Kind::kIdent) return {};
+    if (bracket > 0) continue;
+    // Two adjacent identifiers (a declaration, `const x`, ...) break the
+    // access-chain shape.
+    if (j > b && toks[j - 1].kind == Token::Kind::kIdent) return {};
+    last_ident = t.text;
+  }
+  return last_ident.empty() ? std::string{} : unit_of(last_ident);
+}
+
+/// unit-mismatch-assign: `lhs_ms = rhs_s` (also +=, -=, and declaration
+/// initializers, default arguments, designated initializers). Both sides
+/// must resolve to a known unit for a finding; unknown shapes are skipped.
+void check_unit_assign(const std::vector<Token>& toks, const FileContext& ctx,
+                       std::vector<Finding>& out) {
+  for (std::size_t i = 1; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kPunct) continue;
+    const std::string& op = toks[i].text;
+    if (op != "=" && op != "+=" && op != "-=") continue;
+    // LHS: identifier (possibly behind a balanced subscript) before the op.
+    std::size_t l = i - 1;
+    if (toks[l].kind == Token::Kind::kPunct && toks[l].text == "]") {
+      int depth = 0;
+      std::size_t j = l;
+      bool matched = false;
+      while (true) {
+        if (toks[j].kind == Token::Kind::kPunct) {
+          if (toks[j].text == "]") ++depth;
+          if (toks[j].text == "[" && --depth == 0) {
+            matched = true;
+            break;
+          }
+        }
+        if (j == 0) break;
+        --j;
+      }
+      if (!matched || j == 0) continue;
+      l = j - 1;
+    }
+    if (toks[l].kind != Token::Kind::kIdent) continue;
+    const std::string lhs_unit = unit_of(toks[l].text);
+    if (lhs_unit.empty()) continue;
+    // RHS: up to the end of this initializer/statement at depth 0. The scan
+    // is bounded — a unit either surfaces in a short span or not at all.
+    std::size_t re = kNpos;
+    const std::size_t cap = std::min(toks.size(), i + 1 + 64);
+    int depth = 0;
+    for (std::size_t j = i + 1; j < cap; ++j) {
+      if (toks[j].kind != Token::Kind::kPunct) continue;
+      const std::string& t = toks[j].text;
+      if (t == "(" || t == "[" || t == "{") {
+        ++depth;
+      } else if (t == ")" || t == "]" || t == "}") {
+        if (depth == 0) {
+          re = j;
+          break;
+        }
+        --depth;
+      } else if (depth == 0 && (t == ";" || t == ",")) {
+        re = j;
+        break;
+      }
+    }
+    if (re == kNpos || re == i + 1) continue;
+    const std::string rhs_unit = infer_unit(toks, i + 1, re);
+    if (rhs_unit.empty() || rhs_unit == lhs_unit) continue;
+    Finding f{ctx.display_path, toks[i].line, "unit-mismatch-assign",
+              "'" + toks[l].text + "' carries unit '" + lhs_unit +
+                  "' but the right-hand side is in '" + rhs_unit + "'",
+              {}};
+    const std::string helper = conversion_between(rhs_unit, lhs_unit);
+    if (!helper.empty()) {
+      f.fixit = "wrap the right-hand side in wild5g::" + helper + "(...)";
+    } else {
+      f.message += "; no units.h helper converts " + rhs_unit + " to " +
+                   lhs_unit + " — this looks like a dimensional error";
+    }
+    out.push_back(std::move(f));
+  }
+}
+
+/// unit-double-conversion / unit-mismatch-call for the units.h helpers
+/// themselves: `ms_to_s(x_s)` (already converted), `s_to_ms(ms_to_s(x))`
+/// (round trip), `ms_to_s(x_km)` (wrong family).
+void check_unit_conversion_calls(const std::vector<Token>& toks,
+                                 const FileContext& ctx,
+                                 std::vector<Finding>& out) {
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent ||
+        conversions().count(toks[i].text) == 0 || !next_is(toks, i, "(")) {
+      continue;
+    }
+    const std::size_t close = find_match(toks, i + 1, "(", ")", toks.size());
+    if (close == kNpos || close == i + 2) continue;
+    const Conversion& conv = conversions().at(toks[i].text);
+    const std::size_t ab = i + 2;
+    const std::size_t ae = close;
+    std::string inner;
+    std::size_t ib = 0;
+    std::size_t ie = 0;
+    if (is_conversion_call(toks, ab, ae, &inner, &ib, &ie)) {
+      const Conversion& ic = conversions().at(inner);
+      if (ic.from == conv.to && ic.to == conv.from) {
+        out.push_back(
+            {ctx.display_path, toks[i].line, "unit-double-conversion",
+             "'" + toks[i].text + "(" + inner + "(...))' converts " +
+                 conv.from + "->" + conv.to + " right after " + ic.from +
+                 "->" + ic.to + "; the round trip is an identity",
+             "drop both conversion calls and use the inner argument "
+             "directly"});
+        continue;
+      }
+    }
+    const std::string arg_unit = infer_unit(toks, ab, ae);
+    if (arg_unit.empty()) continue;
+    if (arg_unit == conv.to) {
+      out.push_back(
+          {ctx.display_path, toks[i].line, "unit-double-conversion",
+           "argument of '" + toks[i].text + "' already carries the target "
+               "unit '" + conv.to + "'; converting it again scales the "
+               "value twice",
+           "drop the " + toks[i].text + "(...) wrapper"});
+    } else if (arg_unit != conv.from) {
+      Finding f{ctx.display_path, toks[i].line, "unit-mismatch-call",
+                "'" + toks[i].text + "' expects a value in '" + conv.from +
+                    "' but the argument carries '" + arg_unit + "'",
+                {}};
+      const std::string helper = conversion_between(arg_unit, conv.from);
+      if (!helper.empty()) {
+        f.fixit = "convert the argument first: wild5g::" + helper + "(...)";
+      }
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Cross-file function-signature index: declarations whose parameters carry
+// unit suffixes, keyed by (name, arity). Call sites anywhere in the scanned
+// tree are then checked argument-by-argument against the declared units.
+// Identification is deliberately conservative — a candidate must look like a
+// declaration from three independent angles (token before the name, token
+// after the parameter list, and every parameter chunk declaration-shaped) —
+// because indexing a *call* as a signature would invert the check.
+
+struct Signature {
+  std::vector<std::string> units;  // one per parameter; "" = no unit
+  std::vector<std::string> names;  // parameter names ("" when unnamed)
+  bool poisoned = false;           // conflicting declarations share name+arity
+};
+
+// name -> arity -> signature
+using SignatureIndex = std::map<std::string, std::map<int, Signature>>;
+
+const std::set<std::string>& non_type_keywords() {
+  static const std::set<std::string> kWords = {
+      "return", "if",     "while",    "for",       "switch",  "case",
+      "new",    "delete", "do",       "else",      "throw",   "goto",
+      "sizeof", "co_await", "co_return", "co_yield", "and",   "or",
+      "not",    "catch",  "decltype", "alignof",   "noexcept", "operator",
+      "static_assert", "define", "include", "until"};
+  return kWords;
+}
+
+/// Parses one parameter chunk [b, e). Declaration-shaped chunks look like
+/// `type name`, `const type& name`, `std::vector<double> name`, `type` (no
+/// name), or `...`; anything with arithmetic, strings, or numbers outside
+/// template arguments disqualifies the whole candidate. On success reports
+/// the parameter name ("" for type-only chunks — which therefore contribute
+/// no unit, so a call like `f(x)` can never be indexed as a signature).
+bool decl_chunk(const std::vector<Token>& toks, std::size_t b, std::size_t e,
+                std::string* name, std::string* unit) {
+  name->clear();
+  unit->clear();
+  // Cut a default-argument tail; its value is checked by unit-mismatch-assign.
+  int angle = 0;
+  std::size_t stop = e;
+  for (std::size_t j = b; j < e; ++j) {
+    if (toks[j].kind != Token::Kind::kPunct) continue;
+    if (toks[j].text == "<") ++angle;
+    if (toks[j].text == ">") --angle;
+    if (toks[j].text == "=" && angle == 0) {
+      stop = j;
+      break;
+    }
+  }
+  std::string last;
+  std::size_t count = 0;
+  angle = 0;
+  for (std::size_t j = b; j < stop; ++j) {
+    const Token& t = toks[j];
+    ++count;
+    if (t.kind == Token::Kind::kIdent) {
+      if (angle == 0) last = t.text;
+      continue;
+    }
+    if (t.kind == Token::Kind::kNumber) {
+      if (angle == 0) return false;
+      continue;
+    }
+    if (t.kind != Token::Kind::kPunct) return false;
+    if (t.text == "<") {
+      ++angle;
+      continue;
+    }
+    if (t.text == ">") {
+      --angle;
+      continue;
+    }
+    if (t.text == "::" || t.text == "&" || t.text == "*" || t.text == "[" ||
+        t.text == "]" || t.text == "&&" || t.text == ",") {
+      continue;  // "," only occurs inside <...> after chunk splitting
+    }
+    if (t.text == ".") {
+      // Only the variadic ellipsis is declaration-shaped; a member access
+      // chain (config.timeout_s) marks the candidate as a call.
+      if (stop - b == 3 && toks[b].text == "." && toks[b + 1].text == "." &&
+          toks[b + 2].text == ".") {
+        continue;
+      }
+      return false;
+    }
+    return false;
+  }
+  if (count >= 2 && !last.empty() &&
+      non_type_keywords().count(last) == 0) {
+    *name = last;
+    *unit = unit_of(last);
+  }
+  return true;
+}
+
+/// Splits [b, e) at depth-0 commas (tracking (), [], {} — template commas in
+/// parameter lists are rare and simply fail the arity match downstream).
+std::vector<std::pair<std::size_t, std::size_t>> split_args(
+    const std::vector<Token>& toks, std::size_t b, std::size_t e) {
+  std::vector<std::pair<std::size_t, std::size_t>> chunks;
+  if (b >= e) return chunks;
+  int depth = 0;
+  int angle = 0;
+  std::size_t start = b;
+  for (std::size_t j = b; j < e; ++j) {
+    if (toks[j].kind != Token::Kind::kPunct) continue;
+    const std::string& t = toks[j].text;
+    if (t == "(" || t == "[" || t == "{") ++depth;
+    if (t == ")" || t == "]" || t == "}") --depth;
+    if (t == "<") ++angle;
+    if (t == ">") angle = std::max(0, angle - 1);
+    if (t == "," && depth == 0 && angle == 0) {
+      chunks.emplace_back(start, j);
+      start = j + 1;
+    }
+  }
+  chunks.emplace_back(start, e);
+  return chunks;
+}
+
+/// Scans a file for function declarations/definitions with >= 1 unit-suffixed
+/// parameter and merges them into the index. Records the token index of each
+/// signature name in decl_sites so the call check can skip the declaration
+/// itself. The units.h conversion helpers are excluded — they get a dedicated
+/// check with tighter semantics (double-conversion detection).
+void collect_signatures(const std::vector<Token>& toks, SignatureIndex& index,
+                        std::set<std::size_t>& decl_sites) {
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || toks[i + 1].text != "(") {
+      continue;
+    }
+    const std::string& name = toks[i].text;
+    if (non_type_keywords().count(name) != 0 ||
+        conversions().count(name) != 0) {
+      continue;
+    }
+    // Angle 1: the token before the name must be able to end a return type.
+    // std::-qualified names are always library calls, never tree signatures.
+    const Token& prev = toks[i - 1];
+    const bool prev_ok =
+        (prev.kind == Token::Kind::kIdent &&
+         non_type_keywords().count(prev.text) == 0) ||
+        (prev.kind == Token::Kind::kPunct &&
+         (prev.text == "&" || prev.text == "*" || prev.text == ">" ||
+          prev.text == "::"));
+    if (!prev_ok) continue;
+    if (prev.text == "::" && i >= 2 && toks[i - 2].text == "std") continue;
+    const std::size_t close = find_match(toks, i + 1, "(", ")", toks.size());
+    if (close == kNpos) continue;
+    // Angle 2: the token after the parameter list must be declaration
+    // punctuation, not an operator continuing an expression.
+    if (close + 1 >= toks.size()) continue;
+    const std::string& after = toks[close + 1].text;
+    if (after != ";" && after != "{" && after != "const" &&
+        after != "noexcept" && after != "override" && after != "final" &&
+        after != "->" && after != "=") {
+      continue;
+    }
+    // Angle 3: every parameter chunk must be declaration-shaped.
+    Signature sig;
+    bool shaped = true;
+    bool any_unit = false;
+    if (close > i + 2) {
+      for (const auto& [cb, ce] : split_args(toks, i + 2, close)) {
+        std::string pname;
+        std::string punit;
+        if (cb >= ce || !decl_chunk(toks, cb, ce, &pname, &punit)) {
+          shaped = false;
+          break;
+        }
+        sig.names.push_back(pname);
+        sig.units.push_back(punit);
+        any_unit = any_unit || !punit.empty();
+      }
+    }
+    if (!shaped) continue;
+    decl_sites.insert(i);
+    if (!any_unit) continue;  // nothing to enforce; keep index small
+    const int arity = static_cast<int>(sig.units.size());
+    auto& slot = index[name];
+    const auto it = slot.find(arity);
+    if (it == slot.end()) {
+      slot.emplace(arity, std::move(sig));
+    } else if (it->second.units != sig.units) {
+      it->second.poisoned = true;  // ambiguous overload set: stand down
+    }
+  }
+}
+
+/// unit-mismatch-call: arguments at every call site are checked against the
+/// indexed parameter units. Only exact (name, arity) matches are enforced,
+/// poisoned entries and declaration sites are skipped, and an argument only
+/// counts when its own unit resolves.
+void check_unit_calls(const std::vector<Token>& toks, const FileContext& ctx,
+                      const SignatureIndex& index,
+                      const std::set<std::size_t>& decl_sites,
+                      std::vector<Finding>& out) {
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || toks[i + 1].text != "(" ||
+        decl_sites.count(i) != 0) {
+      continue;
+    }
+    const auto slot = index.find(toks[i].text);
+    if (slot == index.end()) continue;
+    const std::size_t close = find_match(toks, i + 1, "(", ")", toks.size());
+    if (close == kNpos) continue;
+    const auto chunks =
+        close > i + 2
+            ? split_args(toks, i + 2, close)
+            : std::vector<std::pair<std::size_t, std::size_t>>{};
+    const auto sig_it = slot->second.find(static_cast<int>(chunks.size()));
+    if (sig_it == slot->second.end() || sig_it->second.poisoned) continue;
+    const Signature& sig = sig_it->second;
+    for (std::size_t k = 0; k < chunks.size(); ++k) {
+      if (sig.units[k].empty()) continue;
+      const std::string arg_unit =
+          infer_unit(toks, chunks[k].first, chunks[k].second);
+      if (arg_unit.empty() || arg_unit == sig.units[k]) continue;
+      Finding f{ctx.display_path, toks[i].line, "unit-mismatch-call",
+                "argument " + std::to_string(k + 1) + " of '" + toks[i].text +
+                    "' carries '" + arg_unit + "' but parameter '" +
+                    sig.names[k] + "' expects '" + sig.units[k] + "'",
+                {}};
+      const std::string helper = conversion_between(arg_unit, sig.units[k]);
+      if (!helper.empty()) {
+        f.fixit = "wrap the argument in wild5g::" + helper + "(...)";
+      } else {
+        f.message += "; no units.h helper converts " + arg_unit + " to " +
+                     sig.units[k] + " — this looks like a dimensional error";
+      }
+      out.push_back(std::move(f));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Parallel-Rng discipline (the static twin of the runtime byte-identity
+// gate; see src/core/parallel.h). Two rules over parallel_map/parallel_for
+// call sites:
+//   parallel-rng-capture  an Rng explicitly captured by reference into the
+//                         task lambda — concurrent draws race, and even a
+//                         mutex would make results schedule-dependent.
+//   parallel-rng-stream   a draw inside the task body on an outer Rng (any
+//                         stream not derived per-task via fork(i)/split()
+//                         or constructed locally from a per-task seed).
+// A default [&] capture alone is not a finding — the tree-wide idiom is
+// `[&]` with every draw routed through a lambda-local fork(i) child, which
+// the stream rule verifies.
+
+/// Names in this file declared as wild5g::Rng (or bound via
+/// `auto x = ....fork(...)/....split()`). File scope is a sound
+/// over-approximation: tracking extra names can only matter if they are
+/// drawn from inside a task body without a local declaration.
+std::set<std::string> collect_rng_vars(const std::vector<Token>& toks) {
+  std::set<std::string> vars;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent) continue;
+    if (toks[i].text == "Rng") {
+      std::size_t j = i + 1;
+      while (j < toks.size() &&
+             (toks[j].text == "&" || toks[j].text == "*" ||
+              toks[j].text == "const")) {
+        ++j;
+      }
+      if (j < toks.size() && toks[j].kind == Token::Kind::kIdent) {
+        vars.insert(toks[j].text);
+      }
+      continue;
+    }
+    if (toks[i].text == "auto" && i + 2 < toks.size() &&
+        toks[i + 1].kind == Token::Kind::kIdent && toks[i + 2].text == "=") {
+      const std::size_t stop = std::min(toks.size(), i + 20);
+      for (std::size_t j = i + 3; j < stop && toks[j].text != ";"; ++j) {
+        if (toks[j].kind == Token::Kind::kIdent &&
+            (toks[j].text == "fork" || toks[j].text == "split")) {
+          vars.insert(toks[i + 1].text);
+          break;
+        }
+      }
+    }
+  }
+  return vars;
+}
+
+void check_parallel_rng(const std::vector<Token>& toks, const FileContext& ctx,
+                        const std::set<std::string>& rng_vars,
+                        std::vector<Finding>& out) {
+  // Mutating draw methods of wild5g::Rng. fork() is const and seed-derived,
+  // so calling it inside a task body is exactly the sanctioned idiom.
+  static const std::set<std::string> kDraws = {
+      "uniform", "uniform_int", "normal",  "lognormal", "exponential",
+      "bernoulli", "pick",      "shuffle", "split"};
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent ||
+        (toks[i].text != "parallel_map" && toks[i].text != "parallel_for") ||
+        toks[i + 1].text != "(") {
+      continue;
+    }
+    const std::size_t call_close =
+        find_match(toks, i + 1, "(", ")", toks.size());
+    if (call_close == kNpos) continue;
+    // The first '[' inside the call opens the task lambda's capture list.
+    std::size_t cap_open = kNpos;
+    for (std::size_t j = i + 2; j < call_close; ++j) {
+      if (toks[j].kind == Token::Kind::kPunct && toks[j].text == "[") {
+        cap_open = j;
+        break;
+      }
+    }
+    if (cap_open == kNpos) continue;
+    const std::size_t cap_close =
+        find_match(toks, cap_open, "[", "]", call_close);
+    if (cap_close == kNpos) continue;
+
+    // Rule 1: explicit by-reference captures of a known Rng.
+    for (std::size_t j = cap_open + 1; j < cap_close; ++j) {
+      if (toks[j].kind != Token::Kind::kPunct || toks[j].text != "&" ||
+          j + 1 >= cap_close || toks[j + 1].kind != Token::Kind::kIdent) {
+        continue;
+      }
+      std::string target;
+      if (j + 2 < cap_close && toks[j + 2].text == "=") {
+        // Init capture `&alias = expr`: flag only when expr is exactly a
+        // tracked Rng variable.
+        if (j + 3 < cap_close && toks[j + 3].kind == Token::Kind::kIdent &&
+            rng_vars.count(toks[j + 3].text) != 0 &&
+            (j + 4 >= cap_close || toks[j + 4].text == ",")) {
+          target = toks[j + 3].text;
+        }
+      } else if (rng_vars.count(toks[j + 1].text) != 0) {
+        target = toks[j + 1].text;
+      }
+      if (target.empty()) continue;
+      out.push_back(
+          {ctx.display_path, toks[j].line, "parallel-rng-capture",
+           "Rng '" + target + "' is captured by reference into a " +
+               toks[i].text + " task lambda; concurrent draws race and "
+               "break byte-identical goldens at any thread count",
+           "split() a base stream before the loop (Rng base = " + target +
+               ".split();) and draw from base.fork(i) inside the task"});
+    }
+
+    // Rule 2: draws inside the task body on non-local Rng streams.
+    std::set<std::string> locals;
+    std::size_t j = cap_close + 1;
+    if (j < call_close && toks[j].text == "(") {
+      const std::size_t params_close =
+          find_match(toks, j, "(", ")", call_close);
+      if (params_close == kNpos) continue;
+      // Every identifier in the parameter list shadows an outer name (the
+      // over-approximation also swallows type names, which is harmless).
+      for (std::size_t k = j + 1; k < params_close; ++k) {
+        if (toks[k].kind == Token::Kind::kIdent) locals.insert(toks[k].text);
+      }
+      j = params_close + 1;
+    }
+    while (j < call_close && toks[j].kind == Token::Kind::kIdent) {
+      ++j;  // mutable, noexcept
+    }
+    if (j >= call_close || toks[j].text != "{") continue;
+    const std::size_t body_open = j;
+    const std::size_t body_close =
+        find_match(toks, body_open, "{", "}", call_close + 1);
+    if (body_close == kNpos) continue;
+    for (std::size_t k = body_open + 1; k + 1 < body_close; ++k) {
+      if (toks[k].kind != Token::Kind::kIdent ||
+          non_type_keywords().count(toks[k].text) != 0) {
+        continue;
+      }
+      // `Type name`, `Type& name`, `auto name`: a declaration inside the
+      // body makes `name` task-local (bench_fig09's `Rng rng(seed + d)`
+      // idiom is deterministic — the stream derives from the task index).
+      std::size_t m = k + 1;
+      while (m < body_close &&
+             (toks[m].text == "&" || toks[m].text == "*" ||
+              toks[m].text == "const")) {
+        ++m;
+      }
+      if (m < body_close && toks[m].kind == Token::Kind::kIdent &&
+          m + 1 < body_close &&
+          (toks[m + 1].text == "=" || toks[m + 1].text == "(" ||
+           toks[m + 1].text == "{" || toks[m + 1].text == ";")) {
+        locals.insert(toks[m].text);
+      }
+    }
+    for (std::size_t k = body_open + 1; k + 3 < body_close; ++k) {
+      if (toks[k].kind == Token::Kind::kIdent &&
+          rng_vars.count(toks[k].text) != 0 &&
+          locals.count(toks[k].text) == 0 &&
+          (toks[k + 1].text == "." || toks[k + 1].text == "->") &&
+          toks[k + 2].kind == Token::Kind::kIdent &&
+          kDraws.count(toks[k + 2].text) != 0 && toks[k + 3].text == "(") {
+        out.push_back(
+            {ctx.display_path, toks[k].line, "parallel-rng-stream",
+             "'" + toks[k].text + "." + toks[k + 2].text + "(...)' inside a " +
+                 toks[i].text + " task body draws from a stream that is not "
+                 "derived per task; results depend on scheduling and break "
+                 "thread-count invariance",
+             "derive a task-local stream first (auto child = base.fork(i);) "
+             "and draw from it"});
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Layering. The include DAG over src/ modules must flow strictly downward:
+// a module may include core, itself, and any module of strictly lower rank.
+// The ranks encode the ISSUE constraints (core at the bottom, sim below
+// radio/net/abr/web, bench/ never included from src/) and the current
+// dependency structure of the tree; adding an edge that violates them is a
+// design decision that belongs in DESIGN.md, not an accident.
+
+const std::map<std::string, int>& layer_ranks() {
+  static const std::map<std::string, int> kRanks = {
+      {"core", 0},     {"geo", 1},       {"sim", 1},
+      {"radio", 2},    {"ml", 2},        {"mobility", 2},
+      {"transport", 2}, {"rrc", 3},      {"faults", 3},
+      {"net", 4},      {"power", 4},     {"traces", 5},
+      {"abr", 6},      {"web", 6}};
+  return kRanks;
+}
+
+struct IncludeRef {
+  std::string target;  // the quoted include text, verbatim
+  int line;
+};
+
+std::vector<IncludeRef> collect_includes(const std::vector<Token>& toks) {
+  std::vector<IncludeRef> out;
+  for (std::size_t i = 0; i + 2 < toks.size(); ++i) {
+    if (toks[i].kind == Token::Kind::kPunct && toks[i].text == "#" &&
+        toks[i + 1].kind == Token::Kind::kIdent &&
+        toks[i + 1].text == "include" &&
+        toks[i + 2].kind == Token::Kind::kString &&
+        toks[i + 2].line == toks[i].line) {
+      out.push_back({toks[i + 2].text, toks[i].line});
+    }
+  }
+  return out;
+}
+
+/// Repo-relative "virtual path" starting at the last src/bench/tools/
+/// examples path component, so fixtures under tests/lint_fixtures/src/...
+/// are laid out exactly like tree files. Empty when the file lives under
+/// none of the lintable roots (layering does not apply there).
+std::string virtual_path(const fs::path& path) {
+  std::vector<std::string> parts;
+  for (const auto& comp : path) parts.push_back(comp.generic_string());
+  std::size_t start = parts.size();
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (parts[i] == "src" || parts[i] == "bench" || parts[i] == "tools" ||
+        parts[i] == "examples") {
+      start = i;
+    }
+  }
+  if (start == parts.size()) return {};
+  std::string out;
+  for (std::size_t i = start; i < parts.size(); ++i) {
+    if (!out.empty()) out += '/';
+    out += parts[i];
+  }
+  return out;
+}
+
+/// The src/ module of a virtual path ("core", "radio", ...) or "" for
+/// bench/tools/examples files and unknown layouts.
+std::string src_module_of(const std::string& vpath) {
+  if (vpath.rfind("src/", 0) != 0) return {};
+  const std::size_t slash = vpath.find('/', 4);
+  if (slash == std::string::npos) return {};
+  return vpath.substr(4, slash - 4);
+}
+
+// ---------------------------------------------------------------------------
+// Driver: two passes over the tree. Pass 1 loads and lexes every file and
+// gathers per-file facts (includes, Rng names, signatures). Pass 2 runs the
+// per-file checks against the global signature index, then the include graph
+// is checked for layering violations and cycles, and finally suppression
+// directives are applied per file.
+
+struct FileUnit {
+  fs::path path;
+  FileContext ctx;
+  LexedFile lexed;
+  std::set<int> token_lines;
+  std::vector<Allow> allows;
+  std::vector<Finding> meta;  // directive problems; never suppressible
+  std::vector<Finding> raw;   // rule findings, pre-suppression
+  std::string vpath;          // repo-relative layout ("" when unknown)
+  std::string src_module;     // "core", "radio", ... ("" outside src/)
+  std::vector<IncludeRef> includes;
+  std::set<std::string> rng_vars;
+  std::set<std::size_t> decl_sites;
+  bool io_error = false;
+};
 
 bool path_ends_with(const fs::path& path, std::string_view suffix) {
   const std::string generic = path.generic_string();
@@ -662,53 +1547,184 @@ bool path_ends_with(const fs::path& path, std::string_view suffix) {
                          suffix) == 0;
 }
 
-std::vector<Finding> lint_file(const fs::path& path) {
+FileUnit load_file(const fs::path& path) {
+  FileUnit unit;
+  unit.path = path;
+  unit.ctx.display_path = path.lexically_normal().generic_string();
   std::ifstream in(path, std::ios::binary);
   if (!in.good()) {
-    return {{path.generic_string(), 0, "io-error", "cannot open file"}};
+    unit.io_error = true;
+    unit.meta.push_back(
+        {unit.ctx.display_path, 0, "io-error", "cannot open file", {}});
+    return unit;
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  const std::string src = buffer.str();
+  const std::string raw_text = buffer.str();
 
-  FileContext ctx;
-  ctx.display_path = path.lexically_normal().generic_string();
-  ctx.is_rng_header = path_ends_with(path, "src/core/rng.h");
-  ctx.feeds_metrics =
-      src.find("#include \"core/json.h\"") != std::string::npos ||
-      src.find("#include \"bench_common.h\"") != std::string::npos ||
+  unit.ctx.is_rng_header = path_ends_with(path, "src/core/rng.h");
+  unit.ctx.feeds_metrics =
+      raw_text.find("#include \"core/json.h\"") != std::string::npos ||
+      raw_text.find("#include \"bench_common.h\"") != std::string::npos ||
       path_ends_with(path, "bench/bench_common.h") ||
       path_ends_with(path, "src/core/json.h");
   // Path suffixes where a silent catch (...) is deliberate. Empty today —
   // every swallow in the tree must rethrow, store, or report; add a suffix
   // here (with a comment saying why) before exempting a whole file.
   static constexpr std::array<std::string_view, 0> kSwallowAllowed = {};
-  ctx.swallow_allowed = std::any_of(
+  unit.ctx.swallow_allowed = std::any_of(
       kSwallowAllowed.begin(), kSwallowAllowed.end(),
       [&](std::string_view suffix) { return path_ends_with(path, suffix); });
 
-  const LexedFile lexed = lex(src);
-  std::set<int> token_lines;
-  for (const auto& tok : lexed.tokens) token_lines.insert(tok.line);
+  const Source spliced = splice(raw_text);
+  unit.lexed = lex(spliced);
+  for (const auto& tok : unit.lexed.tokens) unit.token_lines.insert(tok.line);
+  collect_allows(unit.lexed, unit.ctx.display_path, unit.allows, unit.meta);
+  unit.vpath = virtual_path(path);
+  unit.src_module = src_module_of(unit.vpath);
+  unit.includes = collect_includes(unit.lexed.tokens);
+  unit.rng_vars = collect_rng_vars(unit.lexed.tokens);
+  return unit;
+}
 
-  std::vector<Allow> allows;
-  std::vector<Finding> findings;
-  collect_allows(lexed, ctx.display_path, allows, findings);
-
-  std::vector<Finding> raw;
-  check_banned_idents(lexed.tokens, ctx, raw);
-  check_float_equality(lexed.tokens, ctx, raw);
-  check_printf_float(lexed.tokens, ctx, raw);
-  check_catch_swallow(lexed.tokens, ctx, raw);
-  check_unordered_iteration(lexed.tokens, ctx, raw);
-
-  for (auto& f : raw) {
-    if (!suppressed(allows, token_lines, f)) findings.push_back(std::move(f));
+/// layering: per-file check of include edges against the module ranks. The
+/// target module is read off the include text itself (first path component),
+/// so the rule works even when the included file is outside the scan set.
+void check_layering(FileUnit& unit) {
+  if (unit.src_module.empty()) return;
+  const auto& ranks = layer_ranks();
+  const auto from = ranks.find(unit.src_module);
+  if (from == ranks.end()) return;
+  for (const auto& inc : unit.includes) {
+    if (inc.target == "bench_common.h" ||
+        inc.target.rfind("bench/", 0) == 0) {
+      unit.raw.push_back(
+          {unit.ctx.display_path, inc.line, "layering",
+           "src/" + unit.src_module + " includes bench/ header \"" +
+               inc.target + "\"; bench/ sits above every src/ layer and is "
+               "never included from src/",
+           {}});
+      continue;
+    }
+    const std::size_t slash = inc.target.find('/');
+    if (slash == std::string::npos) continue;
+    const std::string head = inc.target.substr(0, slash);
+    const auto to = ranks.find(head);
+    if (to == ranks.end()) continue;
+    if (head == unit.src_module || to->second < from->second) continue;
+    std::string message = "src/" + unit.src_module + " (layer " +
+                          std::to_string(from->second) + ") includes src/" +
+                          head + " (layer " + std::to_string(to->second) +
+                          "); the include DAG flows strictly downward";
+    if (unit.src_module == "core") {
+      message += " — src/core depends on nothing outside core";
+    } else {
+      message += "; move the shared code into a lower layer or invert the "
+                 "dependency";
+    }
+    unit.raw.push_back(
+        {unit.ctx.display_path, inc.line, "layering", std::move(message), {}});
   }
-  std::sort(findings.begin(), findings.end(),
-            [](const Finding& a, const Finding& b) {
-              return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
-            });
+}
+
+/// include-cycle: DFS over the include graph restricted to scanned files.
+/// Includes are resolved against virtual paths (repo-root-relative first,
+/// then bench/, then verbatim, then sibling), so the graph matches what the
+/// compiler sees under the tree's -I roots. Each back edge is one finding,
+/// attached to the #include line that closes the cycle.
+void check_cycles(std::vector<FileUnit>& units) {
+  std::map<std::string, FileUnit*> by_vpath;
+  for (auto& unit : units) {
+    if (!unit.vpath.empty()) by_vpath.emplace(unit.vpath, &unit);
+  }
+  struct Edge {
+    std::string to;
+    int line;
+  };
+  std::map<std::string, std::vector<Edge>> graph;
+  for (const auto& [vpath, unit] : by_vpath) {
+    const std::string dir = vpath.substr(0, vpath.rfind('/'));
+    for (const auto& inc : unit->includes) {
+      const std::array<std::string, 4> candidates = {
+          "src/" + inc.target, "bench/" + inc.target, inc.target,
+          dir + "/" + inc.target};
+      for (const auto& candidate : candidates) {
+        if (by_vpath.count(candidate) != 0) {
+          graph[vpath].push_back({candidate, inc.line});
+          break;
+        }
+      }
+    }
+  }
+  std::map<std::string, int> color;  // 0 = new, 1 = on stack, 2 = done
+  std::vector<std::string> stack;
+  const std::function<void(const std::string&)> dfs =
+      [&](const std::string& vpath) {
+        color[vpath] = 1;
+        stack.push_back(vpath);
+        for (const auto& edge : graph[vpath]) {
+          if (color[edge.to] == 1) {
+            std::string cycle;
+            const auto at = std::find(stack.begin(), stack.end(), edge.to);
+            for (auto it = at; it != stack.end(); ++it) {
+              cycle += *it + " -> ";
+            }
+            cycle += edge.to;
+            FileUnit* unit = by_vpath[vpath];
+            unit->raw.push_back(
+                {unit->ctx.display_path, edge.line, "include-cycle",
+                 "#include \"" + edge.to.substr(edge.to.find('/') + 1) +
+                     "\" closes an include cycle: " + cycle,
+                 {}});
+          } else if (color[edge.to] == 0) {
+            dfs(edge.to);
+          }
+        }
+        stack.pop_back();
+        color[vpath] = 2;
+      };
+  for (const auto& [vpath, unit] : by_vpath) {
+    (void)unit;
+    if (color[vpath] == 0) dfs(vpath);
+  }
+}
+
+std::vector<Finding> run_checks(std::vector<FileUnit>& units) {
+  SignatureIndex index;
+  for (auto& unit : units) {
+    collect_signatures(unit.lexed.tokens, index, unit.decl_sites);
+  }
+  for (auto& unit : units) {
+    if (unit.io_error) continue;
+    const auto& toks = unit.lexed.tokens;
+    check_banned_idents(toks, unit.ctx, unit.raw);
+    check_float_equality(toks, unit.ctx, unit.raw);
+    check_printf_float(toks, unit.ctx, unit.raw);
+    check_catch_swallow(toks, unit.ctx, unit.raw);
+    check_unordered_iteration(toks, unit.ctx, unit.raw);
+    check_unit_assign(toks, unit.ctx, unit.raw);
+    check_unit_conversion_calls(toks, unit.ctx, unit.raw);
+    check_unit_calls(toks, unit.ctx, index, unit.decl_sites, unit.raw);
+    check_parallel_rng(toks, unit.ctx, unit.rng_vars, unit.raw);
+    check_layering(unit);
+  }
+  check_cycles(units);
+
+  std::vector<Finding> findings;
+  for (auto& unit : units) {
+    std::vector<Finding> kept = std::move(unit.meta);
+    for (auto& f : unit.raw) {
+      if (!suppressed(unit.allows, unit.token_lines, f)) {
+        kept.push_back(std::move(f));
+      }
+    }
+    std::sort(kept.begin(), kept.end(),
+              [](const Finding& a, const Finding& b) {
+                return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
+              });
+    findings.insert(findings.end(), std::make_move_iterator(kept.begin()),
+                    std::make_move_iterator(kept.end()));
+  }
   return findings;
 }
 
@@ -718,8 +1734,153 @@ bool lintable(const fs::path& path) {
          ext == ".cxx";
 }
 
+// ---------------------------------------------------------------------------
+// Output formats.
+
+namespace json = wild5g::json;
+
+json::Value findings_json(const std::vector<Finding>& findings,
+                          std::size_t files_scanned) {
+  json::Value doc = json::Value::object();
+  json::Value list = json::Value::array();
+  for (const auto& f : findings) {
+    json::Value entry = json::Value::object();
+    entry.set("file", f.file);
+    entry.set("line", static_cast<std::int64_t>(f.line));
+    entry.set("rule", f.rule);
+    entry.set("message", f.message);
+    if (!f.fixit.empty()) entry.set("fixit", f.fixit);
+    list.push_back(std::move(entry));
+  }
+  doc.set("files_scanned", static_cast<std::int64_t>(files_scanned));
+  doc.set("count", static_cast<std::int64_t>(findings.size()));
+  doc.set("findings", std::move(list));
+  return doc;
+}
+
+/// SARIF 2.1.0 in the shape GitHub code scanning consumes: one run, the full
+/// rule registry under tool.driver.rules, one result per finding with
+/// ruleId/ruleIndex/level/message/physicalLocation. Unregistered diagnostics
+/// (io-error) carry a ruleId but no ruleIndex.
+json::Value sarif_json(const std::vector<Finding>& findings) {
+  json::Value rules = json::Value::array();
+  for (const auto& rule : kRules) {
+    json::Value entry = json::Value::object();
+    entry.set("id", std::string(rule.id));
+    json::Value short_desc = json::Value::object();
+    short_desc.set("text", std::string(rule.summary));
+    entry.set("shortDescription", std::move(short_desc));
+    json::Value config = json::Value::object();
+    config.set("level", "error");
+    entry.set("defaultConfiguration", std::move(config));
+    json::Value props = json::Value::object();
+    props.set("family", std::string(rule.family));
+    entry.set("properties", std::move(props));
+    rules.push_back(std::move(entry));
+  }
+  json::Value driver = json::Value::object();
+  driver.set("name", "wild5g-lint");
+  driver.set("version", "2.0.0");
+  driver.set("rules", std::move(rules));
+  json::Value tool = json::Value::object();
+  tool.set("driver", std::move(driver));
+
+  json::Value results = json::Value::array();
+  for (const auto& f : findings) {
+    json::Value result = json::Value::object();
+    result.set("ruleId", f.rule);
+    const int index = rule_index(f.rule);
+    if (index >= 0) result.set("ruleIndex", static_cast<std::int64_t>(index));
+    result.set("level", "error");
+    json::Value message = json::Value::object();
+    message.set("text", f.fixit.empty() ? f.message
+                                        : f.message + " (fix: " + f.fixit +
+                                              ")");
+    result.set("message", std::move(message));
+    json::Value artifact = json::Value::object();
+    artifact.set("uri", f.file);
+    json::Value region = json::Value::object();
+    region.set("startLine", static_cast<std::int64_t>(std::max(f.line, 1)));
+    json::Value physical = json::Value::object();
+    physical.set("artifactLocation", std::move(artifact));
+    physical.set("region", std::move(region));
+    json::Value location = json::Value::object();
+    location.set("physicalLocation", std::move(physical));
+    json::Value locations = json::Value::array();
+    locations.push_back(std::move(location));
+    result.set("locations", std::move(locations));
+    results.push_back(std::move(result));
+  }
+
+  json::Value run = json::Value::object();
+  run.set("tool", std::move(tool));
+  run.set("results", std::move(results));
+  json::Value runs = json::Value::array();
+  runs.push_back(std::move(run));
+  json::Value doc = json::Value::object();
+  doc.set("$schema", "https://json.schemastore.org/sarif-2.1.0.json");
+  doc.set("version", "2.1.0");
+  doc.set("runs", std::move(runs));
+  return doc;
+}
+
+json::Value rules_json() {
+  json::Value list = json::Value::array();
+  for (const auto& rule : kRules) {
+    json::Value entry = json::Value::object();
+    entry.set("id", std::string(rule.id));
+    entry.set("family", std::string(rule.family));
+    entry.set("summary", std::string(rule.summary));
+    if (!rule.fixit.empty()) entry.set("fixit", std::string(rule.fixit));
+    list.push_back(std::move(entry));
+  }
+  json::Value doc = json::Value::object();
+  doc.set("count", static_cast<std::int64_t>(kRules.size()));
+  doc.set("rules", std::move(list));
+  return doc;
+}
+
+/// The markdown behind docs/LINT_RULES.md. Generated so the doc can never
+/// drift from the registry: ctest (lint.rules_doc_is_fresh) compares the
+/// committed file against this output byte for byte.
+std::string rules_doc_markdown() {
+  std::ostringstream os;
+  os << "<!-- GENERATED FILE - do not edit by hand.\n"
+        "     Regenerate with:  ./build/tools/wild5g_lint --rules-doc > "
+        "docs/LINT_RULES.md\n"
+        "     The lint.rules_doc_is_fresh test fails while this file is "
+        "stale. -->\n\n";
+  os << "# wild5g-lint rule reference\n\n";
+  os << "wild5g-lint (tools/wild5g_lint.cpp) statically enforces the repo's "
+        "determinism,\nunit-hygiene, and layering contracts over `src/`, "
+        "`bench/`, `tools/`, and\n`examples/`. It exits 0 on a clean tree, 1 "
+        "when any finding survives\nsuppression, and 2 on usage or I/O "
+        "errors.\n\n";
+  os << "Suppress a finding with a justified directive comment on the same "
+        "line or the\nline(s) directly above it:\n\n"
+        "```cpp\n"
+        "// wild5g-lint: allow(<rule>) <why this construct is safe here>\n"
+        "```\n\n";
+  os << "Machine-readable forms: `--list-rules --json` (this table as "
+        "JSON),\n`--json` (findings), `--sarif <path>` (SARIF 2.1.0 for "
+        "GitHub code scanning).\n";
+  for (const auto& family : kFamilies) {
+    os << "\n## " << family << "\n\n";
+    os << "| rule | summary | fix-it |\n";
+    os << "| --- | --- | --- |\n";
+    for (const auto& rule : kRules) {
+      if (rule.family != family) continue;
+      os << "| `" << rule.id << "` | " << rule.summary << " | "
+         << (rule.fixit.empty() ? std::string_view{"-"} : rule.fixit)
+         << " |\n";
+    }
+  }
+  return os.str();
+}
+
 int usage() {
-  std::cerr << "usage: wild5g_lint [--json] [--list-rules] <file-or-dir>...\n";
+  std::cerr << "usage: wild5g_lint [--json] [--sarif <path>] [--list-rules]\n"
+               "                   [--rules-doc] <file-or-dir>...\n";
   return 2;
 }
 
@@ -727,16 +1888,24 @@ int usage() {
 
 int main(int argc, char** argv) {
   bool as_json = false;
+  bool list_rules = false;
+  bool rules_doc = false;
+  std::string sarif_path;
   std::vector<fs::path> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--json") {
       as_json = true;
     } else if (arg == "--list-rules") {
-      for (const auto& rule : kRules) {
-        std::cout << rule.id << ": " << rule.summary << "\n";
+      list_rules = true;
+    } else if (arg == "--rules-doc") {
+      rules_doc = true;
+    } else if (arg == "--sarif") {
+      if (i + 1 >= argc) {
+        std::cerr << "wild5g_lint: --sarif requires a path\n";
+        return usage();
       }
-      return 0;
+      sarif_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -745,6 +1914,21 @@ int main(int argc, char** argv) {
     } else {
       roots.emplace_back(arg);
     }
+  }
+  if (rules_doc) {
+    std::cout << rules_doc_markdown();
+    return 0;
+  }
+  if (list_rules) {
+    if (as_json) {
+      std::cout << json::dump(rules_json());
+    } else {
+      for (const auto& rule : kRules) {
+        std::cout << rule.id << " [" << rule.family << "]: " << rule.summary
+                  << "\n";
+      }
+    }
+    return 0;
   }
   if (roots.empty()) return usage();
 
@@ -768,34 +1952,27 @@ int main(int argc, char** argv) {
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<Finding> findings;
-  for (const auto& file : files) {
-    auto file_findings = lint_file(file);
-    findings.insert(findings.end(),
-                    std::make_move_iterator(file_findings.begin()),
-                    std::make_move_iterator(file_findings.end()));
-  }
+  std::vector<FileUnit> units;
+  units.reserve(files.size());
+  for (const auto& file : files) units.push_back(load_file(file));
+  const std::vector<Finding> findings = run_checks(units);
 
-  if (as_json) {
-    namespace json = wild5g::json;
-    json::Value doc = json::Value::object();
-    json::Value list = json::Value::array();
-    for (const auto& f : findings) {
-      json::Value entry = json::Value::object();
-      entry.set("file", f.file);
-      entry.set("line", f.line);
-      entry.set("rule", f.rule);
-      entry.set("message", f.message);
-      list.push_back(std::move(entry));
+  if (!sarif_path.empty()) {
+    std::ofstream out(sarif_path, std::ios::binary);
+    if (!out.good()) {
+      std::cerr << "wild5g_lint: cannot write SARIF log: " << sarif_path
+                << "\n";
+      return 2;
     }
-    doc.set("files_scanned", static_cast<std::int64_t>(files.size()));
-    doc.set("count", static_cast<std::int64_t>(findings.size()));
-    doc.set("findings", std::move(list));
-    std::cout << json::dump(doc);
+    out << json::dump(sarif_json(findings)) << "\n";
+  }
+  if (as_json) {
+    std::cout << json::dump(findings_json(findings, files.size()));
   } else {
     for (const auto& f : findings) {
       std::cout << f.file << ":" << f.line << ": " << f.rule << ": "
                 << f.message << "\n";
+      if (!f.fixit.empty()) std::cout << "    fix-it: " << f.fixit << "\n";
     }
     std::cerr << "wild5g_lint: " << files.size() << " file(s), "
               << findings.size() << " finding(s)\n";
