@@ -4,6 +4,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "core/quantile_sketch.h"
 #include "core/stats.h"
 #include "web/page_load.h"
 #include "web/website.h"
@@ -30,19 +31,19 @@ int main(int argc, char** argv) {
       auto config = is_5g ? web::mmwave_page_config()
                           : web::lte_page_config();
       config.multiplexed = multiplexed;
-      std::vector<double> plts;
+      stats::SampleAccumulator plts;
       double energy = 0.0;
       for (const auto& site : corpus) {
         for (int rep = 0; rep < 2; ++rep) {
           const auto result = web::load_page(site, config, device, rng);
-          plts.push_back(result.plt_s);
+          plts.add(result.plt_s);
           energy += result.energy_j;
         }
       }
       table.add_row({is_5g ? "mmWave 5G" : "4G",
                      multiplexed ? "HTTP/2" : "HTTP/1.1",
-                     Table::num(stats::mean(plts), 2),
-                     Table::num(stats::percentile(plts, 90.0), 2),
+                     Table::num(plts.mean(), 2),
+                     Table::num(plts.percentile(90.0), 2),
                      Table::num(energy / (2.0 * corpus.size()), 2)});
     }
   }

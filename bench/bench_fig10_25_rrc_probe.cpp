@@ -5,6 +5,7 @@
 #include <map>
 
 #include "bench_common.h"
+#include "core/quantile_sketch.h"
 #include "core/stats.h"
 #include "rrc/probe.h"
 
@@ -27,16 +28,16 @@ int main(int argc, char** argv) {
     Rng rng(bench::kBenchSeed);
     const auto samples = rrc::run_probe(config, schedule, rng);
 
-    std::map<double, std::vector<double>> by_gap;
-    for (const auto& s : samples) by_gap[s.gap_ms].push_back(s.rtt_ms);
+    std::map<double, stats::SampleAccumulator> by_gap;
+    for (const auto& s : samples) by_gap[s.gap_ms].add(s.rtt_ms);
 
     Table table(config.name + " - RTT (ms) vs idle gap (s)");
     table.set_header({"gap s", "p10", "median", "p90", "true state"});
     for (const auto& [gap, rtts] : by_gap) {
       table.add_row({Table::num(gap / 1000.0, 0),
-                     Table::num(stats::percentile(rtts, 10.0), 0),
-                     Table::num(stats::median(rtts), 0),
-                     Table::num(stats::percentile(rtts, 90.0), 0),
+                     Table::num(rtts.percentile(10.0), 0),
+                     Table::num(rtts.median(), 0),
+                     Table::num(rtts.percentile(90.0), 0),
                      rrc::to_string(rrc::state_after_gap(config, gap))});
     }
     emitter.report(table);

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "bench_common.h"
+#include "core/quantile_sketch.h"
 #include "core/stats.h"
 #include "power/campaign.h"
 #include "radio/ue.h"
@@ -41,27 +42,30 @@ void report_city(bench::MetricsEmitter& emitter, const City& city,
   fig14.set_header({"RSRP bin (dBm)", "median uJ/bit"});
 
   for (double lo = -110.0; lo < -70.0; lo += 5.0) {
-    std::vector<double> powers;
-    std::vector<double> tputs;
-    std::vector<double> uj_per_bit;
+    // Tens of thousands of samples land in the busy bins; the accumulator
+    // spills them into the quantile sketch instead of hoarding vectors.
+    stats::SampleAccumulator powers;
+    stats::SampleAccumulator tputs;
+    stats::SampleAccumulator uj_per_bit;
     for (const auto& s : all) {
       if (s.rsrp_dbm < lo || s.rsrp_dbm >= lo + 5.0) continue;
-      powers.push_back(s.power_mw / 1000.0);
-      tputs.push_back(s.dl_mbps);
+      powers.add(s.power_mw / 1000.0);
+      tputs.add(s.dl_mbps);
       if (s.dl_mbps > 0.5) {
-        uj_per_bit.push_back(s.power_mw / (s.dl_mbps * 1000.0));
+        uj_per_bit.add(s.power_mw / (s.dl_mbps * 1000.0));
       }
     }
-    if (powers.size() < 20) continue;
+    if (powers.count() < 20) continue;
     const std::string bin = "[" + Table::num(lo, 0) + "," +
                             Table::num(lo + 5.0, 0) + ")";
-    fig13.add_row({bin, std::to_string(powers.size()),
-                   Table::num(stats::mean(tputs), 0),
-                   Table::num(stats::mean(powers), 2),
-                   Table::num(stats::percentile(powers, 90.0), 2)});
+    fig13.add_row({bin, std::to_string(powers.count()),
+                   Table::num(tputs.mean(), 0),
+                   Table::num(powers.mean(), 2),
+                   Table::num(powers.percentile(90.0), 2)});
     if (!uj_per_bit.empty()) {
-      fig14.add_row({bin, Table::num(stats::median(uj_per_bit), 4)});
+      fig14.add_row({bin, Table::num(uj_per_bit.median(), 4)});
     }
+
   }
   emitter.report(fig13);
   emitter.report(fig14);

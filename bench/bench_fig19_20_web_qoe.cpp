@@ -3,6 +3,7 @@
 #include <iostream>
 
 #include "bench_common.h"
+#include "core/quantile_sketch.h"
 #include "core/stats.h"
 #include "web/selector.h"
 
@@ -82,20 +83,20 @@ int main(int argc, char** argv) {
   emitter.report(fig19b);
 
   // Fig. 20: CDF percentiles.
-  std::vector<double> plt4, plt5, en4, en5;
+  stats::SampleAccumulator plt4, plt5, en4, en5;
   for (const auto& m : measurements) {
-    plt4.push_back(m.plt_4g_s);
-    plt5.push_back(m.plt_5g_s);
-    en4.push_back(m.energy_4g_j);
-    en5.push_back(m.energy_5g_j);
+    plt4.add(m.plt_4g_s);
+    plt5.add(m.plt_5g_s);
+    en4.add(m.energy_4g_j);
+    en5.add(m.energy_5g_j);
   }
   Table fig20("Fig. 20: CDF percentiles");
   fig20.set_header({"percentile", "4G PLT s", "5G PLT s", "4G J", "5G J"});
   for (const double p : {10.0, 25.0, 50.0, 75.0, 90.0, 99.0}) {
-    fig20.add_row({Table::num(p, 0), Table::num(stats::percentile(plt4, p), 2),
-                   Table::num(stats::percentile(plt5, p), 2),
-                   Table::num(stats::percentile(en4, p), 2),
-                   Table::num(stats::percentile(en5, p), 2)});
+    fig20.add_row({Table::num(p, 0), Table::num(plt4.percentile(p), 2),
+                   Table::num(plt5.percentile(p), 2),
+                   Table::num(en4.percentile(p), 2),
+                   Table::num(en5.percentile(p), 2)});
   }
   emitter.report(fig20);
 
@@ -109,10 +110,10 @@ int main(int argc, char** argv) {
   }
 
   bench::measured_note("median PLT: 5G " +
-                       Table::num(stats::median(plt5), 2) + " s vs 4G " +
-                       Table::num(stats::median(plt4), 2) +
+                       Table::num(plt5.median(), 2) + " s vs 4G " +
+                       Table::num(plt4.median(), 2) +
                        " s; median energy: 5G " +
-                       Table::num(stats::median(en5), 2) + " J vs 4G " +
-                       Table::num(stats::median(en4), 2) + " J");
+                       Table::num(en5.median(), 2) + " J vs 4G " +
+                       Table::num(en4.median(), 2) + " J");
   return emitter.finalize() ? 0 : 1;
 }

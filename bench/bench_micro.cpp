@@ -6,7 +6,9 @@
 #include "abr/algorithms.h"
 #include "bench_common.h"
 #include "abr/video.h"
+#include "core/quantile_sketch.h"
 #include "core/rng.h"
+#include "core/stats.h"
 #include "ml/decision_tree.h"
 #include "power/waveform.h"
 #include "radio/channel.h"
@@ -98,6 +100,44 @@ void BM_WaveformSynthesis(benchmark::State& state) {
 }
 BENCHMARK(BM_WaveformSynthesis)->Arg(1000)->Arg(5000);
 
+// The pre-sketch percentile pattern: hoard every sample in a vector and
+// sort-on-query. Kept as the baseline the sketch kernel is measured
+// against; campaign code itself now goes through SampleAccumulator.
+void BM_PercentileStoreAll(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    std::vector<double> samples;
+    samples.reserve(n);
+    for (std::size_t i = 0; i < n; ++i) {
+      samples.push_back(rng.lognormal(3.0, 1.0));
+    }
+    // wild5g-lint: allow(bench-sample-hoard) this kernel *is* the store-all
+    benchmark::DoNotOptimize(stats::percentile(samples, 90.0));
+    // wild5g-lint: allow(bench-sample-hoard) baseline the sketch is measured
+    benchmark::DoNotOptimize(stats::percentile(samples, 99.0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PercentileStoreAll)->Arg(100000)->Arg(1000000);
+
+// Same population through the streaming sketch: O(sketch) memory and no
+// sort at query time.
+void BM_PercentileSketch(benchmark::State& state) {
+  const auto n = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    Rng rng(7);
+    stats::QuantileSketch sketch;
+    for (std::size_t i = 0; i < n; ++i) {
+      sketch.add(rng.lognormal(3.0, 1.0));
+    }
+    benchmark::DoNotOptimize(sketch.quantile(90.0));
+    benchmark::DoNotOptimize(sketch.quantile(99.0));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_PercentileSketch)->Arg(100000)->Arg(1000000);
+
 void BM_ChannelProcess(benchmark::State& state) {
   radio::ChannelProcess process(
       radio::default_channel_process(radio::Band::kNrMmWave), Rng(5));
@@ -158,6 +198,8 @@ int main(int argc, char** argv) {
   inventory.add_row({"BM_DecisionTreePredict", "1"});
   inventory.add_row({"BM_CubicFlows", "2"});
   inventory.add_row({"BM_WaveformSynthesis", "2"});
+  inventory.add_row({"BM_PercentileStoreAll", "2"});
+  inventory.add_row({"BM_PercentileSketch", "2"});
   inventory.add_row({"BM_ChannelProcess", "1"});
   inventory.add_row({"BM_MpcDecision", "1"});
   inventory.add_row({"BM_StreamingSession", "1"});

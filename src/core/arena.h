@@ -1,0 +1,154 @@
+// wild5g/core: bump/slab arena for hot-path object churn.
+//
+// The discrete-event simulator allocates and frees one small handler node
+// per scheduled event; at metro-campaign scale that is millions of
+// malloc/free pairs on the critical path. Arena replaces them with a bump
+// pointer over retained chunks plus size-class free lists, so steady-state
+// schedule/fire churn performs zero heap allocations: a fired event's block
+// is recycled and the next schedule of the same size reuses it.
+//
+// Contract:
+//  - allocate(bytes) returns a 16-byte-aligned block of at least `bytes`
+//    bytes (types needing stricter alignment than alignof(std::max_align_t)
+//    are not supported).
+//  - recycle(block, bytes) returns a block obtained from allocate(bytes)
+//    (same byte count) for reuse; the arena never calls destructors — the
+//    owner destroys the object first.
+//  - Blocks stay valid until recycle()/reset()/destruction; allocate() never
+//    moves or invalidates outstanding blocks (chunks are stable).
+//  - reset() rewinds the bump cursor and clears the free lists while
+//    retaining small chunks, so a reused arena reaches steady state without
+//    touching the heap again. Outstanding blocks are invalidated.
+//  - Not thread-safe: one arena per owner, matching the one-Simulator-per-
+//    parallel_map-task discipline (DESIGN.md section 8).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "core/error.h"
+
+namespace wild5g {
+
+class Arena {
+ public:
+  /// Allocation granularity; every block size is rounded up to a multiple
+  /// and every block address is aligned to it.
+  static constexpr std::size_t kQuantum = 16;
+  /// Requests above this size bypass the size-class free lists and get a
+  /// dedicated chunk (freed on reset, not recycled).
+  static constexpr std::size_t kMaxSmallBytes = 2048;
+  static constexpr std::size_t kDefaultChunkBytes = 64 * 1024;
+
+  explicit Arena(std::size_t chunk_bytes = kDefaultChunkBytes)
+      : chunk_bytes_(round_up(chunk_bytes)) {
+    require(chunk_bytes_ >= kMaxSmallBytes,
+            "Arena: chunk size below the largest small block");
+  }
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  ~Arena() {
+    for (Chunk& chunk : chunks_) ::operator delete(chunk.data);
+    for (Chunk& chunk : large_chunks_) ::operator delete(chunk.data);
+  }
+
+  /// A 16-byte-aligned block of at least `bytes` bytes. Small sizes come
+  /// from the free list of their size class when one is available, else
+  /// from the bump cursor; large sizes get a dedicated chunk.
+  [[nodiscard]] void* allocate(std::size_t bytes) {
+    const std::size_t size = round_up(bytes);
+    if (size > kMaxSmallBytes) [[unlikely]] {
+      large_chunks_.push_back({static_cast<unsigned char*>(
+                                   ::operator new(size)),
+                               size});
+      return large_chunks_.back().data;
+    }
+    FreeBlock*& head = free_lists_[size / kQuantum - 1];
+    if (head != nullptr) {
+      FreeBlock* block = head;
+      head = block->next;
+      return block;
+    }
+    return bump(size);
+  }
+
+  /// Returns a small block for reuse by the next allocate() of the same
+  /// size class. Large blocks (> kMaxSmallBytes) are retained until reset()
+  /// instead — the event hot path never produces them.
+  void recycle(void* block, std::size_t bytes) {
+    const std::size_t size = round_up(bytes);
+    if (size > kMaxSmallBytes) [[unlikely]]
+      return;
+    FreeBlock*& head = free_lists_[size / kQuantum - 1];
+    auto* entry = static_cast<FreeBlock*>(block);
+    entry->next = head;
+    head = entry;
+  }
+
+  /// Invalidates every outstanding block: rewinds the bump cursor over the
+  /// retained small chunks, clears the free lists, and releases dedicated
+  /// large chunks.
+  void reset() {
+    for (FreeBlock*& head : free_lists_) head = nullptr;
+    for (Chunk& chunk : large_chunks_) ::operator delete(chunk.data);
+    large_chunks_.clear();
+    active_chunk_ = 0;
+    offset_ = 0;
+  }
+
+  /// Total heap bytes owned (retained chunks + dedicated large chunks).
+  /// Tests use this to assert that event churn reaches a steady state.
+  [[nodiscard]] std::size_t bytes_reserved() const {
+    std::size_t total = chunks_.size() * chunk_bytes_;
+    for (const Chunk& chunk : large_chunks_) total += chunk.bytes;
+    return total;
+  }
+
+ private:
+  struct FreeBlock {
+    FreeBlock* next;
+  };
+  struct Chunk {
+    unsigned char* data;
+    std::size_t bytes;
+  };
+  static_assert(sizeof(FreeBlock) <= kQuantum,
+                "free-list header must fit the smallest block");
+
+  [[nodiscard]] static constexpr std::size_t round_up(std::size_t bytes) {
+    return ((bytes < kQuantum ? kQuantum : bytes) + kQuantum - 1) /
+           kQuantum * kQuantum;
+  }
+
+  [[nodiscard]] void* bump(std::size_t size) {
+    while (active_chunk_ < chunks_.size()) {
+      if (offset_ + size <= chunk_bytes_) {
+        void* block = chunks_[active_chunk_].data + offset_;
+        offset_ += size;
+        return block;
+      }
+      ++active_chunk_;
+      offset_ = 0;
+    }
+    chunks_.push_back({static_cast<unsigned char*>(
+                           ::operator new(chunk_bytes_)),
+                       chunk_bytes_});
+    active_chunk_ = chunks_.size() - 1;
+    void* block = chunks_.back().data;
+    offset_ = size;
+    return block;
+  }
+
+  std::size_t chunk_bytes_;
+  std::vector<Chunk> chunks_;        // uniform bump chunks, retained forever
+  std::vector<Chunk> large_chunks_;  // dedicated oversize blocks
+  std::size_t active_chunk_ = 0;
+  std::size_t offset_ = 0;
+  FreeBlock* free_lists_[kMaxSmallBytes / kQuantum] = {};
+};
+
+}  // namespace wild5g

@@ -1,0 +1,252 @@
+#include "core/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/error.h"
+
+namespace wild5g::stats {
+
+// ---------------------------------------------------------------------------
+// QuantileSketch
+
+QuantileSketch::QuantileSketch(double relative_accuracy)
+    : alpha_(relative_accuracy),
+      gamma_((1.0 + relative_accuracy) / (1.0 - relative_accuracy)),
+      inv_log_gamma_(1.0 / std::log(gamma_)) {
+  require(relative_accuracy > 0.0 && relative_accuracy < 1.0,
+          "QuantileSketch: relative accuracy must be in (0, 1)");
+}
+
+void QuantileSketch::DenseStore::bump(int index) {
+  if (counts.empty()) {
+    base = index;
+    counts.push_back(0);
+  } else if (index < base) {
+    counts.insert(counts.begin(), static_cast<std::size_t>(base - index), 0);
+    base = index;
+  } else if (index >= base + static_cast<int>(counts.size())) {
+    counts.resize(static_cast<std::size_t>(index - base) + 1, 0);
+  }
+  ++counts[static_cast<std::size_t>(index - base)];
+  ++total;
+}
+
+void QuantileSketch::DenseStore::merge(const DenseStore& other) {
+  if (other.counts.empty()) return;
+  if (counts.empty()) {
+    *this = other;
+    return;
+  }
+  const int lo = std::min(base, other.base);
+  const int hi = std::max(base + static_cast<int>(counts.size()),
+                          other.base + static_cast<int>(other.counts.size()));
+  std::vector<std::uint64_t> merged(static_cast<std::size_t>(hi - lo), 0);
+  for (std::size_t i = 0; i < counts.size(); ++i) {
+    merged[static_cast<std::size_t>(base - lo) + i] += counts[i];
+  }
+  for (std::size_t i = 0; i < other.counts.size(); ++i) {
+    merged[static_cast<std::size_t>(other.base - lo) + i] += other.counts[i];
+  }
+  counts = std::move(merged);
+  base = lo;
+  total += other.total;
+}
+
+int QuantileSketch::bucket_index(double magnitude) const {
+  const double clamped =
+      std::min(std::max(magnitude, kMinMagnitude), kMaxMagnitude);
+  return static_cast<int>(std::ceil(std::log(clamped) * inv_log_gamma_));
+}
+
+double QuantileSketch::bucket_value(int index) const {
+  // Bucket i covers (gamma^(i-1), gamma^i]; the geometric midpoint is
+  // within alpha of every value in the bucket.
+  return 2.0 * std::pow(gamma_, index) / (gamma_ + 1.0);
+}
+
+void QuantileSketch::add(double x) {
+  WILD5G_REQUIRE(!std::isnan(x), "QuantileSketch::add: NaN sample");
+  if (count_ == 0) {
+    min_ = x;
+    max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  if (x > 0.0) {
+    positive_.bump(bucket_index(x));
+  } else if (x < 0.0) {
+    negative_.bump(bucket_index(-x));
+  } else {
+    ++zero_count_;
+  }
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  // wild5g-lint: allow(float-equality) configs are copied verbatim, never
+  // recomputed, so exact equality is the correct compatibility check.
+  require(alpha_ == other.alpha_,
+          "QuantileSketch::merge: relative accuracies differ");
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    min_ = other.min_;
+    max_ = other.max_;
+  } else {
+    min_ = std::min(min_, other.min_);
+    max_ = std::max(max_, other.max_);
+  }
+  count_ += other.count_;
+  zero_count_ += other.zero_count_;
+  positive_.merge(other.positive_);
+  negative_.merge(other.negative_);
+}
+
+double QuantileSketch::min() const {
+  require(count_ > 0, "QuantileSketch::min: empty sketch");
+  return min_;
+}
+
+double QuantileSketch::max() const {
+  require(count_ > 0, "QuantileSketch::max: empty sketch");
+  return max_;
+}
+
+double QuantileSketch::quantile(double p) const {
+  require(count_ > 0, "QuantileSketch::quantile: empty sketch");
+  require(p >= 0.0 && p <= 100.0, "QuantileSketch::quantile: p out of [0,100]");
+  // Target the order statistic at floor(rank), matching the lower anchor of
+  // stats::percentile's interpolation.
+  const double rank = (p / 100.0) * static_cast<double>(count_ - 1);
+  const auto k = static_cast<std::uint64_t>(rank);
+  if (k == 0) return min_;
+  if (k >= count_ - 1) return max_;
+
+  std::uint64_t seen = 0;
+  double estimate = max_;
+  // Ascending value order: most-negative first (largest |x| bucket), then
+  // zeros, then positives.
+  bool found = false;
+  if (negative_.total > 0) {
+    for (int i = negative_.base + static_cast<int>(negative_.counts.size()) - 1;
+         i >= negative_.base; --i) {
+      seen += negative_.counts[static_cast<std::size_t>(i - negative_.base)];
+      if (seen > k) {
+        estimate = -bucket_value(i);
+        found = true;
+        break;
+      }
+    }
+  }
+  if (!found && zero_count_ > 0) {
+    seen += zero_count_;
+    if (seen > k) {
+      estimate = 0.0;
+      found = true;
+    }
+  }
+  if (!found) {
+    for (int i = positive_.base;
+         i < positive_.base + static_cast<int>(positive_.counts.size()); ++i) {
+      seen += positive_.counts[static_cast<std::size_t>(i - positive_.base)];
+      if (seen > k) {
+        estimate = bucket_value(i);
+        break;
+      }
+    }
+  }
+  // The exact extremes are known; never report outside them.
+  return std::min(std::max(estimate, min_), max_);
+}
+
+std::size_t QuantileSketch::memory_bytes() const {
+  return sizeof(*this) + positive_.memory_bytes() + negative_.memory_bytes();
+}
+
+// ---------------------------------------------------------------------------
+// SampleAccumulator
+
+SampleAccumulator::SampleAccumulator(std::size_t exact_limit,
+                                     double relative_accuracy)
+    : exact_limit_(exact_limit), relative_accuracy_(relative_accuracy) {
+  require(relative_accuracy > 0.0 && relative_accuracy < 1.0,
+          "SampleAccumulator: relative accuracy must be in (0, 1)");
+}
+
+void SampleAccumulator::spill_to_sketch() {
+  QuantileSketch sketch(relative_accuracy_);
+  for (double x : exact_) sketch.add(x);
+  sketch_ = std::move(sketch);
+  exact_.clear();
+  exact_.shrink_to_fit();
+}
+
+void SampleAccumulator::add(double x) {
+  WILD5G_REQUIRE(!std::isnan(x), "SampleAccumulator::add: NaN sample");
+  sum_ += x;
+  if (sketch_.has_value()) {
+    sketch_->add(x);
+    return;
+  }
+  exact_.push_back(x);
+  if (exact_.size() > exact_limit_) spill_to_sketch();
+}
+
+void SampleAccumulator::add(std::span<const double> xs) {
+  for (double x : xs) add(x);
+}
+
+void SampleAccumulator::merge(const SampleAccumulator& other) {
+  require(exact_limit_ == other.exact_limit_,
+          "SampleAccumulator::merge: exact limits differ");
+  // wild5g-lint: allow(float-equality) configs are copied verbatim, never
+  // recomputed, so exact equality is the correct compatibility check.
+  require(relative_accuracy_ == other.relative_accuracy_,
+          "SampleAccumulator::merge: relative accuracies differ");
+  sum_ += other.sum_;
+  if (!sketch_.has_value() && !other.sketch_.has_value() &&
+      exact_.size() + other.exact_.size() <= exact_limit_) {
+    exact_.insert(exact_.end(), other.exact_.begin(), other.exact_.end());
+    return;
+  }
+  if (!sketch_.has_value()) spill_to_sketch();
+  if (other.sketch_.has_value()) {
+    sketch_->merge(*other.sketch_);
+  } else {
+    for (double x : other.exact_) sketch_->add(x);
+  }
+}
+
+std::uint64_t SampleAccumulator::count() const {
+  return sketch_.has_value() ? sketch_->count() : exact_.size();
+}
+
+double SampleAccumulator::percentile(double p) const {
+  if (sketch_.has_value()) return sketch_->quantile(p);
+  return stats::percentile(exact_, p);
+}
+
+double SampleAccumulator::mean() const {
+  require(count() > 0, "SampleAccumulator::mean: empty sample");
+  return sum_ / static_cast<double>(count());
+}
+
+double SampleAccumulator::min() const {
+  if (sketch_.has_value()) return sketch_->min();
+  require(!exact_.empty(), "SampleAccumulator::min: empty sample");
+  return *std::min_element(exact_.begin(), exact_.end());
+}
+
+double SampleAccumulator::max() const {
+  if (sketch_.has_value()) return sketch_->max();
+  require(!exact_.empty(), "SampleAccumulator::max: empty sample");
+  return *std::max_element(exact_.begin(), exact_.end());
+}
+
+std::size_t SampleAccumulator::memory_bytes() const {
+  return sizeof(*this) + exact_.capacity() * sizeof(double) +
+         (sketch_.has_value() ? sketch_->memory_bytes() : 0);
+}
+
+}  // namespace wild5g::stats

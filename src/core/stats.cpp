@@ -38,6 +38,11 @@ double percentile(std::span<const double> xs, double p) {
   require(!xs.empty(), "stats::percentile: empty sample");
   require(p >= 0.0 && p <= 100.0, "stats::percentile: p out of [0,100]");
   std::vector<double> sorted(xs.begin(), xs.end());
+  // NaN would silently poison the sort order (NaN compares false against
+  // everything), yielding an arbitrary but plausible-looking percentile.
+  for (double x : sorted) {
+    WILD5G_REQUIRE(!std::isnan(x), "stats::percentile: NaN sample");
+  }
   std::sort(sorted.begin(), sorted.end());
   if (sorted.size() == 1) return sorted.front();
   const double rank = (p / 100.0) * static_cast<double>(sorted.size() - 1);

@@ -5,6 +5,7 @@
 
 #include "core/error.h"
 #include "core/parallel.h"
+#include "core/quantile_sketch.h"
 #include "core/stats.h"
 
 namespace wild5g::net {
@@ -212,23 +213,23 @@ SpeedtestResult SpeedtestHarness::peak_of(const SpeedtestServer& server,
       });
   // Index-ordered reduction on the caller's thread. Failed trials
   // contribute their error counts but not their (zeroed) metrics.
-  std::vector<double> dl;
-  std::vector<double> ul;
-  std::vector<double> rtt;
+  stats::SampleAccumulator dl;
+  stats::SampleAccumulator ul;
+  stats::SampleAccumulator rtt;
   int errors = 0;
   for (const auto& r : trials) {
     errors += r.errors;
     if (r.failed) continue;
-    dl.push_back(r.downlink_mbps);
-    ul.push_back(r.uplink_mbps);
-    rtt.push_back(r.rtt_ms);
+    dl.add(r.downlink_mbps);
+    ul.add(r.uplink_mbps);
+    rtt.add(r.rtt_ms);
   }
   if (dl.empty()) {
     // Every trial failed: degrade to an explicit empty result.
     return {0.0, 0.0, 0.0, errors, true};
   }
-  return {stats::percentile(dl, 95.0), stats::percentile(ul, 95.0),
-          stats::percentile(rtt, 5.0), errors, false};
+  return {dl.percentile(95.0), ul.percentile(95.0), rtt.percentile(5.0),
+          errors, false};
 }
 
 }  // namespace wild5g::net

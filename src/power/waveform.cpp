@@ -47,48 +47,72 @@ WaveformSynthesizer::WaveformSynthesizer(rrc::RrcProfile profile,
 
 namespace {
 
+/// How one planned run of samples is rendered.
+enum class FillKind : std::uint8_t {
+  kConstant,     // promotion burst, or transfer under constant signal
+  kTransfer,     // transfer under an rsrp trajectory: per-tick rail eval
+  kDrx,          // square-wave cycling between a hoisted on/sleep pair
+};
+
+/// SoA segment plan: one entry per maximal run of samples sharing a
+/// timeline segment. Per-tick work drops to an fmod (DRX) or a rail
+/// evaluation (trajectory transfers); everything else is hoisted here.
+struct SegmentPlan {
+  std::vector<std::size_t> begin;     // first sample index of the run
+  std::vector<std::size_t> end;       // one past the last sample index
+  std::vector<FillKind> kind;
+  std::vector<double> const_mw;       // kConstant level
+  std::vector<double> on_mw;          // kDrx elevated level
+  std::vector<double> sleep_mw;       // kDrx light-sleep level
+  std::vector<double> cycle_ms;       // kDrx cycle length
+  std::vector<double> on_fraction;    // kDrx duty cycle
+  std::vector<std::size_t> segment;   // timeline index (kTransfer rail eval)
+
+  void push(std::size_t b, std::size_t e, FillKind k, std::size_t seg) {
+    begin.push_back(b);
+    end.push_back(e);
+    kind.push_back(k);
+    const_mw.push_back(0.0);
+    on_mw.push_back(0.0);
+    sleep_mw.push_back(0.0);
+    cycle_ms.push_back(0.0);
+    on_fraction.push_back(0.0);
+    segment.push_back(seg);
+  }
+};
+
 /// DRX square wave averaging to `mean_mw`: `on_fraction` of each cycle at an
-/// elevated level, the remainder in light sleep.
-double drx_wave_mw(double t_ms, double cycle_ms, double mean_mw,
-                   double on_fraction, double sleep_ratio) {
-  if (cycle_ms <= 0.0) return mean_mw;
-  const double phase = std::fmod(t_ms, cycle_ms) / cycle_ms;
-  // on_fraction*on + (1-on_fraction)*sleep = mean, sleep = sleep_ratio*mean.
+/// elevated level, the remainder in light sleep. Solves
+/// on_fraction*on + (1-on_fraction)*sleep = mean with sleep = ratio*mean —
+/// a pure function of the segment, hoisted out of the sample loop.
+struct DrxLevels {
+  double on;
+  double sleep;
+};
+DrxLevels drx_levels(double mean_mw, double on_fraction, double sleep_ratio) {
   const double sleep = sleep_ratio * mean_mw;
-  const double on =
-      (mean_mw - (1.0 - on_fraction) * sleep) / on_fraction;
-  return phase < on_fraction ? on : sleep;
+  const double on = (mean_mw - (1.0 - on_fraction) * sleep) / on_fraction;
+  return {on, sleep};
+}
+
+/// First sample index in [lo, hi] whose timestamp i*dt_ms reaches `end_ms`.
+/// Uses the exact predicate the per-tick scan used, so run boundaries are
+/// bit-identical to the old code's segment advances; i*dt_ms is monotone in
+/// i, so binary search is sound.
+std::size_t boundary_after(double end_ms, double dt_ms, std::size_t lo,
+                           std::size_t hi) {
+  while (lo < hi) {
+    const std::size_t mid = lo + (hi - lo) / 2;
+    if (static_cast<double>(mid) * dt_ms >= end_ms) {
+      hi = mid;
+    } else {
+      lo = mid + 1;
+    }
+  }
+  return lo;
 }
 
 }  // namespace
-
-double WaveformSynthesizer::instantaneous_mw(const rrc::StateSegment& segment,
-                                             double t_ms,
-                                             double rsrp_dbm) const {
-  const auto& cfg = profile_.config;
-  const auto& pw = profile_.power;
-  if (segment.promoting) {
-    // Signaling burst; NSA additionally pays the 4G->5G switch (Table 2).
-    return std::max(pw.promotion_mw,
-                    cfg.is_nsa_5g() ? pw.switch_mw : pw.promotion_mw);
-  }
-  if (segment.transferring) {
-    return device_.transfer_power_mw(rail_, segment.dl_mbps, segment.ul_mbps,
-                                     rsrp_dbm);
-  }
-  switch (segment.state) {
-    case rrc::RrcState::kConnected:
-      return drx_wave_mw(t_ms, cfg.long_drx_cycle_ms, pw.tail_mw, 0.2, 0.35);
-    case rrc::RrcState::kConnectedAnchor:
-      return drx_wave_mw(t_ms, cfg.long_drx_cycle_ms, pw.anchor_tail_mw, 0.2,
-                         0.35);
-    case rrc::RrcState::kInactive:
-      return drx_wave_mw(t_ms, 320.0, pw.inactive_mw, 0.1, 0.45);
-    case rrc::RrcState::kIdle:
-      return drx_wave_mw(t_ms, cfg.idle_drx_cycle_ms, pw.idle_mw, 0.05, 0.6);
-  }
-  return pw.idle_mw;
-}
 
 PowerTrace WaveformSynthesizer::synthesize(
     std::span<const rrc::StateSegment> timeline, Rng& rng,
@@ -100,19 +124,125 @@ PowerTrace WaveformSynthesizer::synthesize(
   const double dt_ms = 1000.0 / sample_rate_hz_;
   const auto sample_count =
       static_cast<std::size_t>(std::llround(horizon_ms / dt_ms));
-  trace.samples_mw.reserve(sample_count);
 
+  const auto& cfg = profile_.config;
+  const auto& pw = profile_.power;
+
+  // Pass 1: segment plan. Walk the timeline once, mapping each segment to
+  // its run of sample indices and hoisting every per-segment constant.
+  SegmentPlan plan;
   std::size_t seg = 0;
-  for (std::size_t i = 0; i < sample_count; ++i) {
+  std::size_t i = 0;
+  while (i < sample_count) {
     const double t = static_cast<double>(i) * dt_ms;
     while (seg + 1 < timeline.size() && t >= timeline[seg].end_ms) ++seg;
-    const double rsrp =
-        rsrp_at ? rsrp_at(t) : device_.good_rsrp_dbm(rail_);
-    const double clean = instantaneous_mw(timeline[seg], t, rsrp);
-    // Measurement + conversion noise: ~2% multiplicative, 4 mW floor.
+    const std::size_t run_end =
+        seg + 1 < timeline.size()
+            ? boundary_after(timeline[seg].end_ms, dt_ms, i + 1, sample_count)
+            : sample_count;
+    const rrc::StateSegment& segment = timeline[seg];
+    if (segment.promoting) {
+      // Signaling burst; NSA additionally pays the 4G->5G switch (Table 2).
+      plan.push(i, run_end, FillKind::kConstant, seg);
+      plan.const_mw.back() = std::max(
+          pw.promotion_mw, cfg.is_nsa_5g() ? pw.switch_mw : pw.promotion_mw);
+    } else if (segment.transferring) {
+      if (rsrp_at) {
+        plan.push(i, run_end, FillKind::kTransfer, seg);
+      } else {
+        // Constant-signal campaign: the rail evaluation is a pure function
+        // of the segment, so it runs once here instead of once per tick.
+        plan.push(i, run_end, FillKind::kConstant, seg);
+        plan.const_mw.back() = device_.transfer_power_mw(
+            rail_, segment.dl_mbps, segment.ul_mbps,
+            device_.good_rsrp_dbm(rail_));
+      }
+    } else {
+      double mean_mw = pw.idle_mw;
+      double cycle = cfg.idle_drx_cycle_ms;
+      double on_fraction = 0.05;
+      double sleep_ratio = 0.6;
+      switch (segment.state) {
+        case rrc::RrcState::kConnected:
+          mean_mw = pw.tail_mw;
+          cycle = cfg.long_drx_cycle_ms;
+          on_fraction = 0.2;
+          sleep_ratio = 0.35;
+          break;
+        case rrc::RrcState::kConnectedAnchor:
+          mean_mw = pw.anchor_tail_mw;
+          cycle = cfg.long_drx_cycle_ms;
+          on_fraction = 0.2;
+          sleep_ratio = 0.35;
+          break;
+        case rrc::RrcState::kInactive:
+          mean_mw = pw.inactive_mw;
+          cycle = 320.0;
+          on_fraction = 0.1;
+          sleep_ratio = 0.45;
+          break;
+        case rrc::RrcState::kIdle:
+          break;
+      }
+      if (cycle <= 0.0) {
+        plan.push(i, run_end, FillKind::kConstant, seg);
+        plan.const_mw.back() = mean_mw;
+      } else {
+        plan.push(i, run_end, FillKind::kDrx, seg);
+        const DrxLevels levels = drx_levels(mean_mw, on_fraction, sleep_ratio);
+        plan.on_mw.back() = levels.on;
+        plan.sleep_mw.back() = levels.sleep;
+        plan.cycle_ms.back() = cycle;
+        plan.on_fraction.back() = on_fraction;
+      }
+    }
+    i = run_end;
+  }
+
+  // Pass 2: render clean power, one batched run at a time.
+  std::vector<double>& samples = trace.samples_mw;
+  samples.resize(sample_count);
+  for (std::size_t run = 0; run < plan.begin.size(); ++run) {
+    const std::size_t b = plan.begin[run];
+    const std::size_t e = plan.end[run];
+    switch (plan.kind[run]) {
+      case FillKind::kConstant:
+        std::fill(samples.begin() + static_cast<std::ptrdiff_t>(b),
+                  samples.begin() + static_cast<std::ptrdiff_t>(e),
+                  plan.const_mw[run]);
+        break;
+      case FillKind::kTransfer: {
+        const rrc::StateSegment& segment = timeline[plan.segment[run]];
+        for (std::size_t s = b; s < e; ++s) {
+          const double t = static_cast<double>(s) * dt_ms;
+          samples[s] = device_.transfer_power_mw(
+              rail_, segment.dl_mbps, segment.ul_mbps, rsrp_at(t));
+        }
+        break;
+      }
+      case FillKind::kDrx: {
+        const double cycle = plan.cycle_ms[run];
+        const double on_fraction = plan.on_fraction[run];
+        const double on = plan.on_mw[run];
+        const double sleep = plan.sleep_mw[run];
+        for (std::size_t s = b; s < e; ++s) {
+          const double t = static_cast<double>(s) * dt_ms;
+          const double phase = std::fmod(t, cycle) / cycle;
+          samples[s] = phase < on_fraction ? on : sleep;
+        }
+        break;
+      }
+    }
+  }
+
+  // Pass 3: measurement + conversion noise, ~2% multiplicative with a 4 mW
+  // floor. One stream in tick order, two draws per tick — the exact draw
+  // sequence of the per-tick path, so traces are bit-identical to it.
+  for (std::size_t s = 0; s < sample_count; ++s) {
+    const double clean = samples[s];
     const double noisy = clean * (1.0 + rng.normal(0.0, 0.02)) +
                          rng.normal(0.0, 4.0);
-    trace.samples_mw.push_back(std::max(0.0, noisy));
+    samples[s] = std::max(0.0, noisy);
   }
   return trace;
 }

@@ -4,6 +4,15 @@
 // trajectory) into the high-rate radio power waveform a hardware power
 // monitor would record: transfer power from the device rails, DRX on/off
 // cycling in the tails, paging spikes in IDLE, and promotion bursts.
+//
+// Hot-path layout: synthesis is batched per RRC-state segment, not per
+// tick. A first pass builds an SoA segment plan (sample-index runs plus
+// hoisted per-segment constants: promotion level, rail transfer power under
+// constant signal, DRX on/sleep levels), a second pass renders each run,
+// and a third pass applies measurement noise as one stream in tick order.
+// Traces are bit-identical to the original per-tick evaluation; the
+// per-table equivalence digests in tests/test_power_waveform_equiv.cpp pin
+// that equivalence against the pre-batching implementation.
 #pragma once
 
 #include <functional>
@@ -36,7 +45,9 @@ struct PowerTrace {
 class WaveformSynthesizer {
  public:
   /// `rsrp_at(t_ms)` supplies the signal trajectory; pass nullptr for a
-  /// constant good-signal campaign.
+  /// constant good-signal campaign. Must be a pure function of t_ms: the
+  /// batched renderer only evaluates it for samples whose power depends on
+  /// signal (transfer segments), in time order within each segment.
   using RsrpFn = std::function<double(double t_ms)>;
 
   WaveformSynthesizer(rrc::RrcProfile profile, DevicePowerProfile device,
@@ -54,9 +65,6 @@ class WaveformSynthesizer {
   DevicePowerProfile device_;
   RailKey rail_;
   double sample_rate_hz_;
-
-  [[nodiscard]] double instantaneous_mw(const rrc::StateSegment& segment,
-                                        double t_ms, double rsrp_dbm) const;
 };
 
 }  // namespace wild5g::power

@@ -5,6 +5,7 @@
 #include <map>
 
 #include "core/error.h"
+#include "core/quantile_sketch.h"
 #include "core/stats.h"
 
 namespace wild5g::rrc {
@@ -94,22 +95,23 @@ std::vector<std::size_t> find_level_jumps(const std::vector<GapStats>& gaps) {
   return jumps;
 }
 
-/// Pooled raw RTTs over gap indices [from, to).
-std::vector<double> pool(const std::vector<GapStats>& gaps, std::size_t from,
-                         std::size_t to) {
-  std::vector<double> all;
+/// Pooled raw RTTs over gap indices [from, to), streamed into an
+/// accumulator: probe ladders can pool thousands of RTTs per plateau, and
+/// the accumulator keeps memory bounded while staying exact at this scale.
+stats::SampleAccumulator pool(const std::vector<GapStats>& gaps,
+                              std::size_t from, std::size_t to) {
+  stats::SampleAccumulator all;
   for (std::size_t i = from; i < to; ++i) {
-    all.insert(all.end(), gaps[i].rtts.begin(), gaps[i].rtts.end());
+    all.add(std::span<const double>(gaps[i].rtts));
   }
   return all;
 }
 
 /// DRX cycle estimate from the RTT spread in a plateau: the wait is uniform
 /// over one cycle, so (p90 - p10) covers 80% of it.
-double drx_from_spread(std::span<const double> rtts) {
-  if (rtts.size() < 10) return 0.0;
-  return (stats::percentile(rtts, 90.0) - stats::percentile(rtts, 10.0)) /
-         0.8;
+double drx_from_spread(const stats::SampleAccumulator& rtts) {
+  if (rtts.count() < 10) return 0.0;
+  return (rtts.percentile(90.0) - rtts.percentile(10.0)) / 0.8;
 }
 
 }  // namespace
@@ -131,7 +133,7 @@ InferenceResult infer_rrc_parameters(std::vector<ProbeSample> samples) {
       0.5 * (gaps[first_jump - 1].gap_ms + gaps[first_jump].gap_ms);
 
   const auto connected = pool(gaps, 0, first_jump);
-  result.connected_level_rtt_ms = stats::median(connected);
+  result.connected_level_rtt_ms = connected.median();
   result.long_drx_estimate_ms = drx_from_spread(connected);
 
   std::size_t idle_from = first_jump;
@@ -140,18 +142,18 @@ InferenceResult infer_rrc_parameters(std::vector<ProbeSample> samples) {
     result.mid_plateau_end_ms =
         0.5 * (gaps[second_jump - 1].gap_ms + gaps[second_jump].gap_ms);
     const auto mid = pool(gaps, first_jump, second_jump);
-    result.mid_level_rtt_ms = stats::median(mid);
+    result.mid_level_rtt_ms = mid.median();
     idle_from = second_jump;
   }
 
   const auto idle = pool(gaps, idle_from, gaps.size());
-  result.idle_level_rtt_ms = stats::median(idle);
+  result.idle_level_rtt_ms = idle.median();
   result.idle_drx_estimate_ms = drx_from_spread(idle);
 
   // Base RTT estimate: fastest connected-state observations.
-  const double base_estimate = stats::percentile(connected, 5.0);
+  const double base_estimate = connected.percentile(5.0);
   result.promotion_estimate_ms =
-      std::max(0.0, stats::mean(idle) - base_estimate -
+      std::max(0.0, idle.mean() - base_estimate -
                         result.idle_drx_estimate_ms / 2.0);
   return result;
 }

@@ -1,31 +1,83 @@
 #include "sim/simulator.h"
 
-#include "core/error.h"
-
 namespace wild5g::sim {
 
-EventId Simulator::schedule_at(double at_ms, Handler handler) {
-  WILD5G_REQUIRE(at_ms >= now_ms_, "Simulator::schedule_at: time in the past");
-  WILD5G_REQUIRE(static_cast<bool>(handler),
-                 "Simulator::schedule_at: null handler");
-  const EventId id = next_id_++;
+namespace {
+
+constexpr std::uint32_t slot_of(EventId id) {
+  return static_cast<std::uint32_t>(id);
+}
+constexpr std::uint32_t generation_of(EventId id) {
+  return static_cast<std::uint32_t>(id >> 32);
+}
+constexpr EventId make_id(std::uint32_t generation, std::uint32_t slot) {
+  return (static_cast<EventId>(generation) << 32) | slot;
+}
+
+}  // namespace
+
+Simulator::~Simulator() {
+  // Destroy payloads of never-fired events; the arena frees its chunks.
+  for (Slot& slot : slots_) {
+    if (slot.node != nullptr && slot.node->destroy != nullptr) {
+      slot.node->destroy(payload_of(slot.node));
+    }
+  }
+}
+
+EventId Simulator::enqueue(double at_ms, Node* node) {
+  std::uint32_t index;
+  if (!free_slots_.empty()) {
+    index = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    index = static_cast<std::uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[index];
+  slot.node = node;
+  ++live_;
+  const EventId id = make_id(slot.generation, index);
   queue_.push(Event{at_ms, next_seq_++, id});
-  handlers_.emplace(id, std::move(handler));
   return id;
 }
 
-EventId Simulator::schedule_in(double delay_ms, Handler handler) {
-  WILD5G_REQUIRE(delay_ms >= 0.0, "Simulator::schedule_in: negative delay");
-  return schedule_at(now_ms_ + delay_ms, std::move(handler));
+Simulator::Slot* Simulator::live_slot(EventId id) {
+  const std::uint32_t index = slot_of(id);
+  if (index >= slots_.size()) return nullptr;
+  Slot& slot = slots_[index];
+  if (slot.node == nullptr || slot.generation != generation_of(id)) {
+    return nullptr;
+  }
+  return &slot;
 }
 
-void Simulator::cancel(EventId id) { handlers_.erase(id); }
+void Simulator::release_node(Node* node) {
+  if (node->destroy != nullptr) node->destroy(payload_of(node));
+  arena_.recycle(node, node->bytes);
+}
+
+void Simulator::release_slot(std::uint32_t index) {
+  Slot& slot = slots_[index];
+  slot.node = nullptr;
+  ++slot.generation;  // stale ids (and a wrapped 0) can never match again
+  free_slots_.push_back(index);
+  --live_;
+}
+
+void Simulator::cancel(EventId id) {
+  Slot* slot = live_slot(id);
+  if (slot == nullptr) return;
+  release_node(slot->node);
+  release_slot(slot_of(id));
+  // The queue entry stays behind; pop_next() skips it by generation check.
+}
 
 bool Simulator::pop_next(Event& out) {
   while (!queue_.empty()) {
     const Event top = queue_.top();
     queue_.pop();
-    if (handlers_.contains(top.id)) {
+    if (live_slot(top.id) != nullptr) {
       out = top;
       return true;
     }
@@ -34,16 +86,27 @@ bool Simulator::pop_next(Event& out) {
   return false;
 }
 
+void Simulator::dispatch(const Event& event) {
+  Slot* slot = live_slot(event.id);
+  Node* node = slot->node;
+  // Release before invoking: the running handler must not be cancellable
+  // (self-cancel is a no-op) and must not count as pending.
+  release_slot(slot_of(event.id));
+  // The node itself survives the call — the handler executes from arena
+  // memory — and is recycled afterwards even if it throws.
+  struct NodeGuard {
+    Simulator* simulator;
+    Node* node;
+    ~NodeGuard() { simulator->release_node(node); }
+  } guard{this, node};
+  node->invoke(payload_of(node));
+}
+
 void Simulator::run() {
   Event event{};
   while (pop_next(event)) {
     now_ms_ = event.at_ms;
-    auto it = handlers_.find(event.id);
-    Handler handler = std::move(it->second);
-    // Erase before invoking: the running handler must not be cancellable
-    // (self-cancel is a no-op) and must not block re-use of its id slot.
-    handlers_.erase(it);
-    handler();
+    dispatch(event);
   }
 }
 
@@ -60,10 +123,7 @@ void Simulator::run_until(double until_ms) {
       break;
     }
     now_ms_ = event.at_ms;
-    auto it = handlers_.find(event.id);
-    Handler handler = std::move(it->second);
-    handlers_.erase(it);
-    handler();
+    dispatch(event);
   }
   // Contract: the clock always lands exactly on the horizon, even when the
   // queue drained early — callers tile timelines with consecutive

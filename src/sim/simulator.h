@@ -3,39 +3,94 @@
 // Drives the RRC-probe experiments and any component that needs timers
 // (inactivity timers, DRX cycles, chunk downloads). Events scheduled for the
 // same instant fire in scheduling order, so runs are fully deterministic.
+//
+// Hot-path layout: handlers are stored as type-erased nodes in a core::Arena
+// (bump chunks + size-class free lists) and looked up through a
+// generation-checked slot table, so steady-state schedule/fire/cancel churn
+// performs zero heap allocations and no hashing. A handler whose captures
+// fit the node is stored inline in arena memory; std::function only appears
+// if a caller passes one explicitly.
 #pragma once
 
 #include <cstdint>
 #include <functional>
 #include <queue>
-#include <unordered_map>
+#include <type_traits>
+#include <utility>
 #include <vector>
+
+#include "core/arena.h"
+#include "core/error.h"
 
 namespace wild5g::sim {
 
-/// Opaque handle for a scheduled event, usable to cancel it.
+/// Opaque handle for a scheduled event, usable to cancel it. Encodes
+/// (generation, slot); 0 is never a live event, so value-initialized ids
+/// are safe to cancel.
 using EventId = std::uint64_t;
 
 class Simulator {
  public:
+  /// Callers may still traffic in std::function; any callable works.
   using Handler = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+  ~Simulator();
 
   /// Current simulated time in milliseconds.
   [[nodiscard]] double now_ms() const { return now_ms_; }
 
-  /// Schedules `handler` at absolute simulated time `at_ms` (>= now).
-  EventId schedule_at(double at_ms, Handler handler);
+  /// Schedules `handler` at absolute simulated time `at_ms` (>= now). The
+  /// callable is moved into an arena-backed node; callables convertible to
+  /// bool (function pointers, std::function) are null-checked here.
+  template <typename F,
+            typename = std::enable_if_t<std::is_invocable_v<std::decay_t<F>&>>>
+  EventId schedule_at(double at_ms, F&& handler) {
+    WILD5G_REQUIRE(at_ms >= now_ms_,
+                   "Simulator::schedule_at: time in the past");
+    using Fn = std::decay_t<F>;
+    if constexpr (std::is_constructible_v<bool, const Fn&>) {
+      WILD5G_REQUIRE(static_cast<bool>(handler),
+                     "Simulator::schedule_at: null handler");
+    }
+    Node* node = static_cast<Node*>(
+        arena_.allocate(kPayloadOffset + sizeof(Fn)));
+    node->invoke = [](void* payload) { (*static_cast<Fn*>(payload))(); };
+    if constexpr (std::is_trivially_destructible_v<Fn>) {
+      node->destroy = nullptr;
+    } else {
+      node->destroy = [](void* payload) { static_cast<Fn*>(payload)->~Fn(); };
+    }
+    node->bytes = static_cast<std::uint32_t>(kPayloadOffset + sizeof(Fn));
+    ::new (payload_of(node)) Fn(std::forward<F>(handler));
+    return enqueue(at_ms, node);
+  }
+
+  /// nullptr is not a handler; kept as an overload so the error is thrown
+  /// at schedule time rather than failing to compile in a template context.
+  EventId schedule_at(double at_ms, std::nullptr_t) {
+    WILD5G_REQUIRE(at_ms >= now_ms_,
+                   "Simulator::schedule_at: time in the past");
+    WILD5G_REQUIRE(false, "Simulator::schedule_at: null handler");
+    return 0;
+  }
 
   /// Schedules `handler` `delay_ms` from now (delay >= 0).
-  EventId schedule_in(double delay_ms, Handler handler);
+  template <typename F>
+  EventId schedule_in(double delay_ms, F&& handler) {
+    WILD5G_REQUIRE(delay_ms >= 0.0, "Simulator::schedule_in: negative delay");
+    return schedule_at(now_ms_ + delay_ms, std::forward<F>(handler));
+  }
 
   /// Cancels a pending event. Cancelling an already-fired or unknown event
   /// is a no-op (timers race with the activity that restarts them). This
   /// extends to the dispatch path: a handler that cancels *itself* (its own
   /// id) or another event scheduled for the same instant is also a no-op /
-  /// takes effect respectively — the running handler's entry is removed from
-  /// the registry before invocation, so self-cancel finds nothing, and a
-  /// same-instant victim simply never fires.
+  /// takes effect respectively — the running handler's slot is released
+  /// before invocation, so self-cancel finds nothing, and a same-instant
+  /// victim simply never fires.
   void cancel(EventId id);
 
   /// Runs until the event queue drains.
@@ -52,9 +107,38 @@ class Simulator {
   void run_until(double until_ms);
 
   /// Number of scheduled-but-not-yet-fired (and not cancelled) events.
-  [[nodiscard]] std::size_t pending_count() const { return handlers_.size(); }
+  [[nodiscard]] std::size_t pending_count() const { return live_; }
+
+  /// Heap bytes retained by the event arena; event churn must reach a
+  /// steady state here (asserted by tests), never grow per event.
+  [[nodiscard]] std::size_t arena_bytes_reserved() const {
+    return arena_.bytes_reserved();
+  }
 
  private:
+  /// Type-erased handler node living in the arena; the callable's bytes
+  /// start at kPayloadOffset so any fundamental alignment works.
+  struct Node {
+    void (*invoke)(void* payload);
+    void (*destroy)(void* payload);  // nullptr when trivially destructible
+    std::uint32_t bytes;             // whole block size, for recycle()
+  };
+  static constexpr std::size_t kPayloadOffset = 32;
+  static_assert(sizeof(Node) <= kPayloadOffset);
+  static_assert(kPayloadOffset % Arena::kQuantum == 0,
+                "payload must keep the arena's alignment");
+
+  static void* payload_of(Node* node) {
+    return reinterpret_cast<unsigned char*>(node) + kPayloadOffset;
+  }
+
+  /// Handler registry slot; a slot is live while `node` is set, and its
+  /// generation advances on every release so stale EventIds miss.
+  struct Slot {
+    Node* node = nullptr;
+    std::uint32_t generation = 1;
+  };
+
   struct Event {
     double at_ms;
     std::uint64_t seq;  // tie-break: FIFO for simultaneous events
@@ -67,14 +151,26 @@ class Simulator {
     }
   };
 
+  EventId enqueue(double at_ms, Node* node);
+  /// The slot for a live id, or nullptr (fired/cancelled/unknown).
+  [[nodiscard]] Slot* live_slot(EventId id);
+  /// Destroys the payload and recycles the node's arena block.
+  void release_node(Node* node);
+  /// Frees the slot for reuse and bumps its generation.
+  void release_slot(std::uint32_t index);
   /// Pops the next live event; returns false when the queue is empty.
   bool pop_next(Event& out);
+  /// Fires `event`: releases the slot (self-cancel is a no-op), invokes the
+  /// handler in place, then recycles the node even on unwind.
+  void dispatch(const Event& event);
 
   double now_ms_ = 0.0;
   std::uint64_t next_seq_ = 0;
-  EventId next_id_ = 1;
+  std::size_t live_ = 0;
   std::priority_queue<Event, std::vector<Event>, Later> queue_;
-  std::unordered_map<EventId, Handler> handlers_;
+  std::vector<Slot> slots_;
+  std::vector<std::uint32_t> free_slots_;
+  Arena arena_;
 };
 
 }  // namespace wild5g::sim

@@ -1,0 +1,30 @@
+// Fixture: a bench campaign hoarding samples in a vector and querying the
+// sort-on-query stats helpers. Virtual path puts this under bench/, so it
+// must trip exactly bench-sample-hoard (three call sites below).
+// Never compiled — wild5g_lint input only (see test_lint_fixtures.cpp).
+#include <vector>
+
+namespace stats {
+double percentile(const std::vector<double>& xs, double p);
+double median(const std::vector<double>& xs);
+double p95(const std::vector<double>& xs);
+}  // namespace stats
+
+double summarize_campaign(const std::vector<double>& per_run_mbps) {
+  std::vector<double> hoard(per_run_mbps);  // O(n) kept alive for one number
+  const double p90 = stats::percentile(hoard, 90.0);
+  const double mid = stats::median(hoard);
+  return p90 + mid + stats::p95(hoard);
+}
+
+// Member-style queries are the sanctioned streaming API and must NOT trip
+// the rule: SampleAccumulator exposes the same names behind '.'.
+struct Accumulator {
+  double percentile(double p) const;
+  double median() const;
+  double p95() const;
+};
+
+double summarize_streaming(const Accumulator& acc) {
+  return acc.percentile(90.0) + acc.median() + acc.p95();
+}

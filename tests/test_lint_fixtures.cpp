@@ -119,6 +119,12 @@ TEST(lint, fixture_catch_swallow) {
   expect_only_rule("bad_catch_swallow.cpp", "catch-swallow");
 }
 
+TEST(lint, fixture_bench_sample_hoard) {
+  // Virtual path maps tests/lint_fixtures/bench/... to bench/..., so the
+  // store-all percentile pattern trips the bench-only rule.
+  expect_only_rule("bench/bad_sample_hoard.cpp", "bench-sample-hoard");
+}
+
 TEST(lint, fixture_allow_needs_justification) {
   expect_only_rule("bad_allow_missing_justification.cpp",
                    "allow-needs-justification");
@@ -187,6 +193,7 @@ TEST(lint, every_bad_fixture_has_a_test) {
       "bad_unit_double_conversion.cpp", "bad_parallel_rng_capture.cpp",
       "bad_parallel_rng_stream.cpp", "src/core/bad_layering.cpp",
       "src/sim/bad_include_cycle.h", "bad_line_splice.cpp",
+      "bench/bad_sample_hoard.cpp",
       "good_allow.cpp",           "good_clean.cpp",
       "good_tokenizer_edges.cpp"};
   const LintRun listing =
@@ -214,7 +221,8 @@ TEST(lint, list_rules_covers_registry) {
   for (const std::string rule :
        {"ban-random-device", "ban-c-rand", "ban-wall-clock", "ban-raw-engine",
         "unordered-iteration", "float-equality", "printf-float",
-        "catch-swallow", "unit-mismatch-assign", "unit-mismatch-call",
+        "catch-swallow", "bench-sample-hoard", "unit-mismatch-assign",
+        "unit-mismatch-call",
         "unit-double-conversion", "parallel-rng-capture",
         "parallel-rng-stream", "layering", "include-cycle"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;

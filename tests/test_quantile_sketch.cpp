@@ -1,0 +1,318 @@
+// Tests for the streaming quantile sketch and the SampleAccumulator facade.
+//
+// The two load-bearing contracts (DESIGN.md section 10):
+//  - accuracy: quantile(p) is within the declared relative accuracy of the
+//    exact order statistic at rank floor(p/100 * (n-1));
+//  - determinism: sketch state is a pure function of the sample multiset,
+//    so merge-of-shards equals single-stream byte-for-byte and results
+//    cannot depend on parallel_map's thread count.
+#include "core/quantile_sketch.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/error.h"
+#include "core/parallel.h"
+#include "core/rng.h"
+#include "core/stats.h"
+
+namespace ws = wild5g::stats;
+using wild5g::Rng;
+
+namespace {
+
+/// Exact order statistic at the rank the sketch targets.
+double exact_order_stat(std::vector<double> xs, double p) {
+  std::sort(xs.begin(), xs.end());
+  const double rank =
+      (p / 100.0) * static_cast<double>(xs.size() - 1);
+  return xs[static_cast<std::size_t>(rank)];
+}
+
+void expect_within_declared_accuracy(const std::vector<double>& xs,
+                                     const char* label) {
+  ws::QuantileSketch sketch;
+  for (double x : xs) sketch.add(x);
+  for (double p : {1.0, 5.0, 10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0}) {
+    const double exact = exact_order_stat(xs, p);
+    const double estimate = sketch.quantile(p);
+    // Relative error bound; the tiny absolute floor covers magnitudes near
+    // the sketch's smallest bucket.
+    const double bound =
+        sketch.relative_accuracy() * std::abs(exact) + 1e-9;
+    EXPECT_NEAR(estimate, exact, bound)
+        << label << " p" << p << " over n=" << xs.size();
+  }
+}
+
+}  // namespace
+
+TEST(QuantileSketch, WithinDeclaredBoundOnUniform) {
+  Rng rng(11);
+  std::vector<double> xs;
+  for (int i = 0; i < 200000; ++i) xs.push_back(rng.uniform(0.5, 900.0));
+  expect_within_declared_accuracy(xs, "uniform");
+}
+
+TEST(QuantileSketch, WithinDeclaredBoundOnLognormal) {
+  Rng rng(12);
+  std::vector<double> xs;
+  for (int i = 0; i < 200000; ++i) xs.push_back(rng.lognormal(3.0, 1.5));
+  expect_within_declared_accuracy(xs, "lognormal");
+}
+
+TEST(QuantileSketch, WithinDeclaredBoundOnAdversarialSorted) {
+  // Already-sorted input (ascending, then a descending copy): order must
+  // not matter, and geometric ramps stress many adjacent buckets.
+  std::vector<double> xs;
+  for (int i = 0; i < 100000; ++i) {
+    xs.push_back(0.75 * std::pow(1.0001, i));
+  }
+  expect_within_declared_accuracy(xs, "sorted-ascending");
+  std::reverse(xs.begin(), xs.end());
+  expect_within_declared_accuracy(xs, "sorted-descending");
+}
+
+TEST(QuantileSketch, HandlesNegativeZeroAndMixedSigns) {
+  std::vector<double> xs;
+  Rng rng(13);
+  for (int i = 0; i < 50000; ++i) {
+    const double u = rng.uniform(-400.0, 400.0);
+    xs.push_back(std::abs(u) < 2.0 ? 0.0 : u);
+  }
+  expect_within_declared_accuracy(xs, "mixed-signs");
+}
+
+TEST(QuantileSketch, MergeOfShardsIsByteIdenticalToSingleStream) {
+  Rng rng(14);
+  std::vector<double> xs;
+  for (int i = 0; i < 120000; ++i) xs.push_back(rng.lognormal(2.0, 1.0));
+
+  ws::QuantileSketch stream;
+  for (double x : xs) stream.add(x);
+
+  constexpr std::size_t kShards = 8;
+  ws::QuantileSketch merged;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    ws::QuantileSketch shard;
+    for (std::size_t i = s; i < xs.size(); i += kShards) shard.add(xs[i]);
+    merged.merge(shard);
+  }
+
+  EXPECT_EQ(merged.count(), stream.count());
+  EXPECT_EQ(merged.min(), stream.min());
+  EXPECT_EQ(merged.max(), stream.max());
+  for (double p = 0.0; p <= 100.0; p += 0.5) {
+    ASSERT_EQ(merged.quantile(p), stream.quantile(p)) << "p=" << p;
+  }
+}
+
+TEST(QuantileSketch, ThreadCountInvariantThroughParallelMap) {
+  // Shard the population with parallel_map (one sketch per task, merged in
+  // index order on the caller's thread) and require byte-identical
+  // quantiles at 1 and 8 threads — the campaign determinism contract.
+  auto run = [](std::size_t threads) {
+    wild5g::parallel::set_thread_count(threads);
+    const auto shards = wild5g::parallel::parallel_map(
+        16, [](std::size_t task) {
+          Rng rng = Rng(15).fork(task);
+          ws::QuantileSketch sketch;
+          for (int i = 0; i < 20000; ++i) {
+            sketch.add(rng.lognormal(2.5, 0.8));
+          }
+          return sketch;
+        });
+    ws::QuantileSketch merged;
+    for (const auto& shard : shards) merged.merge(shard);
+    wild5g::parallel::set_thread_count(0);
+    return merged;
+  };
+  const auto serial = run(1);
+  const auto threaded = run(8);
+  EXPECT_EQ(serial.count(), threaded.count());
+  for (double p : {5.0, 25.0, 50.0, 75.0, 95.0, 99.9}) {
+    ASSERT_EQ(serial.quantile(p), threaded.quantile(p)) << "p=" << p;
+  }
+}
+
+TEST(QuantileSketch, EmptyAndSingleSampleEdges) {
+  ws::QuantileSketch sketch;
+  EXPECT_TRUE(sketch.empty());
+  // Mirrors stats::mean/percentile preconditions: empty is a caller bug.
+  EXPECT_THROW((void)sketch.quantile(50.0), wild5g::Error);
+  EXPECT_THROW((void)sketch.min(), wild5g::Error);
+  EXPECT_THROW((void)sketch.max(), wild5g::Error);
+
+  sketch.add(42.5);
+  EXPECT_EQ(sketch.count(), 1u);
+  for (double p : {0.0, 50.0, 100.0}) {
+    EXPECT_EQ(sketch.quantile(p), 42.5) << "p=" << p;
+  }
+  EXPECT_THROW((void)sketch.quantile(-1.0), wild5g::Error);
+  EXPECT_THROW((void)sketch.quantile(101.0), wild5g::Error);
+}
+
+TEST(QuantileSketch, RejectsNaNAtAccumulation) {
+  ws::QuantileSketch sketch;
+  EXPECT_THROW(sketch.add(std::numeric_limits<double>::quiet_NaN()),
+               wild5g::Error);
+  EXPECT_TRUE(sketch.empty()) << "rejected sample must not be counted";
+}
+
+TEST(QuantileSketch, MergeRejectsMismatchedAccuracy) {
+  ws::QuantileSketch a(0.01);
+  ws::QuantileSketch b(0.02);
+  b.add(1.0);
+  EXPECT_THROW(a.merge(b), wild5g::Error);
+}
+
+TEST(QuantileSketch, ExtremesStayExact) {
+  ws::QuantileSketch sketch;
+  sketch.add(0.123456789);
+  sketch.add(987654.321);
+  for (int i = 0; i < 1000; ++i) sketch.add(100.0 + i);
+  EXPECT_EQ(sketch.min(), 0.123456789);
+  EXPECT_EQ(sketch.max(), 987654.321);
+  EXPECT_EQ(sketch.quantile(0.0), 0.123456789);
+  EXPECT_EQ(sketch.quantile(100.0), 987654.321);
+}
+
+// ---------------------------------------------------------------------------
+// SampleAccumulator facade
+
+TEST(SampleAccumulator, ExactModeMatchesStatsPercentileBitForBit) {
+  Rng rng(16);
+  std::vector<double> xs;
+  ws::SampleAccumulator acc;
+  for (int i = 0; i < 5000; ++i) {  // below kDefaultExactLimit
+    const double x = rng.lognormal(2.0, 1.2);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  ASSERT_TRUE(acc.exact());
+  for (double p : {5.0, 10.0, 50.0, 90.0, 95.0, 99.0}) {
+    ASSERT_EQ(acc.percentile(p), wild5g::stats::percentile(xs, p))
+        << "p=" << p;
+  }
+  EXPECT_EQ(acc.median(), wild5g::stats::median(xs));
+  EXPECT_EQ(acc.p95(), wild5g::stats::p95(xs));
+  EXPECT_EQ(acc.mean(), wild5g::stats::mean(xs));
+  EXPECT_EQ(acc.min(), *std::min_element(xs.begin(), xs.end()));
+  EXPECT_EQ(acc.max(), *std::max_element(xs.begin(), xs.end()));
+}
+
+TEST(SampleAccumulator, SpillsToSketchPastExactLimitAndStaysAccurate) {
+  Rng rng(17);
+  std::vector<double> xs;
+  ws::SampleAccumulator acc;
+  for (int i = 0; i < 50000; ++i) {
+    const double x = rng.lognormal(2.0, 1.0);
+    xs.push_back(x);
+    acc.add(x);
+  }
+  EXPECT_FALSE(acc.exact());
+  EXPECT_EQ(acc.count(), 50000u);
+  for (double p : {10.0, 50.0, 90.0, 99.0}) {
+    const double exact = exact_order_stat(xs, p);
+    EXPECT_NEAR(acc.percentile(p), exact,
+                ws::QuantileSketch::kDefaultRelativeAccuracy * exact + 1e-9)
+        << "p=" << p;
+  }
+  // The running mean stays exact (same left-to-right accumulation order as
+  // stats::mean over the stream).
+  EXPECT_DOUBLE_EQ(acc.mean(), wild5g::stats::mean(xs));
+}
+
+TEST(SampleAccumulator, ModeSwitchDependsOnlyOnTotalCount) {
+  // merge() must yield the same answers as one stream over the same
+  // multiset, including when the merge itself triggers the spill.
+  Rng rng(18);
+  std::vector<double> xs;
+  for (int i = 0; i < 20000; ++i) xs.push_back(rng.lognormal(1.5, 0.9));
+
+  ws::SampleAccumulator stream;
+  for (double x : xs) stream.add(x);
+
+  ws::SampleAccumulator merged;
+  constexpr std::size_t kShards = 4;
+  for (std::size_t s = 0; s < kShards; ++s) {
+    ws::SampleAccumulator shard;
+    for (std::size_t i = s; i < xs.size(); i += kShards) shard.add(xs[i]);
+    ASSERT_TRUE(shard.exact()) << "each shard stays below the exact limit";
+    merged.merge(shard);
+  }
+  EXPECT_FALSE(merged.exact());
+  EXPECT_EQ(merged.count(), stream.count());
+  for (double p : {5.0, 50.0, 95.0, 99.5}) {
+    ASSERT_EQ(merged.percentile(p), stream.percentile(p)) << "p=" << p;
+  }
+  EXPECT_EQ(merged.min(), stream.min());
+  EXPECT_EQ(merged.max(), stream.max());
+}
+
+TEST(SampleAccumulator, SmallMergesStayExact) {
+  ws::SampleAccumulator a;
+  ws::SampleAccumulator b;
+  std::vector<double> xs;
+  for (int i = 0; i < 100; ++i) {
+    a.add(static_cast<double>(i));
+    xs.push_back(static_cast<double>(i));
+  }
+  for (int i = 100; i < 200; ++i) {
+    b.add(static_cast<double>(i));
+    xs.push_back(static_cast<double>(i));
+  }
+  a.merge(b);
+  EXPECT_TRUE(a.exact());
+  EXPECT_EQ(a.percentile(90.0), wild5g::stats::percentile(xs, 90.0));
+}
+
+TEST(SampleAccumulator, EmptyAndPreconditionEdges) {
+  ws::SampleAccumulator acc;
+  EXPECT_TRUE(acc.empty());
+  EXPECT_THROW((void)acc.percentile(50.0), wild5g::Error);
+  EXPECT_THROW((void)acc.mean(), wild5g::Error);
+  EXPECT_THROW((void)acc.min(), wild5g::Error);
+  EXPECT_THROW((void)acc.max(), wild5g::Error);
+  acc.add(7.0);
+  EXPECT_EQ(acc.percentile(50.0), 7.0);
+  EXPECT_EQ(acc.mean(), 7.0);
+}
+
+TEST(SampleAccumulator, RejectsNaNAtAccumulation) {
+  ws::SampleAccumulator acc;
+  acc.add(1.0);
+  EXPECT_THROW(acc.add(std::numeric_limits<double>::quiet_NaN()),
+               wild5g::Error);
+  EXPECT_EQ(acc.count(), 1u);
+}
+
+TEST(SampleAccumulator, TenMillionSamplesFitFixedMemoryBudget) {
+  // The whole point: percentile memory is O(sketch), not O(samples).
+  // 10M doubles would be 80 MB as a vector; the accumulator must hold the
+  // population in a fixed budget that does not scale with n.
+  constexpr std::size_t kBudgetBytes = 256 * 1024;
+  ws::SampleAccumulator acc;
+  Rng rng(19);
+  for (int i = 0; i < 10'000'000; ++i) {
+    acc.add(rng.lognormal(3.0, 1.3));
+  }
+  EXPECT_EQ(acc.count(), 10'000'000u);
+  EXPECT_LE(acc.memory_bytes(), kBudgetBytes);
+  // And it still answers sensibly: lognormal(3, 1.3) median is e^3.
+  EXPECT_NEAR(acc.median(), std::exp(3.0), 0.05 * std::exp(3.0));
+}
+
+// Regression: stats::percentile used to silently accept NaN, which poisons
+// std::sort's ordering and returns an arbitrary but plausible value.
+TEST(StatsPercentile, RejectsNaNSamples) {
+  const std::vector<double> xs = {1.0, 2.0,
+                                  std::numeric_limits<double>::quiet_NaN(),
+                                  4.0};
+  EXPECT_THROW((void)wild5g::stats::percentile(xs, 50.0), wild5g::Error);
+  EXPECT_THROW((void)wild5g::stats::median(xs), wild5g::Error);
+}

@@ -1,0 +1,12 @@
+# Helper for the lint-rules-doc target: runs `wild5g_lint --rules-doc` and
+# writes the output to docs/LINT_RULES.md. A cmake -P script instead of
+# `sh -c "... > ..."` because make's fast-path exec hands the backslash
+# escapes to the inner shell verbatim, which turns the redirect target into
+# a filename with a leading space.
+execute_process(
+  COMMAND "${LINT_BIN}" --rules-doc
+  OUTPUT_FILE "${OUT}"
+  RESULT_VARIABLE rc)
+if(NOT rc EQUAL 0)
+  message(FATAL_ERROR "wild5g_lint --rules-doc failed (exit ${rc})")
+endif()

@@ -80,7 +80,7 @@ struct RuleInfo {
   std::string_view fixit;  // generic mechanical-fix hint; empty if contextual
 };
 
-constexpr std::array<RuleInfo, 17> kRules = {{
+constexpr std::array<RuleInfo, 18> kRules = {{
     {"ban-random-device", "determinism",
      "std::random_device is nondeterministic; seed a wild5g::Rng instead",
      ""},
@@ -110,6 +110,12 @@ constexpr std::array<RuleInfo, 17> kRules = {{
      "catch (...) without rethrow/report hides failures; rethrow, store "
      "std::current_exception(), or log before recovering",
      ""},
+    {"bench-sample-hoard", "hygiene",
+     "bench code hoards every sample in a vector just to call "
+     "stats::percentile/median/p95 at the end; campaigns must stream "
+     "samples through stats::SampleAccumulator",
+     "accumulate into a stats::SampleAccumulator and query its "
+     "percentile()/median()/p95() instead of sorting a hoarded vector"},
     {"unit-mismatch-assign", "units",
      "assignment or initialization whose unit suffixes disagree; route the "
      "value through a units.h conversion helper",
@@ -502,6 +508,7 @@ struct FileContext {
   bool is_rng_header = false;
   bool feeds_metrics = false;  // includes core/json.h or bench_common.h
   bool swallow_allowed = false;  // file is on the catch-swallow allow-list
+  bool in_bench = false;       // virtual path lives under bench/
 };
 
 void check_banned_idents(const std::vector<Token>& toks,
@@ -694,6 +701,34 @@ void check_catch_swallow(const std::vector<Token>& toks,
                      "handle it or justify via allow",
                      {}});
     }
+  }
+}
+
+/// bench-sample-hoard: in bench/ files, calling the sort-on-query stats
+/// helpers (stats::percentile / stats::median / stats::p95) means the
+/// campaign hoarded every sample in a vector first. That pattern is O(n)
+/// memory per metric and is exactly what stats::SampleAccumulator replaces;
+/// flag the query site so new campaigns stream instead. Member calls
+/// (acc.percentile(...)) are the sanctioned API and never match.
+void check_sample_hoard(const std::vector<Token>& toks,
+                        const FileContext& ctx,
+                        std::vector<Finding>& out) {
+  if (!ctx.in_bench) return;
+  static const std::set<std::string> kSortOnQuery = {"percentile", "median",
+                                                     "p95"};
+  for (std::size_t i = 2; i < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent ||
+        kSortOnQuery.count(toks[i].text) == 0) {
+      continue;
+    }
+    if (toks[i - 1].text != "::" || toks[i - 2].text != "stats") continue;
+    if (!next_is(toks, i, "(")) continue;
+    out.push_back({ctx.display_path, toks[i].line, "bench-sample-hoard",
+                   "'stats::" + toks[i].text + "' in bench code implies a "
+                   "hoarded std::vector<double> of samples; stream them "
+                   "through a stats::SampleAccumulator and query its " +
+                       toks[i].text + "() instead",
+                   {}});
   }
 }
 
@@ -1582,6 +1617,7 @@ FileUnit load_file(const fs::path& path) {
   collect_allows(unit.lexed, unit.ctx.display_path, unit.allows, unit.meta);
   unit.vpath = virtual_path(path);
   unit.src_module = src_module_of(unit.vpath);
+  unit.ctx.in_bench = unit.vpath.rfind("bench/", 0) == 0;
   unit.includes = collect_includes(unit.lexed.tokens);
   unit.rng_vars = collect_rng_vars(unit.lexed.tokens);
   return unit;
@@ -1701,6 +1737,7 @@ std::vector<Finding> run_checks(std::vector<FileUnit>& units) {
     check_float_equality(toks, unit.ctx, unit.raw);
     check_printf_float(toks, unit.ctx, unit.raw);
     check_catch_swallow(toks, unit.ctx, unit.raw);
+    check_sample_hoard(toks, unit.ctx, unit.raw);
     check_unordered_iteration(toks, unit.ctx, unit.raw);
     check_unit_assign(toks, unit.ctx, unit.raw);
     check_unit_conversion_calls(toks, unit.ctx, unit.raw);
