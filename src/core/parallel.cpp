@@ -148,8 +148,15 @@ class ThreadPool {
 /// serializes top-level parallel regions from distinct caller threads (the
 /// benches only ever have one).
 std::mutex g_pool_mutex;
+// wild5g-lint: allow(global-mutable-state) set_thread_override writes it
+// under g_pool_mutex before any region runs; tasks never reach it
 std::size_t g_override_threads = 0;  // 0 = WILD5G_THREADS / hardware
+// wild5g-lint: allow(global-mutable-state) the pool singleton itself —
+// provisioned under g_pool_mutex, and nested regions run inline so no task
+// ever touches the pool pointer
 std::unique_ptr<ThreadPool> g_pool;
+// wild5g-lint: allow(global-mutable-state) cache key for g_pool, mutated
+// only under g_pool_mutex in pool_for_locked
 std::size_t g_pool_threads = 0;  // thread count g_pool was built for
 
 std::size_t resolve_thread_count_locked() {

@@ -1,0 +1,20 @@
+// Fixture: a helper mutating a non-const reference parameter, fed a
+// captured object from inside a parallel_map task — every task aliases the
+// same accumulator, so the writes race. Must trip parallel-effect-alias
+// (and nothing else). The positional engine only blames the argument that
+// lands in the mutated slot; the value argument rides along untouched.
+struct EffAliasAcc {
+  double value = 0.0;
+};
+
+void eff_alias_add(EffAliasAcc& acc, double v) { acc.value += v; }
+
+template <typename F>
+void parallel_map(int n, F f);
+
+void eff_alias_demo() {
+  EffAliasAcc total;
+  parallel_map(8, [&](int i) {
+    eff_alias_add(total, static_cast<double>(i));
+  });
+}

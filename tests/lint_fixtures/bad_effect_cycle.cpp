@@ -1,0 +1,24 @@
+// Fixture: mutual recursion whose cycle reaches a global write. The
+// fixpoint iteration must stabilize (not hang) with both cycle members
+// carrying writes_global, and a task calling into the cycle trips
+// parallel-effect-write with the chain threaded through the recursion.
+int g_eff_cycle_hits = 0;
+
+void eff_cycle_pong(int n);
+
+void eff_cycle_ping(int n) {
+  if (n <= 0) {
+    g_eff_cycle_hits += 1;
+    return;
+  }
+  eff_cycle_pong(n - 1);
+}
+
+void eff_cycle_pong(int n) { eff_cycle_ping(n - 1); }
+
+template <typename F>
+void parallel_map(int n, F f);
+
+void eff_cycle_demo() {
+  parallel_map(8, [&](int i) { eff_cycle_pong(i); });
+}

@@ -1,0 +1,24 @@
+// Fixture: a helper that draws on an Rng parameter is fine per se — until a
+// parallel_map task feeds it the *captured outer* stream instead of a
+// task-local fork. The effect engine records the draw positionally
+// (rng param 0) and the task-site check sees a captured argument in that
+// slot: parallel-effect-rng, and nothing else. The [&] capture plus a free
+// call keeps the lexical parallel-rng rules silent on purpose.
+struct Rng {
+  double uniform();
+  Rng fork(long salt) const;
+};
+
+double eff_rng_sample(Rng& r) { return r.uniform(); }
+
+template <typename F>
+void parallel_map(int n, F f);
+
+void eff_rng_demo() {
+  Rng rng;
+  parallel_map(8, [&](int i) {
+    double x = eff_rng_sample(rng);
+    (void)x;
+    (void)i;
+  });
+}

@@ -1,0 +1,17 @@
+// Fixture: tokenizer probe for the effect engine — the global-write
+// identifier is split by a line splice inside the helper body. Phase-2
+// splice removal must rejoin it so compute_direct_effects still records the
+// write, and the task call trips parallel-effect-write (and nothing else).
+int g_eff_spliced_total = 0;
+
+void eff_spliced_bump(int v) {
+  g_eff_\
+spliced_total = v;
+}
+
+template <typename F>
+void parallel_map(int n, F f);
+
+void eff_spliced_demo() {
+  parallel_map(8, [&](int i) { eff_spliced_bump(i); });
+}

@@ -1,0 +1,27 @@
+// Fixture: two same-name, same-arity definitions with conflicting direct
+// effect signatures. The engine cannot tell which one a call binds to, so
+// resolution is poisoned with the explicit `unknown` effect and a task
+// calling the name trips parallel-effect-unknown (and nothing else — the
+// poison deliberately suppresses the write rule it might otherwise guess).
+int g_eff_unknown_state = 0;
+
+namespace eff_unknown_a {
+int eff_unknown_poke(int x) {
+  g_eff_unknown_state = x;
+  return x;
+}
+}  // namespace eff_unknown_a
+
+namespace eff_unknown_b {
+int eff_unknown_poke(double x) { return static_cast<int>(x); }
+}  // namespace eff_unknown_b
+
+template <typename F>
+void parallel_map(int n, F f);
+
+void eff_unknown_demo() {
+  parallel_map(8, [&](int i) {
+    int x = eff_unknown_poke(i);
+    (void)x;
+  });
+}

@@ -1,0 +1,25 @@
+// Fixture: a parallel_map task body that calls a helper whose *transitive*
+// effects include a write to namespace-scope mutable state must trip
+// parallel-effect-write (and nothing else), with the full 3-deep call chain
+// in the message. Nothing in the task body touches the global lexically —
+// only the effect engine can see this.
+int g_eff_write_total = 0;
+
+void eff_write_sink(int v) { g_eff_write_total = v; }
+
+void eff_write_mid(int v) { eff_write_sink(v + 1); }
+
+int eff_write_entry(int v) {
+  eff_write_mid(v);
+  return v;
+}
+
+template <typename F>
+void parallel_map(int n, F f);
+
+void eff_write_demo() {
+  parallel_map(8, [&](int i) {
+    int x = eff_write_entry(i);
+    (void)x;
+  });
+}

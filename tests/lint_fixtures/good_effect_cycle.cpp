@@ -1,0 +1,22 @@
+// Fixture: a *pure* mutual recursion — the fixpoint must stabilize with an
+// empty effect signature for both cycle members, and a parallel task
+// calling into the cycle stays clean. Pairs with bad_effect_cycle.cpp,
+// which differs only by the global write at the base case.
+int eff_pure_pong(int n);
+
+int eff_pure_ping(int n) {
+  if (n <= 0) return 0;
+  return eff_pure_pong(n - 1) + 1;
+}
+
+int eff_pure_pong(int n) { return eff_pure_ping(n - 1); }
+
+template <typename F>
+void parallel_map(int n, F f);
+
+void eff_pure_demo() {
+  parallel_map(8, [&](int i) {
+    int x = eff_pure_ping(i);
+    (void)x;
+  });
+}

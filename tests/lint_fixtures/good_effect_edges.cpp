@@ -1,0 +1,32 @@
+// Fixture: tokenizer edge probes for the effect engine — effect-looking
+// text inside raw strings and comments must contribute nothing to a
+// function's signature, and the sanctioned per-task fork idiom must stay
+// clean even though the helper genuinely draws on its Rng parameter.
+struct Rng {
+  double uniform();
+  Rng fork(long salt) const;
+  Rng split();
+};
+
+int g_eff_edges_lookalike = 0;  // wild5g-lint: allow(global-mutable-state) never written; exists to prove string/comment writes are not attributed
+
+// g_eff_edges_lookalike = 99; a write in a comment is not a write
+const char* eff_edges_banner() {
+  return R"(g_eff_edges_lookalike = 7; rng.uniform();)";
+}
+
+double eff_edges_sample(Rng& r) { return r.uniform(); }
+
+template <typename F>
+void parallel_map(int n, F f);
+
+void eff_edges_demo(Rng& rng) {
+  Rng base = rng.split();
+  parallel_map(8, [&](int i) {
+    Rng child = base.fork(i);
+    double x = eff_edges_sample(child);  // task-local stream: sanctioned
+    const char* s = eff_edges_banner();
+    (void)x;
+    (void)s;
+  });
+}

@@ -1,0 +1,16 @@
+// Fixture: the global-mutable-state inventory. A src/ file with a
+// namespace-scope mutable and a function-local static — both are shared
+// state the multi-UE scheduler refactor cannot reason about, and both must
+// be flagged (const-qualify, thread-confine, or justify).
+namespace wild5g::fixture_globals {
+
+int g_bad_counter = 0;
+
+double bad_remember(double v) {
+  static double last_value = 0.0;
+  const double prev = last_value;
+  last_value = v;
+  return prev;
+}
+
+}  // namespace wild5g::fixture_globals

@@ -1,0 +1,23 @@
+// Fixture: file-scope state the inventory must NOT flag — const and
+// constexpr values, thread_local confinement, allow-listed synchronization
+// primitives, and a justified suppression on a genuinely shared mutable.
+#include <mutex>
+
+namespace wild5g::fixture_globals_ok {
+
+constexpr int kGoodLimit = 8;
+const double kGoodScale = 1.5;
+thread_local int t_good_depth = 0;
+std::mutex g_good_mutex;
+std::once_flag g_good_once;
+// wild5g-lint: allow(global-mutable-state) fixture probe: written once at
+// startup before any parallel region exists
+int g_good_suppressed = 0;
+
+int good_bump() {
+  static const int kStep = 2;  // const static-local: thread-safe init, no writes
+  ++t_good_depth;
+  return kGoodLimit + kStep;
+}
+
+}  // namespace wild5g::fixture_globals_ok

@@ -1,0 +1,29 @@
+// Fixture: a pointer handed out by an arena's allocate() stored into a
+// member that outlives the handler scope. Arena recycling makes this a
+// latent use-after-free, so it must trip arena-escape (and nothing else).
+// Returning a tracked pointer is the second escape shape probed here.
+struct FixNode {
+  int payload = 0;
+};
+
+class FixArena {
+ public:
+  void* allocate(unsigned long bytes);
+};
+
+class FixDispatcher {
+ public:
+  void stash() {
+    FixNode* node = static_cast<FixNode*>(arena_.allocate(sizeof(FixNode)));
+    saved_ = node;  // escape: member store outlives the handler
+  }
+
+  FixNode* leak() {
+    FixNode* node = static_cast<FixNode*>(arena_.allocate(sizeof(FixNode)));
+    return node;  // escape: returned to an arbitrary-lifetime caller
+  }
+
+ private:
+  FixArena arena_;
+  FixNode* saved_ = nullptr;
+};

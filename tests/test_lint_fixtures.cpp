@@ -12,6 +12,7 @@
 
 #include <cstdio>
 #include <fstream>
+#include <map>
 #include <set>
 #include <sstream>
 #include <string>
@@ -154,6 +155,78 @@ TEST(lint, fixture_parallel_rng_stream) {
   expect_only_rule("bad_parallel_rng_stream.cpp", "parallel-rng-stream");
 }
 
+TEST(lint, fixture_bad_effect_write) {
+  expect_only_rule("bad_effect_write.cpp", "parallel-effect-write");
+}
+
+TEST(lint, fixture_bad_effect_rng) {
+  expect_only_rule("bad_effect_rng.cpp", "parallel-effect-rng");
+}
+
+TEST(lint, fixture_bad_effect_alias) {
+  expect_only_rule("bad_effect_alias.cpp", "parallel-effect-alias");
+}
+
+TEST(lint, fixture_bad_effect_unknown) {
+  expect_only_rule("bad_effect_unknown.cpp", "parallel-effect-unknown");
+}
+
+TEST(lint, fixture_bad_effect_cycle_reaches_fixpoint) {
+  // Mutual recursion: the engine must stabilize (this test hangs if the
+  // fixpoint does not terminate) and still thread the chain through the
+  // cycle to the global write.
+  expect_only_rule("bad_effect_cycle.cpp", "parallel-effect-write");
+}
+
+TEST(lint, fixture_bad_effect_splice) {
+  // Line-spliced global identifier: phase-2 splice removal feeds the effect
+  // engine, so the rejoined write is still attributed.
+  expect_only_rule("bad_effect_splice.cpp", "parallel-effect-write");
+}
+
+TEST(lint, fixture_bad_global_state) {
+  expect_only_rule("src/core/bad_global_state.cpp", "global-mutable-state");
+}
+
+TEST(lint, fixture_bad_arena_escape) {
+  expect_only_rule("src/sim/bad_arena_escape.cpp", "arena-escape");
+}
+
+TEST(lint, fixture_good_effect_cycle) {
+  expect_clean("good_effect_cycle.cpp");
+}
+
+TEST(lint, fixture_good_effect_edges) {
+  expect_clean("good_effect_edges.cpp");
+}
+
+TEST(lint, fixture_good_global_state) {
+  expect_clean("src/core/good_global_state.cpp");
+}
+
+TEST(lint, effect_chain_names_every_hop) {
+  // The fix-it contract for parallel-effect findings: the message prints
+  // the full call chain, each hop as `name (file:line)`, terminating in the
+  // concrete effect site. bad_effect_write.cpp routes the write through a
+  // 3-deep chain, so all three hops plus the sink line must appear.
+  const LintRun run = run_lint("--json " + fixture("bad_effect_write.cpp"));
+  ASSERT_EQ(run.exit_code, 1);
+  const json::Value doc = json::parse(run.output);
+  const json::Value* findings = doc.find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->size(), 1u);
+  const json::Value* message = findings->as_array()[0].find("message");
+  ASSERT_NE(message, nullptr);
+  const std::string text = message->as_string();
+  for (const std::string hop : {"eff_write_entry (", "eff_write_mid (",
+                                "eff_write_sink (",
+                                "writes 'g_eff_write_total' at"}) {
+    EXPECT_NE(text.find(hop), std::string::npos) << text;
+  }
+  EXPECT_NE(text.find("bad_effect_write.cpp:8"), std::string::npos) << text;
+  EXPECT_NE(text.find(" -> "), std::string::npos) << text;
+}
+
 TEST(lint, fixture_layering) {
   // The fixture's virtual path (…/src/core/…) puts it in src/core, so its
   // radio include violates the layer DAG.
@@ -194,8 +267,13 @@ TEST(lint, every_bad_fixture_has_a_test) {
       "bad_parallel_rng_stream.cpp", "src/core/bad_layering.cpp",
       "src/sim/bad_include_cycle.h", "bad_line_splice.cpp",
       "bench/bad_sample_hoard.cpp",
+      "bad_effect_write.cpp",     "bad_effect_rng.cpp",
+      "bad_effect_alias.cpp",     "bad_effect_unknown.cpp",
+      "bad_effect_cycle.cpp",     "bad_effect_splice.cpp",
+      "src/core/bad_global_state.cpp", "src/sim/bad_arena_escape.cpp",
       "good_allow.cpp",           "good_clean.cpp",
-      "good_tokenizer_edges.cpp"};
+      "good_tokenizer_edges.cpp", "good_effect_cycle.cpp",
+      "good_effect_edges.cpp",    "src/core/good_global_state.cpp"};
   const LintRun listing =
       run_lint("--json " + std::string(WILD5G_LINT_FIXTURES));
   const json::Value doc = json::parse(listing.output);
@@ -224,7 +302,10 @@ TEST(lint, list_rules_covers_registry) {
         "catch-swallow", "bench-sample-hoard", "unit-mismatch-assign",
         "unit-mismatch-call",
         "unit-double-conversion", "parallel-rng-capture",
-        "parallel-rng-stream", "layering", "include-cycle"}) {
+        "parallel-rng-stream", "parallel-effect-write", "parallel-effect-rng",
+        "parallel-effect-alias", "parallel-effect-unknown",
+        "global-mutable-state", "arena-escape", "layering",
+        "include-cycle"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }
@@ -237,7 +318,7 @@ TEST(lint, list_rules_json_is_machine_readable) {
   const json::Value doc = json::parse(run.output);
   const json::Value* rules = doc.find("rules");
   ASSERT_NE(rules, nullptr);
-  EXPECT_GE(rules->size(), 17u) << "registry shrank below the PR-5 set";
+  EXPECT_GE(rules->size(), 24u) << "registry shrank below the PR-7 set";
   const json::Value* count = doc.find("count");
   ASSERT_NE(count, nullptr);
   EXPECT_EQ(static_cast<std::size_t>(count->as_number()), rules->size());
@@ -253,9 +334,77 @@ TEST(lint, list_rules_json_is_machine_readable) {
     families.insert(family->as_string());
   }
   for (const std::string family :
-       {"determinism", "units", "parallel", "layering", "hygiene", "meta"}) {
+       {"determinism", "units", "parallel", "effects", "layering", "hygiene",
+        "meta"}) {
     EXPECT_EQ(families.count(family), 1u) << family;
   }
+}
+
+TEST(lint, list_rules_json_carries_effect_metadata) {
+  // The effect-family rules advertise which lattice bit they gate on, so
+  // downstream tooling (dashboards, the scheduler-refactor inventory) can
+  // consume the effect system without parsing prose.
+  const LintRun run = run_lint("--list-rules --json");
+  ASSERT_EQ(run.exit_code, 0);
+  const json::Value doc = json::parse(run.output);
+  const json::Value* rules = doc.find("rules");
+  ASSERT_NE(rules, nullptr);
+  const std::map<std::string, std::string> expected = {
+      {"parallel-effect-write", "writes_global"},
+      {"parallel-effect-rng", "draws_rng"},
+      {"parallel-effect-alias", "mutates_param"},
+      {"parallel-effect-unknown", "unknown"},
+      {"global-mutable-state", "writes_global"},
+      {"arena-escape", "allocates"}};
+  std::size_t seen = 0;
+  for (const auto& rule : rules->as_array()) {
+    const json::Value* id = rule.find("id");
+    ASSERT_NE(id, nullptr);
+    const auto want = expected.find(id->as_string());
+    if (want == expected.end()) continue;
+    ++seen;
+    const json::Value* effects = rule.find("effects");
+    ASSERT_NE(effects, nullptr) << id->as_string();
+    EXPECT_EQ(effects->as_string(), want->second) << id->as_string();
+  }
+  EXPECT_EQ(seen, expected.size());
+}
+
+TEST(lint, baseline_suppresses_known_findings) {
+  // The ratchet: a SARIF log captured from a dirty tree acts as a baseline;
+  // re-linting the same tree against it exits 0, because every finding's
+  // fingerprint (rule + file + normalized source line) matches.
+  const std::string baseline =
+      ::testing::TempDir() + "/wild5g_lint_baseline.sarif";
+  const LintRun capture =
+      run_lint("--sarif " + baseline + " " + fixture("bad_c_rand.cpp"));
+  ASSERT_EQ(capture.exit_code, 1);
+  const LintRun gated = run_lint("--baseline " + baseline + " --json " +
+                                 fixture("bad_c_rand.cpp"));
+  EXPECT_EQ(gated.exit_code, 0) << gated.output;
+  const json::Value doc = json::parse(gated.output);
+  const json::Value* count = doc.find("count");
+  ASSERT_NE(count, nullptr);
+  EXPECT_EQ(count->as_number(), 0);
+}
+
+TEST(lint, baseline_still_fails_on_new_findings) {
+  // A baseline from a *different* file suppresses nothing here: the
+  // fingerprints don't match, so the findings survive the ratchet.
+  const std::string baseline =
+      ::testing::TempDir() + "/wild5g_lint_other_baseline.sarif";
+  const LintRun capture =
+      run_lint("--sarif " + baseline + " " + fixture("bad_c_rand.cpp"));
+  ASSERT_EQ(capture.exit_code, 1);
+  const LintRun gated = run_lint("--baseline " + baseline + " --json " +
+                                 fixture("bad_wall_clock.cpp"));
+  EXPECT_EQ(gated.exit_code, 1) << gated.output;
+}
+
+TEST(lint, baseline_rejects_unreadable_file) {
+  const LintRun run = run_lint("--baseline /nonexistent/baseline.sarif " +
+                               fixture("good_clean.cpp"));
+  EXPECT_EQ(run.exit_code, 2);
 }
 
 TEST(lint, sarif_output_matches_code_scanning_shape) {

@@ -78,9 +78,10 @@ struct RuleInfo {
   std::string_view family;
   std::string_view summary;
   std::string_view fixit;  // generic mechanical-fix hint; empty if contextual
+  std::string_view effects = {};  // effect bits the rule keys on ("" = none)
 };
 
-constexpr std::array<RuleInfo, 18> kRules = {{
+constexpr std::array<RuleInfo, 24> kRules = {{
     {"ban-random-device", "determinism",
      "std::random_device is nondeterministic; seed a wild5g::Rng instead",
      ""},
@@ -140,6 +141,50 @@ constexpr std::array<RuleInfo, 18> kRules = {{
      "fork(i)/split(); per-task streams keep goldens thread-count invariant",
      "derive a per-task stream with base.fork(i) (or construct an Rng from "
      "a per-task seed) before drawing"},
+    {"parallel-effect-write", "effects",
+     "a parallel_map/parallel_for task body calls a function whose "
+     "transitive effects include a write to namespace-scope or static-local "
+     "mutable state; concurrent shared writes race and break byte-identical "
+     "goldens",
+     "hoist the state into per-task results collected index-ordered and "
+     "reduced on the caller's thread, or const-qualify it",
+     "writes_global"},
+    {"parallel-effect-rng", "effects",
+     "a parallel task body calls a function that transitively draws from an "
+     "Rng stream not derived per task (a member/global stream, or a "
+     "captured outer stream passed by reference)",
+     "pass the callee a task-local stream derived via base.fork(i) (or "
+     "construct the drawing object inside the task body)",
+     "draws_rng"},
+    {"parallel-effect-alias", "effects",
+     "a parallel task body passes an object captured from the enclosing "
+     "scope — shared across tasks — to a function that mutates its "
+     "parameter; concurrent mutation races",
+     "give each task its own copy and merge index-ordered results after "
+     "the barrier",
+     "mutates_param"},
+    {"parallel-effect-unknown", "effects",
+     "a parallel task body calls a function whose effects the engine "
+     "cannot resolve (same-name definitions with conflicting effect sets "
+     "are poisoned conservatively); the call needs a human audit",
+     "disambiguate the overload set (rename, or align the overloads' "
+     "effects) or justify via allow",
+     "unknown"},
+    {"global-mutable-state", "effects",
+     "non-const namespace-scope or static-local variable in src/; every "
+     "piece of shared mutable state is an entry in the inventory the "
+     "multi-UE scheduler refactor must drain",
+     "const-qualify it, confine it with thread_local or a sync primitive "
+     "(std::mutex & friends are allow-listed), or justify via allow",
+     "writes_global"},
+    {"arena-escape", "effects",
+     "a pointer obtained from a core/arena.h allocation is stored into "
+     "storage that outlives the handler scope (member, global, long-lived "
+     "container) or returned; arena recycling makes this a latent "
+     "use-after-free",
+     "keep arena pointers handler-local; hand out EventIds or copy the "
+     "payload out instead",
+     "allocates"},
     {"layering", "layering",
      "include edge violates the layer DAG (core at the bottom, sim below "
      "radio/net/abr/web, bench/ never included from src/)",
@@ -153,8 +198,9 @@ constexpr std::array<RuleInfo, 18> kRules = {{
 }};
 
 // Family display order for --rules-doc and --list-rules grouping.
-constexpr std::array<std::string_view, 6> kFamilies = {
-    "determinism", "units", "parallel", "layering", "hygiene", "meta"};
+constexpr std::array<std::string_view, 7> kFamilies = {
+    "determinism", "units",   "parallel", "effects",
+    "layering",    "hygiene", "meta"};
 
 bool is_known_rule(std::string_view id) {
   return std::any_of(kRules.begin(), kRules.end(),
@@ -174,6 +220,9 @@ struct Finding {
   std::string rule;
   std::string message;
   std::string fixit;  // empty when no mechanical fix applies
+  // Stable identity for --baseline ratcheting: rule|virtual-path|normalized
+  // source line. Filled in run_checks once the owning file is known.
+  std::string fingerprint = {};
 };
 
 // ---------------------------------------------------------------------------
@@ -1484,6 +1533,1209 @@ void check_parallel_rng(const std::vector<Token>& toks, const FileContext& ctx,
 }
 
 // ---------------------------------------------------------------------------
+// Effect inference (the interprocedural layer behind the `effects` family).
+//
+// The parallel rules above only see draws *lexically inside* a task lambda; a
+// task that calls a helper which mutates a file-static accumulator, or draws
+// from a member Rng three frames down, passed clean. This section closes that
+// hole: every function definition in the scanned set gets a conservative
+// effect signature over a small powerset lattice, effects propagate bottom-up
+// over the call graph to a fixpoint (cycles iterate until stable; the lattice
+// is finite so termination is structural), and three rule families consume
+// the database:
+//   parallel-effect-*     a task body reaching shared-state writes, foreign
+//                         Rng draws, shared-capture mutation, or a poisoned
+//                         callee through any call chain — the chain itself is
+//                         printed as the fix-it context.
+//   global-mutable-state  the inventory those rules (and the coming multi-UE
+//                         scheduler refactor) work from: every non-const
+//                         namespace-scope or static-local variable in src/
+//                         must be const, thread-confined (thread_local / sync
+//                         primitives), or justified via allow. A justified
+//                         declaration is treated as audited and drops out of
+//                         the writes_global tracking set, so sanctioned state
+//                         (e.g. the parallel.cpp pool singleton) does not
+//                         poison every caller.
+//   arena-escape          arena-backed pointers stored past handler scope.
+
+// Effect lattice bits. draws_rng splits in two because the sanctioned idiom —
+// pass the helper a task-local fork(i) child — is only distinguishable from
+// the racy one by *where the stream came from*: a draw on a parameter is
+// conditional on the call site's argument, a draw on member/global state is
+// unconditional.
+enum : unsigned {
+  kEffWritesGlobal = 1u << 0,   // assigns namespace-scope/static-local state
+  kEffMutatesParam = 1u << 1,   // writes through a non-const ref/ptr param
+  kEffDrawsRngState = 1u << 2,  // draws on a member/global/non-local stream
+  kEffDrawsRngParam = 1u << 3,  // draws on a caller-supplied stream param
+  kEffAllocates = 1u << 4,      // new/malloc outside core/arena.h
+  kEffSchedules = 1u << 5,      // Simulator::schedule_at/_in, Injector::arm
+  kEffUnknown = 1u << 6,        // poisoned: conflicting same-name defs
+};
+
+/// std sync primitives whose namespace-scope instances are coordination, not
+/// observable state: a mutex cannot leak scheduling order into metrics.
+const std::set<std::string>& sync_type_names() {
+  static const std::set<std::string> kSync = {
+      "mutex",          "recursive_mutex",
+      "shared_mutex",   "timed_mutex",
+      "recursive_timed_mutex", "condition_variable",
+      "condition_variable_any", "once_flag",
+      "atomic_flag"};
+  return kSync;
+}
+
+struct GlobalDecl {
+  std::string name;
+  int line = 0;
+  bool static_local = false;  // function-local static vs namespace scope
+  bool audited = false;       // declaration carries a justified allow()
+};
+
+/// Collects mutable (non-const, non-thread-confined) namespace-scope and
+/// static-local variable definitions. A hand-rolled scope tracker classifies
+/// each `{`: namespace bodies stay at namespace scope, class/enum bodies are
+/// member scope (data members are per-object state, not globals), everything
+/// else — function bodies, initializers — is block scope, where only
+/// `static` declarations are of interest. Ambiguous shapes (most-vexing
+/// parse, function pointers, macro invocations) resolve to silence: this
+/// feeds a build-failing gate, so false negatives beat false positives.
+void collect_globals(const std::vector<Token>& toks,
+                     std::vector<GlobalDecl>& out) {
+  enum class Scope { kNamespace, kClass, kEnum, kBlock };
+  std::vector<Scope> stack;
+  const auto at_namespace = [&] {
+    return stack.empty() || stack.back() == Scope::kNamespace;
+  };
+
+  static const std::set<std::string> kNotADecl = {
+      "using",  "typedef", "namespace", "friend",   "template",
+      "static_assert",     "extern",    "goto",     "return",
+      "if",     "while",   "for",       "do",       "switch",
+      "case",   "break",   "continue",  "throw",    "delete",
+      "operator", "public", "private",  "protected", "class",
+      "struct", "union",   "enum",      "asm",      "new"};
+
+  // Analyzes the statement chunk [b, e) as a potential variable definition
+  // and appends a GlobalDecl when it declares mutable non-exempt state.
+  const auto analyze = [&](std::size_t b, std::size_t e, bool static_local) {
+    while (b < e && toks[b].kind == Token::Kind::kIdent &&
+           (toks[b].text == "static" || toks[b].text == "inline")) {
+      ++b;
+    }
+    if (b >= e || toks[b].kind != Token::Kind::kIdent) return;
+    if (kNotADecl.count(toks[b].text) != 0) return;
+    // Cut the initializer: the declaration part ends at the first '=' that
+    // is outside parentheses/brackets (template '<' is not tracked — a '='
+    // inside template arguments would only make the check quieter).
+    int depth = 0;
+    std::size_t stop = e;
+    for (std::size_t j = b; j < e; ++j) {
+      if (toks[j].kind != Token::Kind::kPunct) continue;
+      const std::string& t = toks[j].text;
+      if (t == "(" || t == "[" || t == "{") ++depth;
+      if (t == ")" || t == "]" || t == "}") --depth;
+      if (t == "=" && depth == 0) {
+        stop = j;
+        break;
+      }
+    }
+    if (stop - b < 2) return;  // a lone identifier is never a definition
+    // Exemptions: const-qualified, thread-confined, or a sync primitive.
+    for (std::size_t j = b; j < stop; ++j) {
+      if (toks[j].kind != Token::Kind::kIdent) continue;
+      const std::string& t = toks[j].text;
+      if (t == "const" || t == "constexpr" || t == "thread_local" ||
+          sync_type_names().count(t) != 0) {
+        return;
+      }
+      if (t == "operator") return;
+    }
+    // Name resolution: with a parameter-ish '(' the candidate is either a
+    // function declaration (all chunks declaration-shaped — skip) or a
+    // constructor-initialized variable (expression-shaped args — flag).
+    std::size_t paren = kNpos;
+    depth = 0;
+    for (std::size_t j = b; j < stop; ++j) {
+      if (toks[j].kind != Token::Kind::kPunct) continue;
+      const std::string& t = toks[j].text;
+      if (t == "(" && depth == 0) {
+        paren = j;
+        break;
+      }
+      if (t == "[" || t == "{") ++depth;
+      if (t == "]" || t == "}") --depth;
+    }
+    std::size_t name_idx = kNpos;
+    if (paren != kNpos) {
+      if (paren == b || toks[paren - 1].kind != Token::Kind::kIdent) return;
+      name_idx = paren - 1;
+      const std::size_t close = find_match(toks, paren, "(", ")", stop + 1);
+      bool all_decl_shaped = true;
+      if (close != kNpos && close > paren + 1) {
+        for (const auto& [cb, ce] : split_args(toks, paren + 1, close)) {
+          std::string pname;
+          std::string punit;
+          if (cb >= ce || !decl_chunk(toks, cb, ce, &pname, &punit)) {
+            all_decl_shaped = false;
+            break;
+          }
+        }
+      }
+      if (all_decl_shaped) return;  // function declaration, not a variable
+    } else {
+      for (std::size_t j = stop; j > b;) {
+        --j;
+        if (toks[j].kind == Token::Kind::kIdent) {
+          name_idx = j;
+          break;
+        }
+        if (toks[j].kind == Token::Kind::kPunct &&
+            (toks[j].text == "]" || toks[j].text == "[")) {
+          continue;  // array extents sit after the name
+        }
+        if (toks[j].kind != Token::Kind::kNumber) return;
+      }
+    }
+    if (name_idx == kNpos) return;
+    const std::string& name = toks[name_idx].text;
+    if (kNotADecl.count(name) != 0 || non_type_keywords().count(name) != 0) {
+      return;
+    }
+    out.push_back({name, toks[name_idx].line, static_local, false});
+  };
+
+  std::size_t stmt = 0;
+  for (std::size_t i = 0; i < toks.size(); ++i) {
+    const Token& t = toks[i];
+    if (t.kind == Token::Kind::kPunct && t.text == "#") {
+      // Preprocessor directive: consume the physical line.
+      const int line = t.line;
+      while (i + 1 < toks.size() && toks[i + 1].line == line) ++i;
+      stmt = i + 1;
+      continue;
+    }
+    if (t.kind == Token::Kind::kIdent && t.text == "static" &&
+        !stack.empty() && stack.back() == Scope::kBlock) {
+      // Static local. Scan to the statement's ';' (balanced through any
+      // braced initializer) and analyze; the cap bounds pathological input.
+      int depth = 0;
+      std::size_t semi = kNpos;
+      const std::size_t cap = std::min(toks.size(), i + 96);
+      for (std::size_t j = i + 1; j < cap; ++j) {
+        if (toks[j].kind != Token::Kind::kPunct) continue;
+        const std::string& p = toks[j].text;
+        if (p == "(" || p == "[" || p == "{") ++depth;
+        if (p == ")" || p == "]" || p == "}") --depth;
+        if (p == ";" && depth == 0) {
+          semi = j;
+          break;
+        }
+      }
+      if (semi != kNpos) {
+        analyze(i + 1, semi, /*static_local=*/true);
+        i = semi;
+        stmt = i + 1;
+      }
+      continue;
+    }
+    if (t.kind != Token::Kind::kPunct) continue;
+    if (t.text == "{") {
+      // Classify the brace from its header chunk [stmt, i).
+      bool is_init = false;
+      int depth = 0;
+      for (std::size_t j = stmt; j < i; ++j) {
+        if (toks[j].kind != Token::Kind::kPunct) continue;
+        const std::string& p = toks[j].text;
+        if (p == "(" || p == "[") ++depth;
+        if (p == ")" || p == "]") --depth;
+        if (p == "=" && depth == 0) is_init = true;
+      }
+      if (is_init) {
+        // Braced initializer: skip it; the statement continues to ';'.
+        const std::size_t close = find_match(toks, i, "{", "}", toks.size());
+        if (close == kNpos) return;
+        i = close;
+        continue;
+      }
+      Scope kind = Scope::kBlock;
+      bool has_paren = false;
+      for (std::size_t j = stmt; j < i; ++j) {
+        if (toks[j].kind == Token::Kind::kPunct && toks[j].text == "(") {
+          has_paren = true;
+        }
+      }
+      for (std::size_t j = stmt; j < i && !has_paren; ++j) {
+        if (toks[j].kind != Token::Kind::kIdent) continue;
+        const std::string& w = toks[j].text;
+        if (w == "namespace") {
+          kind = Scope::kNamespace;
+          break;
+        }
+        if (w == "class" || w == "struct" || w == "union") {
+          kind = Scope::kClass;
+          break;
+        }
+        if (w == "enum") {
+          kind = Scope::kEnum;
+          break;
+        }
+      }
+      stack.push_back(kind);
+      stmt = i + 1;
+      continue;
+    }
+    if (t.text == "}") {
+      if (!stack.empty()) stack.pop_back();
+      stmt = i + 1;
+      continue;
+    }
+    if (t.text == ";") {
+      if (at_namespace()) analyze(stmt, i, /*static_local=*/false);
+      stmt = i + 1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Function-definition index with effect signatures.
+
+/// Draw methods of wild5g::Rng that advance stream state (fork() is const
+/// and seed-derived, so it is deliberately absent — calling it anywhere is
+/// the sanctioned idiom).
+const std::set<std::string>& rng_draw_methods() {
+  static const std::set<std::string> kDraws = {
+      "uniform",   "uniform_int", "normal", "lognormal", "exponential",
+      "bernoulli", "pick",        "shuffle", "split"};
+  return kDraws;
+}
+
+/// Container/member operations that mutate their receiver; used to spot
+/// writes through reference parameters and into global containers.
+const std::set<std::string>& mutating_methods() {
+  static const std::set<std::string> kMut = {
+      "push_back", "emplace_back", "insert", "emplace", "erase",
+      "clear",     "resize",       "assign", "pop_back", "reset",
+      "store"};
+  return kMut;
+}
+
+// Receiver classification at a call site, relative to the calling scope.
+enum : int {
+  kRecvNone = 0,   // free function call
+  kRecvLocal = 1,  // receiver declared in the calling scope
+  kRecvParam = 2,  // receiver is a parameter of the enclosing function
+  kRecvOuter = 3,  // member, global, or captured object
+};
+
+// Classification of one call argument relative to the calling scope. The
+// engine is parameter-position-aware: a callee that draws from parameter 3
+// only taints call sites whose *third* argument is a shared stream — a
+// captured config object in another slot is irrelevant.
+enum : int {
+  kArgComplex = 0,  // any expression that is not a bare (possibly &) name
+  kArgLocal = 1,    // declared in the calling scope
+  kArgParam = 2,    // a parameter of the enclosing function
+  kArgOuter = 3,    // captured / member / file-scope name
+  kArgGlobal = 4,   // ... and a tracked mutable global
+};
+
+struct EffCallArg {
+  int cls = kArgComplex;
+  std::string name;    // the bare identifier, when cls != kArgComplex
+  int param_pos = -1;  // caller parameter index, when cls == kArgParam
+};
+
+struct EffCallSite {
+  std::string callee;
+  int argc = 0;
+  int line = 0;
+  int recv = kRecvNone;
+  int recv_param_pos = -1;  // caller parameter index when recv == kRecvParam
+  std::vector<EffCallArg> args;
+};
+
+struct FuncDef {
+  std::string name;
+  std::string file;
+  int line = 0;
+  std::size_t body_open = 0;
+  std::size_t body_close = 0;
+  int arity = 0;
+  unsigned direct = 0;   // effects of this body alone
+  unsigned effects = 0;  // after bottom-up propagation
+  std::vector<EffCallSite> calls;
+  std::set<std::string> params;
+  std::map<std::string, int> param_pos;  // name -> declaration position
+  std::set<std::string> mutable_ref_params;
+  std::set<std::string> locals;  // params + body-declared names
+  // Positional effect detail backing the MutatesParam / DrawsRngParam bits:
+  // which parameter slots are written through / drawn from (directly or
+  // through callees). Grow-only, so the fixpoint stays monotone.
+  std::set<int> mutated_params;
+  std::set<int> rng_params;
+  // Chain reconstruction: how each effect bit got here — either a direct
+  // witness in this body, or the callee (and its bit) it was inherited from.
+  struct Witness {
+    const FuncDef* via = nullptr;
+    unsigned via_bit = 0;
+    std::string direct_text;
+  };
+  std::map<unsigned, Witness> witness;
+};
+
+/// Names declared inside a block [open, close): `Type name =|(|{|;|:` after
+/// optional cv/ref tokens. The over-approximation (type names occasionally
+/// land in the set) only ever silences checks, never fires them.
+std::set<std::string> collect_block_locals(const std::vector<Token>& toks,
+                                           std::size_t open,
+                                           std::size_t close) {
+  std::set<std::string> locals;
+  for (std::size_t k = open + 1; k + 1 < close; ++k) {
+    if (toks[k].kind != Token::Kind::kIdent ||
+        non_type_keywords().count(toks[k].text) != 0) {
+      continue;
+    }
+    std::size_t m = k + 1;
+    while (m < close && (toks[m].text == "&" || toks[m].text == "*" ||
+                         toks[m].text == "const")) {
+      ++m;
+    }
+    if (m < close && toks[m].kind == Token::Kind::kIdent && m + 1 < close &&
+        (toks[m + 1].text == "=" || toks[m + 1].text == "(" ||
+         toks[m + 1].text == "{" || toks[m + 1].text == ";" ||
+         toks[m + 1].text == ":")) {
+      locals.insert(toks[m].text);
+    }
+  }
+  return locals;
+}
+
+/// Function definitions: `name(params) [const|noexcept|...]* [-> type] {`.
+/// The same triple gating as the signature index (declaration-shaped
+/// parameters, plausible return-type context) keeps call sites out.
+void collect_function_defs(const std::vector<Token>& toks,
+                           const FileContext& ctx,
+                           std::vector<FuncDef>& out) {
+  for (std::size_t i = 1; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent || toks[i + 1].text != "(") {
+      continue;
+    }
+    const std::string& name = toks[i].text;
+    if (non_type_keywords().count(name) != 0) continue;
+    const Token& prev = toks[i - 1];
+    const bool prev_ok =
+        (prev.kind == Token::Kind::kIdent &&
+         non_type_keywords().count(prev.text) == 0) ||
+        (prev.kind == Token::Kind::kPunct &&
+         (prev.text == "&" || prev.text == "*" || prev.text == ">" ||
+          prev.text == "::"));
+    if (!prev_ok) continue;
+    if (prev.text == "::" && i >= 2 && toks[i - 2].text == "std") continue;
+    const std::size_t close = find_match(toks, i + 1, "(", ")", toks.size());
+    if (close == kNpos || close + 1 >= toks.size()) continue;
+
+    FuncDef def;
+    bool shaped = true;
+    if (close > i + 2) {
+      for (const auto& [cb, ce] : split_args(toks, i + 2, close)) {
+        std::string pname;
+        std::string punit;
+        if (cb >= ce || !decl_chunk(toks, cb, ce, &pname, &punit)) {
+          shaped = false;
+          break;
+        }
+        ++def.arity;
+        if (pname.empty()) continue;
+        def.params.insert(pname);
+        def.param_pos[pname] = def.arity - 1;
+        bool by_ref = false;
+        bool is_const = false;
+        for (std::size_t j = cb; j < ce; ++j) {
+          if (toks[j].kind == Token::Kind::kPunct &&
+              (toks[j].text == "&" || toks[j].text == "*" ||
+               toks[j].text == "&&")) {
+            by_ref = true;
+          }
+          if (toks[j].kind == Token::Kind::kIdent && toks[j].text == "const") {
+            is_const = true;
+          }
+        }
+        if (by_ref && !is_const) def.mutable_ref_params.insert(pname);
+      }
+    }
+    if (!shaped) continue;
+    // Walk past trailing specifiers to the body brace; a ';' means this was
+    // only a declaration.
+    std::size_t j = close + 1;
+    while (j < toks.size() && toks[j].kind == Token::Kind::kIdent &&
+           (toks[j].text == "const" || toks[j].text == "noexcept" ||
+            toks[j].text == "override" || toks[j].text == "final" ||
+            toks[j].text == "mutable")) {
+      ++j;
+    }
+    if (j < toks.size() && toks[j].text == "->") {
+      const std::size_t cap = std::min(toks.size(), j + 24);
+      while (j < cap && toks[j].text != "{" && toks[j].text != ";") ++j;
+    }
+    if (j >= toks.size() || toks[j].text != "{") continue;
+    def.body_open = j;
+    def.body_close = find_match(toks, j, "{", "}", toks.size());
+    if (def.body_close == kNpos) continue;
+    def.name = name;
+    def.file = ctx.display_path;
+    def.line = toks[i].line;
+    def.locals = collect_block_locals(toks, def.body_open, def.body_close);
+    def.locals.insert(def.params.begin(), def.params.end());
+    out.push_back(std::move(def));
+  }
+}
+
+/// Direct (intraprocedural) effects of one body, plus its call sites.
+void compute_direct_effects(const std::vector<Token>& toks,
+                            const FileContext& ctx, bool arena_owner,
+                            const std::set<std::string>& mutable_globals,
+                            FuncDef& def) {
+  static const std::set<std::string> kAllocCalls = {"malloc", "calloc",
+                                                    "realloc", "free"};
+  static const std::set<std::string> kScheduleCalls = {"schedule_at",
+                                                       "schedule_in", "arm"};
+  static const std::set<std::string> kAssignOps = {"=", "+=", "-=", "*=",
+                                                   "/="};
+  const auto classify = [&](const std::string& ident) {
+    if (def.params.count(ident) != 0) return kRecvParam;
+    if (def.locals.count(ident) != 0) return kRecvLocal;
+    return kRecvOuter;
+  };
+  const auto note_direct = [&](unsigned bit, std::string why) {
+    def.direct |= bit;
+    if (def.witness.count(bit) == 0) {
+      def.witness[bit] = {nullptr, 0, std::move(why)};
+    }
+  };
+  const auto loc = [&](int line) {
+    return ctx.display_path + ":" + std::to_string(line);
+  };
+
+  for (std::size_t k = def.body_open + 1; k < def.body_close; ++k) {
+    const Token& t = toks[k];
+    if (t.kind != Token::Kind::kIdent) continue;
+    const std::string& id = t.text;
+    const bool member_ctx =
+        k > 0 && (toks[k - 1].text == "." || toks[k - 1].text == "->");
+
+    if (id == "new" && !arena_owner) {
+      note_direct(kEffAllocates, "allocates with 'new' at " + loc(t.line));
+      continue;
+    }
+    if (kAllocCalls.count(id) != 0 && next_is(toks, k, "(") &&
+        free_call_context(toks, k) && !arena_owner) {
+      note_direct(kEffAllocates, "calls '" + id + "' at " + loc(t.line));
+      continue;
+    }
+    if (kScheduleCalls.count(id) != 0 && next_is(toks, k, "(")) {
+      note_direct(kEffSchedules,
+                  "schedules via '" + id + "' at " + loc(t.line));
+      continue;
+    }
+
+    // Draw on an Rng-like receiver: `recv.uniform(...)`.
+    if (!member_ctx && k + 3 < def.body_close &&
+        (toks[k + 1].text == "." || toks[k + 1].text == "->") &&
+        toks[k + 2].kind == Token::Kind::kIdent &&
+        rng_draw_methods().count(toks[k + 2].text) != 0 &&
+        toks[k + 3].text == "(") {
+      const int cls = classify(id);
+      const std::string why = "draws via '" + id + "." + toks[k + 2].text +
+                              "(...)' at " + loc(t.line);
+      if (cls == kRecvParam) {
+        note_direct(kEffDrawsRngParam, why);
+        const auto pos = def.param_pos.find(id);
+        if (pos != def.param_pos.end()) def.rng_params.insert(pos->second);
+      } else if (cls != kRecvLocal) {
+        note_direct(kEffDrawsRngState, why);
+      }
+      continue;
+    }
+
+    // Mutation patterns after an identifier: assignment operators,
+    // increment/decrement, mutating member calls, member-field assignment,
+    // subscript assignment.
+    if (!member_ctx && k + 1 < def.body_close) {
+      bool mutated = false;
+      const std::string& nxt = toks[k + 1].text;
+      if (toks[k + 1].kind == Token::Kind::kPunct) {
+        if (kAssignOps.count(nxt) != 0) mutated = true;
+        if ((nxt == "+" && k + 2 < def.body_close &&
+             toks[k + 2].text == "+") ||
+            (nxt == "-" && k + 2 < def.body_close &&
+             toks[k + 2].text == "-")) {
+          mutated = true;  // postfix ++/--
+        }
+        if ((nxt == "." || nxt == "->") && k + 3 < def.body_close &&
+            toks[k + 2].kind == Token::Kind::kIdent) {
+          if (mutating_methods().count(toks[k + 2].text) != 0 &&
+              toks[k + 3].text == "(") {
+            mutated = true;
+          } else if (toks[k + 3].kind == Token::Kind::kPunct &&
+                     kAssignOps.count(toks[k + 3].text) != 0) {
+            mutated = true;  // recv.field = ...
+          }
+        }
+        if (nxt == "[") {
+          const std::size_t rb =
+              find_match(toks, k + 1, "[", "]", def.body_close);
+          if (rb != kNpos && rb + 1 < def.body_close &&
+              toks[rb + 1].kind == Token::Kind::kPunct &&
+              kAssignOps.count(toks[rb + 1].text) != 0) {
+            mutated = true;
+          }
+        }
+      }
+      const bool prefix_incr =
+          k >= 2 && toks[k - 1].kind == Token::Kind::kPunct &&
+          toks[k - 2].kind == Token::Kind::kPunct &&
+          ((toks[k - 1].text == "+" && toks[k - 2].text == "+") ||
+           (toks[k - 1].text == "-" && toks[k - 2].text == "-"));
+      if (mutated || prefix_incr) {
+        if (def.mutable_ref_params.count(id) != 0) {
+          note_direct(kEffMutatesParam, "mutates parameter '" + id +
+                                            "' at " + loc(t.line));
+          const auto pos = def.param_pos.find(id);
+          if (pos != def.param_pos.end()) {
+            def.mutated_params.insert(pos->second);
+          }
+        } else if (def.locals.count(id) == 0 &&
+                   mutable_globals.count(id) != 0) {
+          note_direct(kEffWritesGlobal,
+                      "writes '" + id + "' at " + loc(t.line));
+        }
+      }
+    }
+
+    // Call site (free or member), for bottom-up propagation.
+    if (next_is(toks, k, "(") && non_type_keywords().count(id) == 0 &&
+        kAllocCalls.count(id) == 0 && kScheduleCalls.count(id) == 0) {
+      if (member_ctx && rng_draw_methods().count(id) != 0) continue;
+      if (k >= 2 && toks[k - 1].text == "::" && toks[k - 2].text == "std") {
+        continue;  // std:: calls cannot touch wild5g state
+      }
+      EffCallSite site;
+      site.callee = id;
+      site.line = t.line;
+      if (member_ctx) {
+        site.recv = kRecvOuter;
+        if (k >= 2 && toks[k - 2].kind == Token::Kind::kIdent) {
+          site.recv = classify(toks[k - 2].text);
+          if (site.recv == kRecvNone) site.recv = kRecvOuter;
+          if (site.recv == kRecvParam) {
+            const auto pos = def.param_pos.find(toks[k - 2].text);
+            if (pos != def.param_pos.end()) site.recv_param_pos = pos->second;
+          }
+        }
+      }
+      const std::size_t close =
+          find_match(toks, k + 1, "(", ")", def.body_close + 1);
+      if (close != kNpos && close > k + 2) {
+        for (const auto& [ab, ae] : split_args(toks, k + 2, close)) {
+          std::size_t b = ab;
+          if (b < ae && toks[b].kind == Token::Kind::kPunct &&
+              toks[b].text == "&") {
+            ++b;
+          }
+          EffCallArg arg;
+          if (ae == b + 1 && toks[b].kind == Token::Kind::kIdent) {
+            arg.name = toks[b].text;
+            if (def.params.count(arg.name) != 0) {
+              arg.cls = kArgParam;
+              const auto pos = def.param_pos.find(arg.name);
+              if (pos != def.param_pos.end()) arg.param_pos = pos->second;
+            } else if (def.locals.count(arg.name) != 0) {
+              arg.cls = kArgLocal;
+            } else if (mutable_globals.count(arg.name) != 0) {
+              arg.cls = kArgGlobal;
+            } else {
+              arg.cls = kArgOuter;
+            }
+          }
+          site.args.push_back(std::move(arg));
+        }
+        site.argc = static_cast<int>(site.args.size());
+      }
+      def.calls.push_back(std::move(site));
+    }
+  }
+  def.effects = def.direct;
+}
+
+// name -> arity -> definitions. Same-name-same-arity definitions with
+// conflicting *direct* effect masks poison resolution with kEffUnknown: the
+// engine cannot tell which one a call binds to, so it refuses to claim
+// specific effects and demands an audit instead.
+using FuncIndex = std::map<std::string, std::map<int, std::vector<FuncDef*>>>;
+
+std::vector<FuncDef*> resolve_callee(const FuncIndex& index,
+                                     const std::string& name, int argc) {
+  const auto slot = index.find(name);
+  if (slot == index.end()) return {};
+  const auto exact = slot->second.find(argc);
+  if (exact != slot->second.end()) return exact->second;
+  std::vector<FuncDef*> all;  // arity mismatch (default args): merge all
+  for (const auto& [arity, defs] : slot->second) {
+    (void)arity;
+    all.insert(all.end(), defs.begin(), defs.end());
+  }
+  return all;
+}
+
+/// True when an exact-arity overload set disagrees on direct effect masks —
+/// the engine cannot tell which definition a call binds to, so resolution
+/// is poisoned with kEffUnknown instead of guessing a union.
+bool conflicting(const std::vector<FuncDef*>& defs, bool exact) {
+  if (!exact) return false;
+  for (const FuncDef* d : defs) {
+    if (d->direct != defs.front()->direct) return true;
+  }
+  return false;
+}
+
+unsigned union_effects(const std::vector<FuncDef*>& defs) {
+  unsigned merged = 0;
+  for (const FuncDef* d : defs) merged |= d->effects;
+  return merged;
+}
+
+std::set<int> rng_positions(const std::vector<FuncDef*>& defs) {
+  std::set<int> out;
+  for (const FuncDef* d : defs) {
+    out.insert(d->rng_params.begin(), d->rng_params.end());
+  }
+  return out;
+}
+
+std::set<int> mutated_positions(const std::vector<FuncDef*>& defs) {
+  std::set<int> out;
+  for (const FuncDef* d : defs) {
+    out.insert(d->mutated_params.begin(), d->mutated_params.end());
+  }
+  return out;
+}
+
+const FuncDef* witness_for(const std::vector<FuncDef*>& defs, unsigned bit) {
+  for (const FuncDef* d : defs) {
+    if ((d->effects & bit) != 0) return d;
+  }
+  return defs.front();
+}
+
+/// Bottom-up propagation to a fixpoint. Effect bits and the positional
+/// mutated/rng sets only ever grow over finite domains, so the loop
+/// terminates — mutual recursion simply iterates until the cycle stabilizes.
+/// Inheritance through a site is receiver- and position-conditioned (the
+/// sanctioned idiom inherits nothing):
+///   writes_global / allocates / schedules / unknown  pass through verbatim
+///   draws_rng (state)   recv local -> dropped; recv param -> caller's
+///                       receiver slot becomes an rng param; else kept
+///   draws_rng_param[j]  arg j local/complex -> dropped; arg j param p ->
+///                       caller slot p becomes an rng param; arg j outer or
+///                       global -> a shared stream feeds the draw: state
+///   mutates_param[j]    arg j global -> writes_global; arg j param p ->
+///                       caller slot p becomes mutated; else dropped (the
+///                       task-site alias rule handles captured objects)
+void propagate_effects(std::vector<FuncDef*>& funcs, const FuncIndex& index) {
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (FuncDef* f : funcs) {
+      for (const EffCallSite& site : f->calls) {
+        const auto slot = index.find(site.callee);
+        if (slot == index.end()) continue;
+        const bool exact = slot->second.count(site.argc) != 0;
+        const std::vector<FuncDef*> defs =
+            resolve_callee(index, site.callee, site.argc);
+        if (defs.empty()) continue;
+
+        const auto note = [&](unsigned bit, const FuncDef* via,
+                              unsigned via_bit) {
+          if ((f->effects & bit) == 0) {
+            f->effects |= bit;
+            changed = true;
+          }
+          if (f->witness.count(bit) == 0) {
+            f->witness[bit] = {via, via_bit, ""};
+          }
+        };
+
+        if (conflicting(defs, exact)) {
+          if ((f->effects & kEffUnknown) == 0) {
+            f->effects |= kEffUnknown;
+            changed = true;
+            f->witness[kEffUnknown] = {
+                nullptr, 0,
+                "calls '" + site.callee + "', which has " +
+                    std::to_string(defs.size()) +
+                    " same-arity definitions with conflicting effects "
+                    "(first at " + defs.front()->file + ":" +
+                    std::to_string(defs.front()->line) + ")"};
+          }
+          continue;
+        }
+        const unsigned callee = union_effects(defs);
+
+        for (const unsigned bit : {kEffWritesGlobal, kEffAllocates,
+                                   kEffSchedules, kEffUnknown}) {
+          if ((callee & bit) != 0 && (f->effects & bit) == 0) {
+            note(bit, witness_for(defs, bit), bit);
+          }
+        }
+        if ((callee & kEffDrawsRngState) != 0) {
+          if (site.recv == kRecvParam) {
+            if (site.recv_param_pos >= 0 &&
+                f->rng_params.insert(site.recv_param_pos).second) {
+              changed = true;
+            }
+            note(kEffDrawsRngParam, witness_for(defs, kEffDrawsRngState),
+                 kEffDrawsRngState);
+          } else if (site.recv != kRecvLocal) {
+            note(kEffDrawsRngState, witness_for(defs, kEffDrawsRngState),
+                 kEffDrawsRngState);
+          }
+        }
+        for (const int j : rng_positions(defs)) {
+          if (j < 0 || static_cast<std::size_t>(j) >= site.args.size()) {
+            continue;
+          }
+          const EffCallArg& arg = site.args[static_cast<std::size_t>(j)];
+          if (arg.cls == kArgOuter || arg.cls == kArgGlobal) {
+            note(kEffDrawsRngState, witness_for(defs, kEffDrawsRngParam),
+                 kEffDrawsRngParam);
+          } else if (arg.cls == kArgParam && arg.param_pos >= 0) {
+            if (f->rng_params.insert(arg.param_pos).second) changed = true;
+            note(kEffDrawsRngParam, witness_for(defs, kEffDrawsRngParam),
+                 kEffDrawsRngParam);
+          }
+        }
+        for (const int j : mutated_positions(defs)) {
+          if (j < 0 || static_cast<std::size_t>(j) >= site.args.size()) {
+            continue;
+          }
+          const EffCallArg& arg = site.args[static_cast<std::size_t>(j)];
+          if (arg.cls == kArgGlobal) {
+            note(kEffWritesGlobal, witness_for(defs, kEffMutatesParam),
+                 kEffMutatesParam);
+          } else if (arg.cls == kArgParam && arg.param_pos >= 0) {
+            if (f->mutated_params.insert(arg.param_pos).second) {
+              changed = true;
+            }
+            note(kEffMutatesParam, witness_for(defs, kEffMutatesParam),
+                 kEffMutatesParam);
+          }
+        }
+      }
+    }
+  }
+}
+
+/// Renders the offending call chain for an effect bit:
+/// `helper (file:12) -> bump (file:6) -> writes 'g_total' at file:3`.
+std::string effect_chain(const FuncDef* def, unsigned bit) {
+  std::string chain =
+      def->name + " (" + def->file + ":" + std::to_string(def->line) + ")";
+  std::set<const FuncDef*> seen;
+  const FuncDef* cur = def;
+  while (cur != nullptr && seen.insert(cur).second) {
+    const auto it = cur->witness.find(bit);
+    if (it == cur->witness.end()) break;
+    if (!it->second.direct_text.empty()) {
+      chain += " -> " + it->second.direct_text;
+      break;
+    }
+    const FuncDef* via = it->second.via;
+    if (via == nullptr) break;
+    chain += " -> " + via->name + " (" + via->file + ":" +
+             std::to_string(via->line) + ")";
+    bit = it->second.via_bit;
+    cur = via;
+  }
+  return chain;
+}
+
+// ---------------------------------------------------------------------------
+// Checks consuming the effect database.
+
+/// global-mutable-state: the inventory findings. Scoped to src/ virtual
+/// paths — bench/tools mains are single-threaded drivers whose file-level
+/// state cannot be reached from a task without tripping the parallel rules.
+void check_global_state(const FileContext& ctx, const std::string& vpath,
+                        const std::vector<GlobalDecl>& globals,
+                        std::vector<Finding>& out) {
+  if (vpath.rfind("src/", 0) != 0) return;
+  for (const auto& g : globals) {
+    const std::string kind =
+        g.static_local ? "function-local static" : "namespace-scope";
+    out.push_back(
+        {ctx.display_path, g.line, "global-mutable-state",
+         kind + " mutable variable '" + g.name + "' is shared state the "
+         "multi-UE scheduler refactor cannot reason about; any parallel task "
+         "reaching it through a call chain races",
+         "const-qualify it, confine it with thread_local, or justify with "
+         "// wild5g-lint: allow(global-mutable-state) <why>"});
+  }
+}
+
+/// A located parallel_map/parallel_for task lambda: the body token range
+/// plus every name that is task-local (lambda parameters and body
+/// declarations), mirroring check_parallel_rng's location logic.
+struct ParallelTask {
+  std::string_view entry;  // "parallel_map" or "parallel_for"
+  std::size_t body_open = 0;
+  std::size_t body_close = 0;
+  std::set<std::string> locals;
+};
+
+std::vector<ParallelTask> collect_parallel_tasks(
+    const std::vector<Token>& toks) {
+  std::vector<ParallelTask> tasks;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != Token::Kind::kIdent ||
+        (toks[i].text != "parallel_map" && toks[i].text != "parallel_for") ||
+        toks[i + 1].text != "(") {
+      continue;
+    }
+    const std::size_t call_close =
+        find_match(toks, i + 1, "(", ")", toks.size());
+    if (call_close == kNpos) continue;
+    std::size_t cap_open = kNpos;
+    for (std::size_t j = i + 2; j < call_close; ++j) {
+      if (toks[j].kind == Token::Kind::kPunct && toks[j].text == "[") {
+        cap_open = j;
+        break;
+      }
+    }
+    if (cap_open == kNpos) continue;
+    const std::size_t cap_close =
+        find_match(toks, cap_open, "[", "]", call_close);
+    if (cap_close == kNpos) continue;
+    ParallelTask task;
+    task.entry = toks[i].text == "parallel_map" ? "parallel_map"
+                                                : "parallel_for";
+    std::size_t j = cap_close + 1;
+    if (j < call_close && toks[j].text == "(") {
+      const std::size_t params_close =
+          find_match(toks, j, "(", ")", call_close);
+      if (params_close == kNpos) continue;
+      for (std::size_t k = j + 1; k < params_close; ++k) {
+        if (toks[k].kind == Token::Kind::kIdent) {
+          task.locals.insert(toks[k].text);
+        }
+      }
+      j = params_close + 1;
+    }
+    while (j < call_close && toks[j].kind == Token::Kind::kIdent) {
+      ++j;  // mutable, noexcept
+    }
+    if (j >= call_close || toks[j].text != "{") continue;
+    task.body_open = j;
+    task.body_close = find_match(toks, j, "{", "}", call_close + 1);
+    if (task.body_close == kNpos) continue;
+    const std::set<std::string> body_locals =
+        collect_block_locals(toks, task.body_open, task.body_close);
+    task.locals.insert(body_locals.begin(), body_locals.end());
+    tasks.push_back(std::move(task));
+  }
+  return tasks;
+}
+
+/// parallel-effect-{write,rng,alias,unknown}: every indexed call inside a
+/// task body is checked against the callee's propagated effects, mapped
+/// through the call site exactly like function-to-function inheritance.
+void check_parallel_effects(const std::vector<Token>& toks,
+                            const FileContext& ctx, const FuncIndex& index,
+                            const std::set<std::string>& mutable_globals,
+                            std::vector<Finding>& out) {
+  for (const ParallelTask& task : collect_parallel_tasks(toks)) {
+    for (std::size_t k = task.body_open + 1; k < task.body_close; ++k) {
+      if (toks[k].kind != Token::Kind::kIdent || !next_is(toks, k, "(")) {
+        continue;
+      }
+      const std::string& name = toks[k].text;
+      if (non_type_keywords().count(name) != 0) continue;
+      const bool member_ctx =
+          toks[k - 1].text == "." || toks[k - 1].text == "->";
+      if (member_ctx && rng_draw_methods().count(name) != 0) {
+        continue;  // parallel-rng-stream's domain
+      }
+      if (k >= 2 && toks[k - 1].text == "::" && toks[k - 2].text == "std") {
+        continue;
+      }
+      const auto slot = index.find(name);
+      if (slot == index.end()) continue;
+
+      EffCallSite site;
+      site.callee = name;
+      site.line = toks[k].line;
+      if (member_ctx) {
+        site.recv = kRecvOuter;
+        if (k >= 2 && toks[k - 2].kind == Token::Kind::kIdent &&
+            task.locals.count(toks[k - 2].text) != 0) {
+          site.recv = kRecvLocal;
+        }
+      }
+      const std::size_t close =
+          find_match(toks, k + 1, "(", ")", task.body_close + 1);
+      if (close == kNpos) continue;
+      if (close > k + 2) {
+        for (const auto& [ab, ae] : split_args(toks, k + 2, close)) {
+          std::size_t b = ab;
+          if (b < ae && toks[b].kind == Token::Kind::kPunct &&
+              toks[b].text == "&") {
+            ++b;
+          }
+          EffCallArg arg;
+          if (ae == b + 1 && toks[b].kind == Token::Kind::kIdent) {
+            const std::string& id = toks[b].text;
+            if (task.locals.count(id) != 0) {
+              arg.cls = kArgLocal;
+            } else if (mutable_globals.count(id) != 0) {
+              arg.cls = kArgGlobal;
+            } else {
+              arg.cls = kArgOuter;
+              arg.name = id;
+            }
+          }
+          site.args.push_back(std::move(arg));
+        }
+        site.argc = static_cast<int>(site.args.size());
+      }
+      const bool exact = slot->second.count(site.argc) != 0;
+      const std::vector<FuncDef*> defs =
+          resolve_callee(index, name, site.argc);
+      if (defs.empty()) continue;
+      const std::string entry(task.entry);
+      if (conflicting(defs, exact)) {
+        out.push_back(
+            {ctx.display_path, site.line, "parallel-effect-unknown",
+             entry + " task body calls '" + name + "', whose effects cannot "
+             "be resolved (" + std::to_string(defs.size()) + " same-arity "
+             "definitions with conflicting effect signatures); the engine "
+             "assumes the worst",
+             "rename the conflicting overloads apart, or justify with "
+             "// wild5g-lint: allow(parallel-effect-unknown) <why>"});
+        continue;
+      }
+      const unsigned callee = union_effects(defs);
+      const std::set<int> rng_pos = rng_positions(defs);
+      const std::set<int> mut_pos = mutated_positions(defs);
+      const auto arg_at = [&](int j) -> const EffCallArg* {
+        if (j < 0 || static_cast<std::size_t>(j) >= site.args.size()) {
+          return nullptr;
+        }
+        return &site.args[static_cast<std::size_t>(j)];
+      };
+
+      bool write_bad = (callee & kEffWritesGlobal) != 0;
+      unsigned write_sb = kEffWritesGlobal;
+      bool rng_bad =
+          (callee & kEffDrawsRngState) != 0 && site.recv != kRecvLocal;
+      unsigned rng_sb = kEffDrawsRngState;
+      std::string alias_arg;
+      for (const int j : mut_pos) {
+        const EffCallArg* arg = arg_at(j);
+        if (arg == nullptr) continue;
+        if (arg->cls == kArgGlobal && !write_bad) {
+          write_bad = true;
+          write_sb = kEffMutatesParam;
+        } else if (arg->cls == kArgOuter && alias_arg.empty()) {
+          alias_arg = arg->name;
+        }
+      }
+      for (const int j : rng_pos) {
+        const EffCallArg* arg = arg_at(j);
+        if (arg == nullptr) continue;
+        if ((arg->cls == kArgOuter || arg->cls == kArgGlobal) && !rng_bad) {
+          rng_bad = true;
+          rng_sb = kEffDrawsRngParam;
+        }
+      }
+
+      if (write_bad) {
+        out.push_back(
+            {ctx.display_path, site.line, "parallel-effect-write",
+             entry + " task body calls '" + name + "', which transitively "
+             "writes shared mutable state; concurrent tasks race and break "
+             "byte-identical goldens: " +
+                 effect_chain(witness_for(defs, write_sb), write_sb),
+             "return a per-task value and reduce on the caller's thread, or "
+             "const-qualify the state"});
+      }
+      if (rng_bad) {
+        out.push_back(
+            {ctx.display_path, site.line, "parallel-effect-rng",
+             entry + " task body calls '" + name + "', which transitively "
+             "draws from an Rng stream that is not derived per task; draw "
+             "order depends on scheduling: " +
+                 effect_chain(witness_for(defs, rng_sb), rng_sb),
+             "pass the helper a task-local child stream (auto child = "
+             "base.fork(i);) instead of shared state"});
+      }
+      if (!alias_arg.empty()) {
+        out.push_back(
+            {ctx.display_path, site.line, "parallel-effect-alias",
+             entry + " task body passes captured '" + alias_arg + "' to '" +
+                 name + "', which mutates a reference parameter; every task "
+                 "aliases the same object: " +
+                 effect_chain(witness_for(defs, kEffMutatesParam),
+                              kEffMutatesParam),
+             "accumulate into a task-local value and merge after the "
+             "parallel region"});
+      }
+      if ((callee & kEffUnknown) != 0) {
+        out.push_back(
+            {ctx.display_path, site.line, "parallel-effect-unknown",
+             entry + " task body calls '" + name + "', whose transitive "
+             "effects cannot be resolved; the engine assumes the worst: " +
+                 effect_chain(witness_for(defs, kEffUnknown), kEffUnknown),
+             "rename the conflicting overloads apart, or justify with "
+             "// wild5g-lint: allow(parallel-effect-unknown) <why>"});
+      }
+    }
+  }
+}
+
+/// arena-escape: a pointer produced by `<arena>.allocate(...)` stored into
+/// anything that outlives the enclosing function scope — member, global, or
+/// non-local container — or returned. Arena recycling makes every such
+/// store a latent use-after-free that ASan only catches when a test happens
+/// to land on the recycled slot.
+void check_arena_escape(const std::vector<Token>& toks,
+                        const FileContext& ctx, const std::string& vpath,
+                        const std::vector<FuncDef>& funcs,
+                        const std::set<std::string>& mutable_globals,
+                        std::vector<Finding>& out) {
+  // Sanctioned owners: the arena itself and the simulator event loop, which
+  // recycles nodes in lockstep with dispatch and is audited by test_sim's
+  // lifetime tests.
+  static constexpr std::array<std::string_view, 3> kArenaOwners = {
+      "src/core/arena.h", "src/sim/simulator.h", "src/sim/simulator.cpp"};
+  for (const auto owner : kArenaOwners) {
+    if (vpath == owner) return;
+  }
+  // Receivers that look like arenas: declared `Arena x` / `core::Arena x`
+  // in this file, or any identifier mentioning "arena".
+  std::set<std::string> arena_objs;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind == Token::Kind::kIdent && toks[i].text == "Arena" &&
+        toks[i + 1].kind == Token::Kind::kIdent) {
+      arena_objs.insert(toks[i + 1].text);
+    }
+  }
+  const auto is_arena = [&](const std::string& id) {
+    return arena_objs.count(id) != 0 ||
+           id.find("arena") != std::string::npos ||
+           id.find("Arena") != std::string::npos;
+  };
+  const std::string_view fixit =
+      "keep arena-backed pointers handler-scoped; copy the payload out or "
+      "use an owned allocation for anything that outlives dispatch";
+  for (const FuncDef& def : funcs) {
+    // Pointers bound to an allocate() result in this body: walk back from
+    // the receiver, past casts, to the '=' and the name left of it.
+    std::set<std::string> tracked;
+    for (std::size_t k = def.body_open + 1; k + 1 < def.body_close; ++k) {
+      if (toks[k].kind != Token::Kind::kIdent ||
+          toks[k].text != "allocate" || !next_is(toks, k, "(") || k < 2 ||
+          (toks[k - 1].text != "." && toks[k - 1].text != "->") ||
+          toks[k - 2].kind != Token::Kind::kIdent ||
+          !is_arena(toks[k - 2].text)) {
+        continue;
+      }
+      const std::size_t floor =
+          k - 2 > def.body_open + 26 ? k - 2 - 26 : def.body_open;
+      for (std::size_t j = k - 2; j > floor;) {
+        --j;
+        if (toks[j].kind != Token::Kind::kPunct) continue;
+        if (toks[j].text == ";") break;
+        if (toks[j].text == "=") {
+          if (j > 0 && toks[j - 1].kind == Token::Kind::kIdent) {
+            tracked.insert(toks[j - 1].text);
+          }
+          break;
+        }
+      }
+    }
+    if (tracked.empty()) continue;
+    for (std::size_t k = def.body_open + 1; k + 1 < def.body_close; ++k) {
+      const Token& t = toks[k];
+      // return p;
+      if (t.kind == Token::Kind::kIdent && t.text == "return" &&
+          toks[k + 1].kind == Token::Kind::kIdent &&
+          tracked.count(toks[k + 1].text) != 0 && k + 2 < def.body_close &&
+          toks[k + 2].text == ";") {
+        out.push_back(
+            {ctx.display_path, t.line, "arena-escape",
+             "'" + toks[k + 1].text + "' points into arena storage and is "
+             "returned from '" + def.name + "'; the arena recycles the slot "
+             "and the pointer dangles",
+             std::string(fixit)});
+        continue;
+      }
+      // <lvalue> = p ;  where the lvalue's base name is not function-local.
+      if (t.kind == Token::Kind::kPunct && t.text == "=" && k >= 1 &&
+          toks[k + 1].kind == Token::Kind::kIdent &&
+          tracked.count(toks[k + 1].text) != 0 &&
+          (k + 2 >= def.body_close || toks[k + 2].text == ";") &&
+          toks[k - 1].kind == Token::Kind::kIdent) {
+        std::size_t root = k - 1;
+        while (root >= def.body_open + 3 &&
+               (toks[root - 1].text == "." || toks[root - 1].text == "->") &&
+               toks[root - 2].kind == Token::Kind::kIdent) {
+          root -= 2;
+        }
+        const std::string& base = toks[root].text;
+        if (def.locals.count(base) != 0 && base != "this") continue;
+        const bool global = mutable_globals.count(base) != 0;
+        out.push_back(
+            {ctx.display_path, t.line, "arena-escape",
+             "'" + toks[k + 1].text + "' points into arena storage and is "
+             "stored into " +
+                 (global ? "global '" + base + "'"
+                         : "'" + toks[k - 1].text +
+                               "', which outlives this handler scope") +
+                 "; the arena recycles the slot and the pointer dangles",
+             std::string(fixit)});
+        continue;
+      }
+      // container.push_back(p) etc. on a non-local receiver.
+      if (t.kind == Token::Kind::kIdent &&
+          mutating_methods().count(t.text) != 0 && next_is(toks, k, "(") &&
+          k >= 2 && (toks[k - 1].text == "." || toks[k - 1].text == "->") &&
+          toks[k - 2].kind == Token::Kind::kIdent &&
+          def.locals.count(toks[k - 2].text) == 0) {
+        const std::size_t close =
+            find_match(toks, k + 1, "(", ")", def.body_close + 1);
+        if (close == kNpos || close <= k + 2) continue;
+        for (const auto& [ab, ae] : split_args(toks, k + 2, close)) {
+          std::size_t b = ab;
+          if (b < ae && toks[b].text == "&") ++b;
+          if (ae != b + 1 || toks[b].kind != Token::Kind::kIdent ||
+              tracked.count(toks[b].text) == 0) {
+            continue;
+          }
+          out.push_back(
+              {ctx.display_path, t.line, "arena-escape",
+               "'" + toks[b].text + "' points into arena storage and is "
+               "inserted into '" + toks[k - 2].text + "', which outlives "
+               "this handler scope; the arena recycles the slot and the "
+               "pointer dangles",
+               std::string(fixit)});
+          break;
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
 // Layering. The include DAG over src/ modules must flow strictly downward:
 // a module may include core, itself, and any module of strictly lower rank.
 // The ranks encode the ISSUE constraints (core at the bottom, sim below
@@ -1572,6 +2824,9 @@ struct FileUnit {
   std::vector<IncludeRef> includes;
   std::set<std::string> rng_vars;
   std::set<std::size_t> decl_sites;
+  std::vector<std::string> lines;    // raw physical lines, for fingerprints
+  std::vector<GlobalDecl> globals;   // mutable global/static inventory
+  std::vector<FuncDef> funcs;        // effect-inference database
   bool io_error = false;
 };
 
@@ -1620,7 +2875,34 @@ FileUnit load_file(const fs::path& path) {
   unit.ctx.in_bench = unit.vpath.rfind("bench/", 0) == 0;
   unit.includes = collect_includes(unit.lexed.tokens);
   unit.rng_vars = collect_rng_vars(unit.lexed.tokens);
+  collect_globals(unit.lexed.tokens, unit.globals);
+  // Raw physical lines back the --baseline fingerprints: a finding keeps its
+  // identity across pure line-number drift (code added above it) but not
+  // across edits to the flagged line itself.
+  std::string line;
+  std::istringstream line_in(raw_text);
+  while (std::getline(line_in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    unit.lines.push_back(line);
+  }
   return unit;
+}
+
+/// Stable finding identity for --baseline: rule | virtual path (falling back
+/// to the bare filename outside the lintable roots) | the flagged source
+/// line with every whitespace byte removed.
+std::string fingerprint_of(const FileUnit& unit, const Finding& f) {
+  const std::string vkey =
+      unit.vpath.empty() ? unit.path.filename().generic_string() : unit.vpath;
+  std::string norm;
+  if (f.line >= 1 && static_cast<std::size_t>(f.line) <= unit.lines.size()) {
+    for (const char c : unit.lines[static_cast<std::size_t>(f.line) - 1]) {
+      if (c != ' ' && c != '\t' && c != '\r' && c != '\f' && c != '\v') {
+        norm += c;
+      }
+    }
+  }
+  return f.rule + "|" + vkey + "|" + norm;
 }
 
 /// layering: per-file check of include edges against the module ranks. The
@@ -1730,6 +3012,45 @@ std::vector<Finding> run_checks(std::vector<FileUnit>& units) {
   for (auto& unit : units) {
     collect_signatures(unit.lexed.tokens, index, unit.decl_sites);
   }
+
+  // Effect phase 0: the tracked writes_global set. A declaration whose
+  // global-mutable-state finding carries a justified allow() is audited,
+  // sanctioned state — it stays out of the set so e.g. the parallel.cpp
+  // pool singleton does not poison every function that runs a region.
+  std::set<std::string> mutable_globals;
+  for (auto& unit : units) {
+    for (auto& g : unit.globals) {
+      Finding probe;
+      probe.file = unit.ctx.display_path;
+      probe.line = g.line;
+      probe.rule = "global-mutable-state";
+      g.audited = suppressed(unit.allows, unit.token_lines, probe);
+      if (!g.audited) mutable_globals.insert(g.name);
+    }
+  }
+
+  // Effect phases 1 + 2: per-body direct effects, then the bottom-up
+  // call-graph fixpoint. Pointers into unit.funcs are stable from here on —
+  // nothing appends to the vectors after collection.
+  FuncIndex findex;
+  std::vector<FuncDef*> all_funcs;
+  for (auto& unit : units) {
+    if (unit.io_error) continue;
+    collect_function_defs(unit.lexed.tokens, unit.ctx, unit.funcs);
+    const bool arena_owner = unit.vpath == "src/core/arena.h";
+    for (auto& def : unit.funcs) {
+      compute_direct_effects(unit.lexed.tokens, unit.ctx, arena_owner,
+                             mutable_globals, def);
+    }
+  }
+  for (auto& unit : units) {
+    for (auto& def : unit.funcs) {
+      findex[def.name][def.arity].push_back(&def);
+      all_funcs.push_back(&def);
+    }
+  }
+  propagate_effects(all_funcs, findex);
+
   for (auto& unit : units) {
     if (unit.io_error) continue;
     const auto& toks = unit.lexed.tokens;
@@ -1743,6 +3064,11 @@ std::vector<Finding> run_checks(std::vector<FileUnit>& units) {
     check_unit_conversion_calls(toks, unit.ctx, unit.raw);
     check_unit_calls(toks, unit.ctx, index, unit.decl_sites, unit.raw);
     check_parallel_rng(toks, unit.ctx, unit.rng_vars, unit.raw);
+    check_global_state(unit.ctx, unit.vpath, unit.globals, unit.raw);
+    check_parallel_effects(toks, unit.ctx, findex, mutable_globals,
+                           unit.raw);
+    check_arena_escape(toks, unit.ctx, unit.vpath, unit.funcs,
+                       mutable_globals, unit.raw);
     check_layering(unit);
   }
   check_cycles(units);
@@ -1755,6 +3081,7 @@ std::vector<Finding> run_checks(std::vector<FileUnit>& units) {
         kept.push_back(std::move(f));
       }
     }
+    for (auto& f : kept) f.fingerprint = fingerprint_of(unit, f);
     std::sort(kept.begin(), kept.end(),
               [](const Finding& a, const Finding& b) {
                 return std::tie(a.line, a.rule) < std::tie(b.line, b.rule);
@@ -1812,6 +3139,7 @@ json::Value sarif_json(const std::vector<Finding>& findings) {
     entry.set("defaultConfiguration", std::move(config));
     json::Value props = json::Value::object();
     props.set("family", std::string(rule.family));
+    if (!rule.effects.empty()) props.set("effects", std::string(rule.effects));
     entry.set("properties", std::move(props));
     rules.push_back(std::move(entry));
   }
@@ -1846,6 +3174,11 @@ json::Value sarif_json(const std::vector<Finding>& findings) {
     json::Value locations = json::Value::array();
     locations.push_back(std::move(location));
     result.set("locations", std::move(locations));
+    if (!f.fingerprint.empty()) {
+      json::Value prints = json::Value::object();
+      prints.set("wild5gFingerprint/v1", f.fingerprint);
+      result.set("partialFingerprints", std::move(prints));
+    }
     results.push_back(std::move(result));
   }
 
@@ -1869,6 +3202,7 @@ json::Value rules_json() {
     entry.set("family", std::string(rule.family));
     entry.set("summary", std::string(rule.summary));
     if (!rule.fixit.empty()) entry.set("fixit", std::string(rule.fixit));
+    if (!rule.effects.empty()) entry.set("effects", std::string(rule.effects));
     list.push_back(std::move(entry));
   }
   json::Value doc = json::Value::object();
@@ -1900,15 +3234,33 @@ std::string rules_doc_markdown() {
         "```\n\n";
   os << "Machine-readable forms: `--list-rules --json` (this table as "
         "JSON),\n`--json` (findings), `--sarif <path>` (SARIF 2.1.0 for "
-        "GitHub code scanning).\n";
+        "GitHub code scanning).\nRatchet mode: `--baseline <sarif>` fails "
+        "only on findings whose fingerprint\n(rule | virtual path | "
+        "whitespace-stripped source line) is absent from the\ncommitted "
+        "baseline.\n";
   for (const auto& family : kFamilies) {
     os << "\n## " << family << "\n\n";
+    if (family == "effects") {
+      os << "These rules consume an interprocedural effect database: every "
+            "function\ndefinition gets a conservative signature over the "
+            "lattice `{writes_global,\nmutates_param, draws_rng, "
+            "draws_rng_param, allocates, schedules, unknown}`,\npropagated "
+            "bottom-up over the call graph to a fixpoint (call cycles "
+            "iterate\nuntil stable). Same-name same-arity definitions with "
+            "conflicting direct\neffects poison resolution with `unknown` "
+            "instead of guessing, so every\nsuppression stays auditable. "
+            "Findings print the offending call chain down\nto the concrete "
+            "write/draw as fix-it context.\n\n";
+    }
     os << "| rule | summary | fix-it |\n";
     os << "| --- | --- | --- |\n";
     for (const auto& rule : kRules) {
       if (rule.family != family) continue;
-      os << "| `" << rule.id << "` | " << rule.summary << " | "
-         << (rule.fixit.empty() ? std::string_view{"-"} : rule.fixit)
+      os << "| `" << rule.id << "` | " << rule.summary;
+      if (!rule.effects.empty()) {
+        os << " *(effect: `" << rule.effects << "`)*";
+      }
+      os << " | " << (rule.fixit.empty() ? std::string_view{"-"} : rule.fixit)
          << " |\n";
     }
   }
@@ -1916,9 +3268,41 @@ std::string rules_doc_markdown() {
 }
 
 int usage() {
-  std::cerr << "usage: wild5g_lint [--json] [--sarif <path>] [--list-rules]\n"
-               "                   [--rules-doc] <file-or-dir>...\n";
+  std::cerr << "usage: wild5g_lint [--json] [--sarif <path>] "
+               "[--baseline <sarif>]\n"
+               "                   [--list-rules] [--rules-doc] "
+               "<file-or-dir>...\n";
   return 2;
+}
+
+/// Loads the fingerprint multiset from a committed baseline SARIF log (one
+/// produced by --sarif). Results without a wild5gFingerprint/v1 entry are
+/// ignored — they can never match, so they simply do not ratchet.
+bool load_baseline(const std::string& path,
+                   std::map<std::string, int>& fingerprints) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) return false;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  json::Value doc;
+  try {
+    doc = json::parse(buffer.str());
+  } catch (const std::exception&) {
+    return false;
+  }
+  const json::Value* runs = doc.find("runs");
+  if (runs == nullptr || !runs->is_array()) return false;
+  for (const json::Value& run : runs->as_array()) {
+    const json::Value* results = run.find("results");
+    if (results == nullptr || !results->is_array()) continue;
+    for (const json::Value& result : results->as_array()) {
+      const json::Value* prints = result.find("partialFingerprints");
+      if (prints == nullptr) continue;
+      const json::Value* fp = prints->find("wild5gFingerprint/v1");
+      if (fp != nullptr && fp->is_string()) ++fingerprints[fp->as_string()];
+    }
+  }
+  return true;
 }
 
 }  // namespace
@@ -1928,6 +3312,7 @@ int main(int argc, char** argv) {
   bool list_rules = false;
   bool rules_doc = false;
   std::string sarif_path;
+  std::string baseline_path;
   std::vector<fs::path> roots;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -1943,6 +3328,12 @@ int main(int argc, char** argv) {
         return usage();
       }
       sarif_path = argv[++i];
+    } else if (arg == "--baseline") {
+      if (i + 1 >= argc) {
+        std::cerr << "wild5g_lint: --baseline requires a SARIF path\n";
+        return usage();
+      }
+      baseline_path = argv[++i];
     } else if (arg == "--help" || arg == "-h") {
       return usage();
     } else if (!arg.empty() && arg[0] == '-') {
@@ -1992,7 +3383,46 @@ int main(int argc, char** argv) {
   std::vector<FileUnit> units;
   units.reserve(files.size());
   for (const auto& file : files) units.push_back(load_file(file));
-  const std::vector<Finding> findings = run_checks(units);
+  std::vector<Finding> findings = run_checks(units);
+
+  // Ratchet mode: drop findings already recorded in the committed baseline
+  // (multiset semantics — a third copy of a twice-baselined finding is still
+  // new). The SARIF log, when also requested, keeps the full pre-filter set
+  // so regenerating the baseline from it never loses entries.
+  if (!baseline_path.empty()) {
+    std::map<std::string, int> baseline;
+    if (!load_baseline(baseline_path, baseline)) {
+      std::cerr << "wild5g_lint: cannot read baseline SARIF: "
+                << baseline_path << "\n";
+      return 2;
+    }
+    if (!sarif_path.empty()) {
+      std::ofstream out(sarif_path, std::ios::binary);
+      if (!out.good()) {
+        std::cerr << "wild5g_lint: cannot write SARIF log: " << sarif_path
+                  << "\n";
+        return 2;
+      }
+      out << json::dump(sarif_json(findings)) << "\n";
+      sarif_path.clear();
+    }
+    std::size_t matched = 0;
+    std::vector<Finding> fresh;
+    for (auto& f : findings) {
+      const auto it = baseline.find(f.fingerprint);
+      if (it != baseline.end() && it->second > 0) {
+        --it->second;
+        ++matched;
+      } else {
+        fresh.push_back(std::move(f));
+      }
+    }
+    findings = std::move(fresh);
+    if (matched != 0) {
+      std::cerr << "wild5g_lint: " << matched
+                << " finding(s) matched the baseline and were suppressed\n";
+    }
+  }
 
   if (!sarif_path.empty()) {
     std::ofstream out(sarif_path, std::ios::binary);
