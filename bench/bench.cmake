@@ -77,3 +77,5 @@ wild5g_bench(bench_extension_bbr wild5g_net)
 wild5g_bench(bench_extension_pensieve_5g wild5g_abr)
 wild5g_bench(bench_extension_drive_energy wild5g_mobility wild5g_rrc)
 wild5g_bench(bench_extension_http2 wild5g_web)
+wild5g_bench(bench_extension_metro_load wild5g_metro)
+wild5g_bench(bench_extension_metro_qoe wild5g_metro)

@@ -159,6 +159,37 @@ class MetricsEmitter {
     return injector_.get();
   }
 
+  /// Public surface for bench-specific flag failures (an unparseable
+  /// `--ues`, a fault plan the campaign cannot honor): same clear-message +
+  /// exit-2 contract as the emitter's own flag parsing, so every usage
+  /// error looks identical to the caller regardless of which layer caught
+  /// it.
+  [[noreturn]] void fail_usage(const std::string& message) const {
+    usage_error(message);
+  }
+
+  /// Parses a strictly positive integer flag value (`--ues 100`); anything
+  /// else — garbage, trailing junk, zero, negative — is a usage error
+  /// (exit 2). Campaign sizes of zero are always a typo, never a request
+  /// for an empty measurement.
+  [[nodiscard]] int positive_count(const std::string& flag,
+                                   const std::string& text) const {
+    std::size_t parsed = 0;
+    long value = 0;
+    try {
+      value = std::stol(text, &parsed);
+    } catch (const std::exception&) {
+      usage_error(flag + ": '" + text + "' is not a count");
+    }
+    if (parsed != text.size()) {
+      usage_error(flag + ": '" + text + "' is not a count");
+    }
+    if (value <= 0) {
+      usage_error(flag + ": count must be >= 1, got '" + text + "'");
+    }
+    return static_cast<int>(value);
+  }
+
   /// Default tolerance written into the document; golden_check uses the
   /// GOLDEN file's tolerance, so regenerating goldens is how these take
   /// effect.
@@ -248,7 +279,14 @@ class MetricsEmitter {
     if (parsed != text.size()) {
       usage_error("--threads: '" + text + "' is not a thread count");
     }
-    // 0 = auto (WILD5G_THREADS / hardware), matching core/parallel.h.
+    if (value == 0) {
+      // set_thread_count(0) means "restore auto" as an API, but as a flag
+      // `--threads 0` is always a typo for `--threads 1`; silently running
+      // at hardware concurrency would mislabel any timing the caller
+      // records.
+      usage_error("--threads: count must be >= 1 ('auto' is the default; "
+                  "0 is not a thread count)");
+    }
     parallel::set_thread_count(static_cast<std::size_t>(value));
   }
 

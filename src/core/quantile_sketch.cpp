@@ -85,6 +85,10 @@ void QuantileSketch::add(double x) {
 }
 
 void QuantileSketch::merge(const QuantileSketch& other) {
+  // Folding a sketch into itself is always a bug in the caller (a shard
+  // loop that picked up its own accumulator); reject it rather than
+  // silently double-counting the population.
+  require(this != &other, "QuantileSketch::merge: cannot merge with self");
   // wild5g-lint: allow(float-equality) configs are copied verbatim, never
   // recomputed, so exact equality is the correct compatibility check.
   require(alpha_ == other.alpha_,
@@ -198,6 +202,10 @@ void SampleAccumulator::add(std::span<const double> xs) {
 }
 
 void SampleAccumulator::merge(const SampleAccumulator& other) {
+  // Self-merge in exact mode would insert exact_ into itself — undefined
+  // behavior the moment the vector reallocates mid-insert — and in sketch
+  // mode it would silently double every bucket. Both are caller bugs.
+  require(this != &other, "SampleAccumulator::merge: cannot merge with self");
   require(exact_limit_ == other.exact_limit_,
           "SampleAccumulator::merge: exact limits differ");
   // wild5g-lint: allow(float-equality) configs are copied verbatim, never

@@ -50,6 +50,7 @@ class QuantileSketch {
 
   /// Folds another sketch of the same relative accuracy into this one.
   /// Bucket counts add exactly, so merge order can never change a query.
+  /// Merging a sketch with itself is rejected (wild5g::Error).
   void merge(const QuantileSketch& other);
 
   [[nodiscard]] std::uint64_t count() const { return count_; }
@@ -117,6 +118,8 @@ class SampleAccumulator {
   void add(std::span<const double> xs);
 
   /// Folds `other` (same exact_limit and accuracy) into this accumulator.
+  /// Empty merges non-empty (and vice versa) preserving exact min/max/
+  /// count; merging an accumulator with itself is rejected (wild5g::Error).
   void merge(const SampleAccumulator& other);
 
   [[nodiscard]] std::uint64_t count() const;

@@ -1,0 +1,130 @@
+// wild5g/metro: sharded multi-UE campaign driver over shared cells.
+//
+// The paper measures a handful of UEs one at a time; metro scale asks what
+// a city of them does to each other. This module couples the repo's radio
+// primitives into a contention campaign: a corridor of cells, each with a
+// radio::CellScheduler splitting its airtime among the UEs camped on it, a
+// population of UEs driven through radio::A3HandoffEngine (so a loaded
+// cell's UEs move — and hand off — together), and per-UE metrics aggregated
+// through stats::SampleAccumulator so memory stays O(cells x steps +
+// sketch) no matter whether the campaign runs 1e3 or 1e6 UEs.
+//
+// Determinism (DESIGN.md section 11): coupling UEs through shared cells
+// naively breaks the byte-identical-at-any-thread-count contract, because a
+// UE's throughput depends on how many *other* UEs share its cell at each
+// step. run_campaign restores independence with a two-phase recompute:
+//
+//   Phase 1 (parallel over fixed-size UE shards): every UE's serving-cell
+//     timeline is a pure function of base.fork(ue_index) — trajectory, A3
+//     handoffs, activity draws. Shards return integer occupancy matrices
+//     (attached / active counts per cell per step) plus handoff tallies;
+//     integer addition is exact, so the serial index-ordered merge is
+//     schedule-independent.
+//   Ledger (serial): the merged attachment deltas are replayed through one
+//     CellScheduler per cell — attach/detach bookkeeping at campaign scale,
+//     cross-checked against the occupancy matrix every step.
+//   Phase 2 (parallel again): each UE is re-simulated with byte-identical
+//     draws (fork(i) is position-independent), now reading the *global*
+//     active-count matrix to price its airtime share and interference; the
+//     resulting samples land in per-shard SampleAccumulators merged in
+//     index order.
+//
+// CPU cost is 2x one pass; in exchange every number is a pure function of
+// (config, seed), verified by tests/test_metro.cpp at 1 vs 8 threads.
+//
+// Faults: the campaign models the *radio* fault kinds — mmwave_blockage
+// (RSRP penalty), nr_to_lte_outage (LTE fallback), radio_outage (zero
+// throughput). Plans containing any other kind are rejected up front
+// (unsupported_fault_kinds); the bench binaries turn that into exit 2.
+#pragma once
+
+#include <vector>
+
+#include "core/quantile_sketch.h"
+#include "core/rng.h"
+#include "faults/injector.h"
+#include "radio/cell.h"
+#include "radio/handoff.h"
+#include "radio/types.h"
+#include "radio/ue.h"
+
+namespace wild5g::metro {
+
+struct MetroConfig {
+  /// Corridor geometry: `cells` sites in a line, `cell_spacing_m` apart.
+  int cells = 12;
+  int ues_per_cell = 100;
+  double cell_spacing_m = 800.0;
+
+  /// Service every cell offers, and the service UEs fall back to while an
+  /// nr_to_lte_outage fault window is open.
+  radio::NetworkConfig network{radio::Carrier::kVerizon,
+                               radio::Band::kNrMidBand,
+                               radio::DeploymentMode::kNsa};
+  radio::NetworkConfig lte_fallback{radio::Carrier::kVerizon,
+                                    radio::Band::kLte,
+                                    radio::DeploymentMode::kNsa};
+  radio::UeProfile ue = radio::pixel5();
+  radio::Direction direction = radio::Direction::kDownlink;
+  radio::HandoffConfig handoff;
+
+  double duration_s = 60.0;
+  double step_s = 0.5;
+
+  /// Airtime fraction pre-consumed in every cell by traffic the campaign
+  /// does not model per-UE (the load-sweep dial); [0, 1).
+  double background_load = 0.0;
+  /// Probability a UE is actively transferring in a given step; [0, 1].
+  double activity = 1.0;
+  /// Common speed of the co-moving population (m/s); the storm figure runs
+  /// this at vehicular speed so whole cells hand off together.
+  double ue_speed_mps = 1.4;
+  /// Per-step demand for the QoE view: a step is fully satisfied when the
+  /// UE's share meets this rate, and the shortfall accrues as rebuffering.
+  double demand_mbps = 25.0;
+
+  /// Optional fault surface (pure queries; null = pristine campaign and the
+  /// exact pre-fault draw sequence). Radio kinds only — see
+  /// unsupported_fault_kinds().
+  const faults::Injector* faults = nullptr;
+};
+
+struct MetroResult {
+  int ues = 0;
+  int cells = 0;
+  int steps = 0;
+
+  long long handoffs = 0;
+  long long pingpongs = 0;
+  /// Most handoffs completed in any single step across the population —
+  /// the handoff-storm intensity of the co-moving figure.
+  int peak_step_handoffs = 0;
+  /// Most simultaneously active UEs observed on one cell in one step.
+  int peak_cell_active = 0;
+  /// Attach + detach operations replayed through the cell ledger.
+  long long attach_ops = 0;
+  /// Mean of CellScheduler::utilization over every (cell, step).
+  double mean_utilization = 0.0;
+
+  /// One sample per UE that was ever active: its mean goodput over its
+  /// active steps.
+  stats::SampleAccumulator per_ue_mean_mbps;
+  /// One sample per ever-active UE: 1 - mean(min(1, goodput/demand)),
+  /// the fraction of demanded playback time spent stalled.
+  stats::SampleAccumulator per_ue_rebuffer_fraction;
+  /// One sample per (UE, active step): instantaneous goodput.
+  stats::SampleAccumulator step_throughput_mbps;
+};
+
+/// Fault kinds present in `plan` that the metro campaign does not model
+/// (anything beyond mmwave_blockage / nr_to_lte_outage / radio_outage),
+/// deduplicated in first-appearance order. Empty means the plan is usable.
+[[nodiscard]] std::vector<faults::FaultKind> unsupported_fault_kinds(
+    const faults::FaultPlan& plan);
+
+/// Runs the campaign. Byte-identical for a given (config, rng seed) at any
+/// thread count; throws wild5g::Error on invalid config or a fault plan
+/// with unsupported kinds.
+[[nodiscard]] MetroResult run_campaign(const MetroConfig& config, Rng rng);
+
+}  // namespace wild5g::metro

@@ -129,10 +129,34 @@ double snr_db(Band band, double rsrp) {
   return rsrp - band_params(band).noise_floor_dbm;
 }
 
+double interference_rise_db(double cell_load) {
+  require(cell_load >= 0.0 && cell_load <= 1.0,
+          "interference_rise_db: cell_load out of [0, 1]");
+  // Noise-rise dimensioning curve: interference grows linearly with the
+  // surrounding utilization; kFullLoadFactor = 3 puts the full-load rise at
+  // 10*log10(4) ~ 6 dB. log10(1) == 0 exactly, so zero load adds exactly
+  // 0.0 dB and the unloaded SNR (hence every committed golden) is
+  // bit-identical to the pre-load model.
+  constexpr double kFullLoadFactor = 3.0;
+  return 10.0 * std::log10(1.0 + kFullLoadFactor * cell_load);
+}
+
+double snr_db(Band band, double rsrp, double cell_load) {
+  return rsrp -
+         (band_params(band).noise_floor_dbm + interference_rise_db(cell_load));
+}
+
 double link_capacity_mbps(const NetworkConfig& config, const UeProfile& ue,
                           Direction direction, double rsrp) {
+  return loaded_link_capacity_mbps(config, ue, direction, rsrp, 0.0);
+}
+
+double loaded_link_capacity_mbps(const NetworkConfig& config,
+                                 const UeProfile& ue, Direction direction,
+                                 double rsrp, double cell_load) {
   const auto& params = band_params(config.band);
-  const double snr_linear = std::pow(10.0, snr_db(config.band, rsrp) / 10.0);
+  const double snr_linear =
+      std::pow(10.0, snr_db(config.band, rsrp, cell_load) / 10.0);
   const double se_cap = direction == Direction::kDownlink
                             ? params.dl_se_cap_bps_hz
                             : params.ul_se_cap_bps_hz;
@@ -207,6 +231,8 @@ ChannelProcess::ChannelProcess(ChannelProcessConfig config, Rng rng)
     : config_(config), rng_(rng) {
   require(config_.mean_distance_m > 0.0,
           "ChannelProcess: mean_distance_m must be positive");
+  require(config_.cell_load >= 0.0 && config_.cell_load <= 1.0,
+          "ChannelProcess: cell_load out of [0, 1]");
   refresh_sample();
 }
 
@@ -258,6 +284,7 @@ void ChannelProcess::refresh_sample() {
       .rsrp_dbm = rsrp_dbm(config_.band, distance, extra),
       .extra_loss_db = extra,
       .blocked = blocked,
+      .cell_load = config_.cell_load,
   };
 }
 

@@ -47,6 +47,15 @@ struct BandParams {
 /// Effective SNR in dB for capacity purposes.
 [[nodiscard]] double snr_db(Band band, double rsrp);
 
+/// Interference-driven rise of the effective noise floor (dB) when the
+/// surrounding network runs at `cell_load` utilization in [0, 1]. Exactly
+/// 0.0 at zero load (the unloaded path is bit-identical to the pre-load
+/// model); ~6 dB at full load, the classic UMTS/NR dimensioning figure.
+[[nodiscard]] double interference_rise_db(double cell_load);
+
+/// SNR with the serving/neighbor cells at `cell_load` utilization.
+[[nodiscard]] double snr_db(Band band, double rsrp, double cell_load);
+
 /// Achievable transport-layer capacity in Mbps for one UE camped on
 /// `config`, at the given signal strength. Models component-carrier
 /// aggregation (per UE modem), the EN-DC split bearer for NSA low-band
@@ -56,6 +65,18 @@ struct BandParams {
                                         const UeProfile& ue,
                                         Direction direction, double rsrp);
 
+/// Achievable capacity with the network at `cell_load` utilization in
+/// [0, 1]: the interference rise degrades SNR, so capacity is strictly
+/// non-increasing in load. `cell_load == 0.0` is bit-identical to
+/// link_capacity_mbps (the unloaded campaigns' goldens depend on that).
+/// This is the whole-cell number; radio::CellScheduler divides it across
+/// the attached UEs' airtime shares.
+[[nodiscard]] double loaded_link_capacity_mbps(const NetworkConfig& config,
+                                               const UeProfile& ue,
+                                               Direction direction,
+                                               double rsrp,
+                                               double cell_load);
+
 /// Radio access latency (air interface + carrier core) component of RTT.
 [[nodiscard]] double access_latency_ms(const NetworkConfig& config);
 
@@ -64,6 +85,10 @@ struct ChannelSample {
   double rsrp_dbm = 0.0;
   double extra_loss_db = 0.0;  // shadowing + blockage actually applied
   bool blocked = false;        // inside an obstruction event
+  /// Serving-cell utilization the sample was taken under; throughput
+  /// sampling feeds it to loaded_link_capacity_mbps. 0 for the unloaded
+  /// single-UE campaigns (their draw sequences and outputs are unchanged).
+  double cell_load = 0.0;
 };
 
 /// Configuration of the stochastic channel evolution used for walking
@@ -85,6 +110,11 @@ struct ChannelProcessConfig {
   double partial_rate_per_s = 0.0;
   double partial_mean_duration_s = 4.0;
   double partial_loss_db = 12.0;
+  /// First-class cell load: utilization in [0, 1] of the serving cell the
+  /// process is camped on. Copied into every ChannelSample (no extra
+  /// draws), where throughput sampling picks it up; 0 preserves the
+  /// unloaded campaigns byte for byte.
+  double cell_load = 0.0;
 };
 
 /// Default stochastic configs per band (blockage only for mmWave).

@@ -8,11 +8,16 @@
 namespace wild5g::radio {
 
 A3HandoffEngine::A3HandoffEngine(std::vector<CellSite> cells,
-                                 HandoffConfig config, Rng rng)
+                                 HandoffConfig config, Rng rng,
+                                 int initial_serving)
     : cells_(std::move(cells)), config_(config), rng_(rng) {
   require(!cells_.empty(), "A3HandoffEngine: no cells");
   require(config_.hysteresis_db >= 0.0 && config_.time_to_trigger_ms >= 0.0,
           "A3HandoffEngine: invalid config");
+  require(initial_serving >= 0 &&
+              static_cast<std::size_t>(initial_serving) < cells_.size(),
+          "A3HandoffEngine: initial_serving out of range");
+  serving_ = initial_serving;
   shadowing_db_.assign(cells_.size(), 0.0);
   for (auto& s : shadowing_db_) {
     s = rng_.normal(0.0, config_.shadowing_sigma_db);
@@ -45,7 +50,8 @@ A3HandoffEngine::StepResult A3HandoffEngine::step(double dt_s,
   const auto serving_index = static_cast<std::size_t>(serving_);
   const double serving_rsrp = cell_rsrp_dbm(serving_index, ue_position_m);
 
-  // Strongest neighbor.
+  // Strongest neighbor; strict comparison in index order, so exact ties
+  // resolve to the lowest index deterministically.
   int best = -1;
   double best_rsrp = -1e18;
   for (std::size_t i = 0; i < cells_.size(); ++i) {
@@ -60,22 +66,29 @@ A3HandoffEngine::StepResult A3HandoffEngine::step(double dt_s,
   StepResult result;
   result.serving_rsrp_dbm = serving_rsrp;
 
-  // A3 entering condition: neighbor > serving + hysteresis.
+  // A3 entering condition, strict: neighbor > serving + hysteresis. A
+  // neighbor exactly hysteresis_db stronger does not start the timer.
   if (best >= 0 && best_rsrp > serving_rsrp + config_.hysteresis_db) {
     if (candidate_ != best) {
+      // Timer (re)starts on the step that first observes this candidate;
+      // dwell accumulates per step so the exactly-at-TTT boundary is hit
+      // exactly instead of drowning in now-vs-then cancellation error.
       candidate_ = best;
-      candidate_since_s_ = now_s_;
+      candidate_held_ms_ = 0.0;
+    } else {
+      candidate_held_ms_ += dt_s * 1000.0;
     }
-    if ((now_s_ - candidate_since_s_) * 1000.0 >=
-        config_.time_to_trigger_ms) {
+    if (candidate_held_ms_ >= config_.time_to_trigger_ms) {
       events_.push_back({now_s_, serving_, best});
       serving_ = best;
       candidate_ = -1;
+      candidate_held_ms_ = 0.0;
       ++handoff_count_;
       result.handed_off = true;
     }
   } else {
     candidate_ = -1;  // leaving condition: report stops
+    candidate_held_ms_ = 0.0;
   }
   result.serving_cell = serving_;
   return result;

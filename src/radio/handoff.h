@@ -5,7 +5,27 @@
 // neighbor must be `hysteresis_db` stronger than the serving cell for a
 // continuous `time_to_trigger_ms` before the UE hands over. It exposes the
 // knobs carriers tune (and the ping-pong pathology the paper's LTE layers
-// exhibit), which the ablation bench sweeps.
+// exhibit), which the ablation bench sweeps and the metro multi-UE
+// campaigns drive at scale (thousands of co-moving UEs hit the boundary
+// conditions below constantly, so their semantics are pinned exactly).
+//
+// Boundary semantics (regression-tested in tests/test_radio_handoff.cpp):
+//  - Entering condition is STRICT: neighbor > serving + hysteresis_db.
+//    A neighbor exactly `hysteresis_db` stronger does NOT start the timer
+//    (3GPP TS 38.331 A3 uses a strict inequality; ties therefore never
+//    flap, which is what keeps exactly-tied cells handoff-free at
+//    hysteresis 0).
+//  - Time-to-trigger is INCLUSIVE and measured as dwell time accumulated
+//    step by step (sum of dt, not a difference of absolute clocks — the
+//    subtraction form loses the boundary case to floating-point
+//    cancellation once now >> dt): the handoff fires on the first step
+//    where the condition has held for >= time_to_trigger_ms, counting from
+//    the step that first observed it. time_to_trigger_ms == 0 fires on the
+//    observing step itself.
+//  - The strongest neighbor is chosen with a strict comparison in index
+//    order, so exactly-tied candidate neighbors resolve to the lowest cell
+//    index deterministically.
+//  - A single-cell deployment never hands off (there is no neighbor).
 #pragma once
 
 #include <vector>
@@ -30,12 +50,21 @@ struct CellSite {
   Band band = Band::kLte;
 };
 
+/// One completed handoff, in campaign time.
+struct HandoffEvent {
+  double t_s = 0.0;
+  int from = 0;
+  int to = 0;
+};
+
 /// Evaluates A3 events for a UE moving along a 1-D route among `cells`.
 class A3HandoffEngine {
  public:
   /// `cells` must be non-empty; all cells share `band` characteristics.
+  /// `initial_serving` is the index the UE starts camped on (multi-UE
+  /// campaigns attach each UE to its nearest cell instead of index 0).
   A3HandoffEngine(std::vector<CellSite> cells, HandoffConfig config,
-                  Rng rng);
+                  Rng rng, int initial_serving = 0);
 
   struct StepResult {
     int serving_cell = 0;
@@ -50,14 +79,13 @@ class A3HandoffEngine {
   /// Handoffs that returned to the previous cell within `window_s`.
   [[nodiscard]] int pingpong_count(double window_s = 5.0) const;
   [[nodiscard]] int serving_cell() const { return serving_; }
+  /// Every completed handoff in order; the metro campaign driver bins
+  /// these into per-step storm counts.
+  [[nodiscard]] const std::vector<HandoffEvent>& events() const {
+    return events_;
+  }
 
  private:
-  struct HandoffEvent {
-    double t_s;
-    int from;
-    int to;
-  };
-
   std::vector<CellSite> cells_;
   HandoffConfig config_;
   Rng rng_;
@@ -65,7 +93,7 @@ class A3HandoffEngine {
   double now_s_ = 0.0;
   int serving_ = 0;
   int candidate_ = -1;
-  double candidate_since_s_ = 0.0;
+  double candidate_held_ms_ = 0.0;  // dwell time of the current candidate
   int handoff_count_ = 0;
   std::vector<HandoffEvent> events_;
 

@@ -11,6 +11,8 @@
 // these tests (same convention as the `lint` suite).
 #include <gtest/gtest.h>
 
+#include <sys/wait.h>
+
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
@@ -397,6 +399,93 @@ TEST(chaos, bench_rejects_malformed_fault_plan) {
   const int rc = std::system(command.c_str());
   EXPECT_NE(rc, 0) << "bench accepted a malformed fault plan";
   std::remove(plan_path.c_str());
+}
+
+// --- metro campaign benches: fault sweep + argument edges -------------------
+
+/// Runs `bench <args>` and returns its exit code (usage errors exit 2; the
+/// contract is a *clean refusal*, never a crash or a half-run campaign).
+int bench_exit_code(const std::string& bench, const std::string& args) {
+  const std::string command = std::string(WILD5G_BENCH_DIR) + "/" + bench +
+                              " " + args + " > /dev/null 2>&1";
+  const int rc = std::system(command.c_str());
+  EXPECT_TRUE(WIFEXITED(rc)) << "bench crashed: " << command;
+  return WIFEXITED(rc) ? WEXITSTATUS(rc) : -1;
+}
+
+TEST(chaos, bench_metro_load_under_radio_plan_is_deterministic) {
+  const std::string first = run_bench("bench_extension_metro_load", "a",
+                                      "chaos_metro_radio.json");
+  const std::string second = run_bench("bench_extension_metro_load", "b",
+                                       "chaos_metro_radio.json");
+  expect_valid_metrics(first, "chaos_metro_radio");
+  EXPECT_EQ(first, second) << "faulted run is not run-to-run deterministic";
+  const std::string clean = run_bench("bench_extension_metro_load", "clean");
+  EXPECT_NE(first, clean) << "radio fault plan had no observable effect";
+  EXPECT_EQ(clean.find("fault_plan"), std::string::npos)
+      << "default run must not mention faults (golden byte-identity)";
+}
+
+TEST(chaos, bench_metro_qoe_faulted_is_thread_count_invariant) {
+  const std::string serial = run_bench("bench_extension_metro_qoe", "t1",
+                                       "chaos_metro_radio.json",
+                                       "--threads 1");
+  const std::string threaded = run_bench("bench_extension_metro_qoe", "t8",
+                                         "chaos_metro_radio.json",
+                                         "--threads 8");
+  expect_valid_metrics(serial, "chaos_metro_radio");
+  EXPECT_EQ(serial, threaded) << "faulted output depends on thread count";
+}
+
+TEST(chaos, bench_metro_rejects_plans_with_unsupported_kinds) {
+  // chaos_mixed carries transport/net kinds the metro campaign does not
+  // model; running anyway would silently measure a half-applied plan.
+  for (const char* bench :
+       {"bench_extension_metro_load", "bench_extension_metro_qoe"}) {
+    EXPECT_EQ(bench_exit_code(bench,
+                              "--faults " + std::string(WILD5G_FAULT_PLAN_DIR) +
+                                  "/chaos_mixed.json"),
+              2)
+        << bench;
+  }
+}
+
+TEST(chaos, bench_rejects_zero_and_garbage_thread_counts) {
+  // `--threads 0` silently meaning "auto" would mislabel recorded timings;
+  // the contract is exit 2 with a clear message, on every bench.
+  for (const char* bench :
+       {"bench_extension_metro_load", "bench_fig24_server_survey"}) {
+    EXPECT_EQ(bench_exit_code(bench, "--threads 0"), 2) << bench;
+    EXPECT_EQ(bench_exit_code(bench, "--threads nope"), 2) << bench;
+    EXPECT_EQ(bench_exit_code(bench, "--threads"), 2) << bench;
+  }
+}
+
+TEST(chaos, bench_metro_rejects_degenerate_campaign_sizes) {
+  for (const char* bench :
+       {"bench_extension_metro_load", "bench_extension_metro_qoe"}) {
+    EXPECT_EQ(bench_exit_code(bench, "--ues 0"), 2) << bench;
+    EXPECT_EQ(bench_exit_code(bench, "--cells 0"), 2) << bench;
+    EXPECT_EQ(bench_exit_code(bench, "--ues -3"), 2) << bench;
+    EXPECT_EQ(bench_exit_code(bench, "--ues 1x"), 2) << bench;
+    EXPECT_EQ(bench_exit_code(bench, "--ues"), 2) << bench;
+    EXPECT_EQ(bench_exit_code(bench, "--frobnicate"), 2) << bench;
+  }
+}
+
+TEST(chaos, bench_metro_faults_compose_with_multi_ue_flags) {
+  // `--faults` + `--ues/--cells` + `--threads` together: still exit 0,
+  // still deterministic, still perturbed by the plan.
+  const std::string args = "--ues 20 --cells 6";
+  const std::string faulted = run_bench("bench_extension_metro_load", "fx",
+                                        "chaos_metro_radio.json", args);
+  const std::string faulted2 = run_bench("bench_extension_metro_load", "fy",
+                                         "chaos_metro_radio.json", args);
+  expect_valid_metrics(faulted, "chaos_metro_radio");
+  EXPECT_EQ(faulted, faulted2);
+  const std::string clean =
+      run_bench("bench_extension_metro_load", "fclean", "", args);
+  EXPECT_NE(faulted, clean) << "plan had no effect on the sized-down run";
 }
 
 }  // namespace

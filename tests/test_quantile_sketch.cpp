@@ -316,3 +316,142 @@ TEST(StatsPercentile, RejectsNaNSamples) {
   EXPECT_THROW((void)wild5g::stats::percentile(xs, 50.0), wild5g::Error);
   EXPECT_THROW((void)wild5g::stats::median(xs), wild5g::Error);
 }
+
+// --- merge edge-case pins (empty <-> non-empty, boundary counts, self) ---
+
+TEST(SampleAccumulator, EmptyIntoNonEmptyPreservesExactExtremes) {
+  // Exact mode and sketch mode both: folding an empty shard in must not
+  // disturb min/max/count/percentiles by a single bit. Metro campaigns
+  // merge shards whose UEs may all have been inactive, so empty-shard
+  // merges are the common case, not the corner.
+  for (const int samples : {5, 10000}) {  // below and above the exact limit
+    wild5g::stats::SampleAccumulator acc;
+    wild5g::Rng rng(31);
+    for (int i = 0; i < samples; ++i) acc.add(rng.lognormal(2.0, 1.0));
+    const auto count_before = acc.count();
+    const double min_before = acc.min();
+    const double max_before = acc.max();
+    const double p50_before = acc.median();
+    const wild5g::stats::SampleAccumulator empty;
+    acc.merge(empty);
+    EXPECT_EQ(acc.count(), count_before);
+    EXPECT_EQ(acc.min(), min_before);
+    EXPECT_EQ(acc.max(), max_before);
+    EXPECT_EQ(acc.median(), p50_before);
+  }
+}
+
+TEST(SampleAccumulator, NonEmptyIntoEmptyAdoptsExactState) {
+  for (const int samples : {5, 10000}) {
+    wild5g::stats::SampleAccumulator donor;
+    wild5g::Rng rng(32);
+    for (int i = 0; i < samples; ++i) donor.add(rng.uniform(-50.0, 200.0));
+    wild5g::stats::SampleAccumulator acc;
+    acc.merge(donor);
+    EXPECT_EQ(acc.count(), donor.count());
+    EXPECT_EQ(acc.min(), donor.min());
+    EXPECT_EQ(acc.max(), donor.max());
+    EXPECT_EQ(acc.mean(), donor.mean());
+    EXPECT_EQ(acc.percentile(95.0), donor.percentile(95.0));
+    EXPECT_EQ(acc.exact(), donor.exact());
+  }
+}
+
+TEST(SampleAccumulator, MergeExactlyAtTheExactLimitStaysExact) {
+  // a.count + b.count == exact_limit must stay in exact mode; one more
+  // sample anywhere spills. The boundary is inclusive.
+  const std::size_t limit = 16;
+  wild5g::stats::SampleAccumulator a(limit);
+  wild5g::stats::SampleAccumulator b(limit);
+  for (int i = 0; i < 8; ++i) {
+    a.add(static_cast<double>(i));
+    b.add(static_cast<double>(100 + i));
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), limit);
+  EXPECT_TRUE(a.exact());
+  wild5g::stats::SampleAccumulator c(limit);
+  c.add(1000.0);
+  a.merge(c);
+  EXPECT_EQ(a.count(), limit + 1);
+  EXPECT_FALSE(a.exact());
+  EXPECT_EQ(a.min(), 0.0);      // extremes stay exact across the spill
+  EXPECT_EQ(a.max(), 1000.0);
+}
+
+TEST(SampleAccumulator, SelfMergeIsRejected) {
+  // Exact mode would insert the vector into itself (UB on reallocation);
+  // sketch mode would silently double every bucket. Both must throw.
+  wild5g::stats::SampleAccumulator exact_mode;
+  for (int i = 0; i < 100; ++i) exact_mode.add(static_cast<double>(i));
+  EXPECT_THROW(exact_mode.merge(exact_mode), wild5g::Error);
+  EXPECT_EQ(exact_mode.count(), 100u) << "failed merge must not mutate";
+
+  wild5g::stats::SampleAccumulator sketch_mode(8);
+  for (int i = 0; i < 100; ++i) sketch_mode.add(static_cast<double>(i));
+  ASSERT_FALSE(sketch_mode.exact());
+  EXPECT_THROW(sketch_mode.merge(sketch_mode), wild5g::Error);
+  EXPECT_EQ(sketch_mode.count(), 100u);
+}
+
+TEST(QuantileSketch, EmptyMergesPreserveStateBothWays) {
+  wild5g::stats::QuantileSketch populated;
+  wild5g::Rng rng(33);
+  for (int i = 0; i < 5000; ++i) populated.add(rng.normal(10.0, 4.0));
+  const double min_before = populated.min();
+  const double max_before = populated.max();
+  const double p50_before = populated.quantile(50.0);
+
+  wild5g::stats::QuantileSketch empty;
+  populated.merge(empty);  // empty into non-empty: no-op
+  EXPECT_EQ(populated.count(), 5000u);
+  EXPECT_EQ(populated.min(), min_before);
+  EXPECT_EQ(populated.max(), max_before);
+  EXPECT_EQ(populated.quantile(50.0), p50_before);
+
+  empty.merge(populated);  // non-empty into empty: adopt
+  EXPECT_EQ(empty.count(), 5000u);
+  EXPECT_EQ(empty.min(), min_before);
+  EXPECT_EQ(empty.max(), max_before);
+  EXPECT_EQ(empty.quantile(50.0), p50_before);
+
+  wild5g::stats::QuantileSketch a;
+  wild5g::stats::QuantileSketch b;
+  a.merge(b);  // empty into empty: still empty
+  EXPECT_TRUE(a.empty());
+}
+
+TEST(QuantileSketch, SelfMergeIsRejected) {
+  wild5g::stats::QuantileSketch sketch;
+  for (int i = 0; i < 100; ++i) sketch.add(static_cast<double>(i));
+  EXPECT_THROW(sketch.merge(sketch), wild5g::Error);
+  EXPECT_EQ(sketch.count(), 100u) << "failed merge must not mutate";
+}
+
+TEST(SampleAccumulator, MergeOrderWithEmptyShardsIsIrrelevant) {
+  // Index-ordered shard merges where some shards are empty: any placement
+  // of the empty shards yields byte-identical state. Pins the metro
+  // campaign's merge loop against order sensitivity sneaking in.
+  const auto build = [](const std::vector<int>& shard_sizes) {
+    wild5g::stats::SampleAccumulator total(64);
+    int offset = 0;
+    for (const int size : shard_sizes) {
+      wild5g::stats::SampleAccumulator shard(64);
+      for (int i = 0; i < size; ++i) {
+        shard.add(static_cast<double>(offset + i) * 1.5);
+      }
+      offset += size;
+      total.merge(shard);
+    }
+    return total;
+  };
+  const auto a = build({0, 40, 0, 0, 60, 0});  // spills mid-sequence
+  const auto b = build({40, 60, 0, 0, 0, 0});
+  ASSERT_EQ(a.count(), b.count());
+  EXPECT_EQ(a.min(), b.min());
+  EXPECT_EQ(a.max(), b.max());
+  EXPECT_EQ(a.mean(), b.mean());
+  for (const double p : {5.0, 50.0, 95.0, 100.0}) {
+    EXPECT_EQ(a.percentile(p), b.percentile(p));
+  }
+}

@@ -1,0 +1,129 @@
+// Tests for the per-cell scheduler model (PRB/airtime allocation).
+#include "radio/cell.h"
+
+#include <gtest/gtest.h>
+
+#include "core/error.h"
+
+namespace wr = wild5g::radio;
+
+namespace {
+
+wr::CellScheduler make_cell(double background_load = 0.0,
+                            wr::Band band = wr::Band::kLte) {
+  return wr::CellScheduler(
+      {.band = band, .background_load = background_load});
+}
+
+}  // namespace
+
+TEST(CellScheduler, AttachAssignsSequentialSlots) {
+  auto cell = make_cell();
+  EXPECT_EQ(cell.attached_count(), 0);
+  EXPECT_EQ(cell.attach(), 0);
+  EXPECT_EQ(cell.attach(), 1);
+  EXPECT_EQ(cell.attach(), 2);
+  EXPECT_EQ(cell.attached_count(), 3);
+  EXPECT_TRUE(cell.is_attached(1));
+}
+
+TEST(CellScheduler, DetachFreesAndReusesSlotsLifo) {
+  auto cell = make_cell();
+  (void)cell.attach();  // 0
+  (void)cell.attach();  // 1
+  (void)cell.attach();  // 2
+  cell.detach(1);
+  cell.detach(0);
+  EXPECT_EQ(cell.attached_count(), 1);
+  EXPECT_FALSE(cell.is_attached(0));
+  EXPECT_FALSE(cell.is_attached(1));
+  // LIFO reuse: the most recently freed slot comes back first, so the
+  // attach/detach history fully determines every slot id.
+  EXPECT_EQ(cell.attach(), 0);
+  EXPECT_EQ(cell.attach(), 1);
+  EXPECT_EQ(cell.attached_count(), 3);
+}
+
+TEST(CellScheduler, DetachOfFreeSlotThrows) {
+  auto cell = make_cell();
+  EXPECT_THROW(cell.detach(0), wild5g::Error);
+  const int slot = cell.attach();
+  cell.detach(slot);
+  EXPECT_THROW(cell.detach(slot), wild5g::Error);
+  EXPECT_THROW(cell.detach(-1), wild5g::Error);
+}
+
+TEST(CellScheduler, AirtimeSplitsEquallyAfterBackground) {
+  const auto cell = make_cell(0.2);
+  EXPECT_DOUBLE_EQ(cell.airtime_share(1), 0.8);
+  EXPECT_DOUBLE_EQ(cell.airtime_share(4), 0.2);
+  // Zero active UEs: the would-be share of the next arrival.
+  EXPECT_DOUBLE_EQ(cell.airtime_share(0), 0.8);
+  EXPECT_THROW((void)cell.airtime_share(-1), wild5g::Error);
+}
+
+TEST(CellScheduler, PrbGridMatchesBandNumerology) {
+  // 20 MHz LTE at 15 kHz SCS with 10% guard: the canonical 100-PRB grid.
+  const auto lte = make_cell(0.0, wr::Band::kLte);
+  EXPECT_EQ(lte.total_prbs(), 100);
+  EXPECT_EQ(lte.prbs_per_ue(1), 100);
+  EXPECT_EQ(lte.prbs_per_ue(4), 25);
+  EXPECT_EQ(lte.prbs_per_ue(3), 33);  // floor; remainder PRBs cycle
+  // An explicit PRB count overrides the derivation.
+  const wr::CellScheduler fixed({.band = wr::Band::kLte, .total_prbs = 50});
+  EXPECT_EQ(fixed.total_prbs(), 50);
+  EXPECT_EQ(fixed.prbs_per_ue(2), 25);
+}
+
+TEST(CellScheduler, UtilizationSaturatesWithAnyActiveUe) {
+  const auto idle = make_cell(0.3);
+  EXPECT_DOUBLE_EQ(idle.utilization(0), 0.3);
+  EXPECT_DOUBLE_EQ(idle.utilization(1), 1.0);
+  EXPECT_DOUBLE_EQ(idle.utilization(100), 1.0);
+  // Unloaded idle cell: exactly 0.0, the bit-identical-goldens anchor.
+  EXPECT_EQ(make_cell(0.0).utilization(0), 0.0);
+}
+
+TEST(CellScheduler, SoloUnloadedUeMatchesLoadedLinkCapacity) {
+  const auto cell = make_cell();
+  const wr::NetworkConfig network{wr::Carrier::kVerizon, wr::Band::kLte,
+                                  wr::DeploymentMode::kNsa};
+  const auto ue = wr::pixel5();
+  const double rsrp = -90.0;
+  // One full-buffer UE saturates the cell, so it sees the whole loaded
+  // capacity (utilization 1) — not the unloaded link_capacity_mbps.
+  EXPECT_DOUBLE_EQ(
+      cell.ue_throughput_mbps(network, ue, wr::Direction::kDownlink, rsrp, 1),
+      wr::loaded_link_capacity_mbps(network, ue, wr::Direction::kDownlink,
+                                    rsrp, 1.0));
+}
+
+TEST(CellScheduler, ThroughputMonotoneInSharersAndBackground) {
+  const wr::NetworkConfig network{wr::Carrier::kVerizon, wr::Band::kLte,
+                                  wr::DeploymentMode::kNsa};
+  const auto ue = wr::pixel5();
+  const double rsrp = -95.0;
+  const auto cell = make_cell();
+  double prev = 1e18;
+  for (const int sharers : {1, 2, 10, 100}) {
+    const double tput = cell.ue_throughput_mbps(
+        network, ue, wr::Direction::kDownlink, rsrp, sharers);
+    EXPECT_LT(tput, prev);
+    prev = tput;
+  }
+  const double loaded =
+      make_cell(0.5).ue_throughput_mbps(network, ue,
+                                        wr::Direction::kDownlink, rsrp, 1);
+  const double unloaded =
+      cell.ue_throughput_mbps(network, ue, wr::Direction::kDownlink, rsrp, 1);
+  EXPECT_LT(loaded, unloaded);
+  EXPECT_THROW((void)cell.ue_throughput_mbps(
+                   network, ue, wr::Direction::kDownlink, rsrp, 0),
+               wild5g::Error);
+}
+
+TEST(CellScheduler, RejectsInvalidConfig) {
+  EXPECT_THROW(wr::CellScheduler({.background_load = 1.0}), wild5g::Error);
+  EXPECT_THROW(wr::CellScheduler({.background_load = -0.1}), wild5g::Error);
+  EXPECT_THROW(wr::CellScheduler({.total_prbs = -1}), wild5g::Error);
+}

@@ -380,3 +380,106 @@ TEST(Simulator, OversizedCapturesStillFire) {
   sim.run();
   EXPECT_DOUBLE_EQ(sum, 3.0);
 }
+
+// --- same-instant multi-actor scheduling (the metro campaign pattern: N
+// UEs share one step boundary, so whole cohorts of events land on the same
+// at_ms and their relative order must be pinned) ------------------------
+
+TEST(Simulator, ManyActorsAtOneInstantFireInSchedulingOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int ue = 0; ue < 100; ++ue) {
+    sim.schedule_at(5.0, [&order, ue] { order.push_back(ue); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 100u);
+  for (int ue = 0; ue < 100; ++ue) {
+    ASSERT_EQ(order[static_cast<std::size_t>(ue)], ue)
+        << "same-instant events must fire in scheduling order";
+  }
+  EXPECT_DOUBLE_EQ(sim.now_ms(), 5.0);
+}
+
+TEST(Simulator, SameInstantCohortSurvivesCancelDuringDispatch) {
+  // The first actor of the cohort cancels every odd-indexed peer while the
+  // instant is already dispatching: victims must simply never fire, and
+  // the survivors must keep their scheduling order.
+  Simulator sim;
+  std::vector<int> order;
+  std::vector<wild5g::sim::EventId> cohort;
+  sim.schedule_at(5.0, [&] {
+    order.push_back(-1);
+    for (std::size_t i = 1; i < cohort.size(); i += 2) {
+      sim.cancel(cohort[i]);
+    }
+  });
+  for (int ue = 0; ue < 50; ++ue) {
+    cohort.push_back(sim.schedule_at(5.0, [&order, ue] {
+      order.push_back(ue);
+    }));
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 1u + 25u);
+  EXPECT_EQ(order.front(), -1);
+  for (std::size_t i = 1; i < order.size(); ++i) {
+    EXPECT_EQ(order[i], static_cast<int>((i - 1) * 2));
+  }
+  EXPECT_EQ(sim.pending_count(), 0u);
+}
+
+TEST(Simulator, HandlerSchedulingAtTheSameInstantRunsAfterTheCohort) {
+  // A same-instant event scheduled *during* dispatch of that instant joins
+  // the back of the FIFO: every already-scheduled actor goes first.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_at(5.0, [&] {
+    order.push_back(0);
+    sim.schedule_at(5.0, [&order] { order.push_back(99); });
+  });
+  sim.schedule_at(5.0, [&order] { order.push_back(1); });
+  sim.schedule_at(5.0, [&order] { order.push_back(2); });
+  sim.run();
+  ASSERT_EQ(order.size(), 4u);
+  EXPECT_EQ(order[0], 0);
+  EXPECT_EQ(order[1], 1);
+  EXPECT_EQ(order[2], 2);
+  EXPECT_EQ(order[3], 99);
+}
+
+TEST(Simulator, InterleavedCohortsOrderByTimeThenScheduling) {
+  // Two step boundaries scheduled interleaved (UE 0 at t1, UE 0 at t2,
+  // UE 1 at t1, ...): dispatch must sort by time first and scheduling
+  // order within each instant, regardless of interleaving.
+  Simulator sim;
+  std::vector<std::pair<double, int>> order;
+  for (int ue = 0; ue < 10; ++ue) {
+    sim.schedule_at(10.0, [&order, ue] { order.push_back({10.0, ue}); });
+    sim.schedule_at(20.0, [&order, ue] { order.push_back({20.0, ue}); });
+  }
+  sim.run();
+  ASSERT_EQ(order.size(), 20u);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<std::size_t>(i)],
+              (std::pair<double, int>{10.0, i}));
+    EXPECT_EQ(order[static_cast<std::size_t>(10 + i)],
+              (std::pair<double, int>{20.0, i}));
+  }
+}
+
+TEST(Simulator, CohortCancelOfAlreadyFiredPeersIsNoop) {
+  // The last actor of an instant cancels the whole cohort, including ids
+  // that already fired this instant: fired ids miss (generation bumped),
+  // nothing double-fires, and pending drains to zero.
+  Simulator sim;
+  int fired = 0;
+  std::vector<wild5g::sim::EventId> cohort;
+  for (int ue = 0; ue < 20; ++ue) {
+    cohort.push_back(sim.schedule_at(5.0, [&fired] { ++fired; }));
+  }
+  sim.schedule_at(5.0, [&] {
+    for (const auto id : cohort) sim.cancel(id);
+  });
+  sim.run();
+  EXPECT_EQ(fired, 20);
+  EXPECT_EQ(sim.pending_count(), 0u);
+}

@@ -50,6 +50,8 @@ TRACKED_CAMPAIGNS = {
     "bench_fig24_server_survey": "fig24_server_survey",
     "bench_fig15_16_power_models": "fig15_16_power_models",
     "bench_fig19_20_web_qoe": "fig19_20_web_qoe",
+    "bench_extension_metro_load": "extension_metro_load",
+    "bench_extension_metro_qoe": "extension_metro_qoe",
 }
 
 # Pre-change numbers: Release (-O3 -DNDEBUG) on the development container,

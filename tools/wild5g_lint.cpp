@@ -2748,8 +2748,8 @@ const std::map<std::string, int>& layer_ranks() {
       {"core", 0},     {"geo", 1},       {"sim", 1},
       {"radio", 2},    {"ml", 2},        {"mobility", 2},
       {"transport", 2}, {"rrc", 3},      {"faults", 3},
-      {"net", 4},      {"power", 4},     {"traces", 5},
-      {"abr", 6},      {"web", 6}};
+      {"net", 4},      {"power", 4},     {"metro", 4},
+      {"traces", 5},   {"abr", 6},       {"web", 6}};
   return kRanks;
 }
 
