@@ -14,8 +14,10 @@ add_custom_target(regen-goldens
 
 function(wild5g_bench name)
   add_executable(${name} ${CMAKE_SOURCE_DIR}/bench/${name}.cpp)
-  # wild5g_faults backs the --faults flag every bench accepts (bench_common.h).
-  target_link_libraries(${name} PRIVATE ${ARGN} wild5g_faults)
+  # wild5g_faults backs the --faults flag every bench accepts, and
+  # wild5g_engine the supervision layer (signals, --deadline-ms) every bench
+  # inherits through bench_common.h's MetricsEmitter.
+  target_link_libraries(${name} PRIVATE ${ARGN} wild5g_faults wild5g_engine)
   target_include_directories(${name} PRIVATE ${CMAKE_SOURCE_DIR}/bench)
   set_target_properties(${name} PROPERTIES
     RUNTIME_OUTPUT_DIRECTORY ${CMAKE_BINARY_DIR}/bench)

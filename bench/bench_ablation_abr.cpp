@@ -81,5 +81,5 @@ int main(int argc, char** argv) {
       "longer horizons and bigger buffers trade bitrate for stall"
       " protection; abandonment caps the cost of surprise chunks caught by"
       " a blockage — the mechanism the 5G-aware scheme builds on.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -68,5 +68,5 @@ int main(int argc, char** argv) {
       "small hysteresis + zero TTT floods the control plane with edge"
       " ping-pong; the (3 dB, 320 ms) operating point lands near Fig. 9's"
       " LTE count with ping-pong largely suppressed.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -80,5 +80,5 @@ int main(int argc, char** argv) {
       "accuracy saturates around depth ~8 and a few minutes of walking"
       " data; depth-1 trees (a single split) cannot express the joint"
       " throughput+signal dependence, mirroring the Fig. 15 ablations.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -50,5 +50,5 @@ int main(int argc, char** argv) {
   bench::measured_note(
       "below the knee, goodput ~ wmem/RTT (halving RTT doubles it); above"
       " the knee, extra buffer buys nothing — the Fig. 8 'tuned' plateau.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

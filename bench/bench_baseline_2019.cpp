@@ -77,5 +77,5 @@ int main(int argc, char** argv) {
   bench::measured_note(
       "all three longitudinal deltas land on the paper's claims; the"
       " downlink gain traces to carrier aggregation (see Fig. 23 bench).");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

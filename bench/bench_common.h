@@ -6,8 +6,19 @@
 // `--json <path>`, the same run also produces a machine-checkable metrics
 // document. Committed baselines live in bench/golden/ and `ctest -R golden.`
 // diffs fresh runs against them (see tools/golden_check.cpp).
+//
+// Since the campaign-engine refactor (src/engine/, DESIGN.md section 12)
+// the emitter is also the benches' *supervision layer*: it owns the
+// engine::MetricsDocument the campaign accumulates into, installs
+// SIGINT/SIGTERM handlers, parses `--deadline-ms`, and exposes keep_going()
+// yield points so a stopped bench flushes a valid partial document instead
+// of dying mid-write. Everything clock- or signal-shaped lives here, outside
+// src/engine — the engine itself is deterministic compute only.
 #pragma once
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -15,7 +26,9 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <optional>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -23,12 +36,17 @@
 #include "core/json.h"
 #include "core/parallel.h"
 #include "core/table.h"
+#include "engine/campaign.h"
+#include "engine/metrics.h"
+#include "engine/runner.h"
 #include "faults/injector.h"
 
 namespace wild5g::bench {
 
 /// Fixed seed so every bench run is reproducible bit-for-bit.
 inline constexpr std::uint64_t kBenchSeed = 20210823;  // SIGCOMM'21 opening day
+static_assert(kBenchSeed == engine::kDefaultSeed,
+              "engine-backed benches must reproduce the committed goldens");
 
 inline void banner(const std::string& id, const std::string& title) {
   std::cout << "\n################################################################\n"
@@ -44,13 +62,26 @@ inline void measured_note(const std::string& text) {
   std::cout << "[repro] " << text << "\n";
 }
 
+namespace detail {
+
+/// The one piece of state a signal handler may touch: the number of the
+/// delivery, stored with a relaxed atomic (async-signal-safe on every
+/// platform the repo targets).
+inline std::atomic<int> g_signal{0};
+
+inline void on_signal(int sig) {
+  g_signal.store(sig, std::memory_order_relaxed);
+}
+
+}  // namespace detail
+
 /// Collects a bench run's figure/table data and, when the binary was invoked
 /// with `--json <path>` (or `--json=<path>`), writes it as deterministic
-/// JSON. Bench mains end with `return emitter.finalize() ? 0 : 1;` so a
-/// failed metrics write exits non-zero; the destructor is only a safety net
-/// (and skips writing entirely when an exception is unwinding the stack, so
-/// a bench that throws mid-run cannot leave a half-populated document for
-/// the golden gate to diff confusingly).
+/// JSON. Bench mains end with `return emitter.exit_code();` so a failed
+/// metrics write exits non-zero; the destructor is only a safety net (and
+/// skips writing entirely when an exception is unwinding the stack, so a
+/// bench that throws mid-run cannot leave a half-populated document for the
+/// golden gate to diff confusingly).
 ///
 /// Also strips `--threads N` (or `--threads=N`) and configures the parallel
 /// campaign runner with it; `1` forces serial execution and the default is
@@ -67,6 +98,22 @@ inline void measured_note(const std::string& text) {
 /// the document records the plan name under "fault_plan", so a faulted run
 /// can never be confused with (or diffed against) a default golden.
 ///
+/// Also strips `--deadline-ms N`: a wall-clock budget for the whole run.
+/// When it expires, the bench stops at the next keep_going() yield point,
+/// flushes the partial document with a `deadline_hit` metric, and exits 0 —
+/// a deadline is a supervised outcome, not a failure. Garbage or
+/// non-positive budgets are usage errors (exit 2) like every other flag.
+///
+/// Supervision: the constructor installs SIGINT/SIGTERM handlers. Benches
+/// call keep_going() between units of work; once it returns false (signal
+/// or deadline) they break out, and exit_code() flushes the partial
+/// document — annotated with a top-level `"interrupted": true` key on
+/// signal — then exits 128+signo (signal), 0 (deadline), or 1 (write
+/// failure). Test hooks: WILD5G_DEADLINE_AFTER_YIELDS=N trips the deadline
+/// deterministically at the Nth yield (no clock involved), and
+/// WILD5G_TEST_YIELD_DELAY_MS=M dwells M ms per yield to widen the
+/// signal-delivery window the regression tests race against.
+///
 /// Recognized flags are stripped from argv so benches that forward argv to
 /// another flag parser (google-benchmark) stay compatible.
 class MetricsEmitter {
@@ -74,6 +121,9 @@ class MetricsEmitter {
   MetricsEmitter(int& argc, char** argv, std::string bench_id)
       : bench_id_(std::move(bench_id)),
         uncaught_on_entry_(std::uncaught_exceptions()) {
+    // wild5g-lint: allow(ban-wall-clock) supervision layer: --deadline-ms
+    // budgets wall time by definition; src/engine stays clock-free
+    start_ = std::chrono::steady_clock::now();
     int kept = 1;
     for (int i = 1; i < argc; ++i) {
       const std::string arg = argv[i];
@@ -93,20 +143,22 @@ class MetricsEmitter {
         load_faults(argv[++i]);
       } else if (arg.rfind("--faults=", 0) == 0) {
         load_faults(arg.substr(9));
+      } else if (arg == "--deadline-ms") {
+        if (i + 1 >= argc) usage_error("--deadline-ms requires a budget");
+        deadline_ms_ = positive_count("--deadline-ms", argv[++i]);
+      } else if (arg.rfind("--deadline-ms=", 0) == 0) {
+        deadline_ms_ = positive_count("--deadline-ms", arg.substr(14));
       } else {
         argv[kept++] = argv[i];
       }
     }
     argc = kept;
-    doc_ = json::Value::object();
-    doc_.set("bench", bench_id_);
-    doc_.set("seed", kBenchSeed);
-    if (injector_ != nullptr) {
-      doc_.set("fault_plan", injector_->plan().name);
-    }
-    tables_ = json::Value::array();
-    metrics_ = json::Value::object();
-    tolerances_ = json::Value::object();
+    doc_.emplace(bench_id_, kBenchSeed,
+                 injector_ != nullptr ? injector_->plan().name
+                                      : std::string{});
+    read_test_hooks();
+    std::signal(SIGINT, detail::on_signal);
+    std::signal(SIGTERM, detail::on_signal);
   }
 
   MetricsEmitter(const MetricsEmitter&) = delete;
@@ -124,13 +176,15 @@ class MetricsEmitter {
   }
 
   /// Writes the document (when `--json` was given) and reports whether this
-  /// run's metrics made it to disk. Bench mains must end with
-  /// `return emitter.finalize() ? 0 : 1;` — a swallowed write failure would
-  /// otherwise exit 0 with no JSON on disk and the campaign driver would
-  /// never notice.
+  /// run's metrics made it to disk. A stopped run's document is annotated
+  /// first ("interrupted" flag / "deadline_hit" metric), so the flushed
+  /// partial is self-describing. Prefer ending mains with
+  /// `return emitter.exit_code();`, which folds this in.
   [[nodiscard]] bool finalize() {
     if (finalized_) return ok_;
     finalized_ = true;
+    if (interrupted_) doc_->set_flag("interrupted");
+    if (deadline_hit_) doc_->metric("deadline_hit", 1.0);
     if (json_path_.empty()) return ok_;
     try {
       write(json_path_);
@@ -145,6 +199,32 @@ class MetricsEmitter {
     return ok_;
   }
 
+  /// The bench's exit status: finalizes (flushing any partial document),
+  /// then reports 1 on write failure, 128+signo when a signal stopped the
+  /// run, and 0 otherwise — including the deadline case, which is a
+  /// supervised partial result, not an error.
+  [[nodiscard]] int exit_code() {
+    const bool wrote = finalize();
+    if (!wrote) return 1;
+    if (interrupted_) return 128 + signal_;
+    return 0;
+  }
+
+  /// The benches' yield point: call between units of work (grid points,
+  /// sweep iterations). Counts the yield, applies the test-hook dwell,
+  /// polls the signal flag and the deadline, and returns false — stickily —
+  /// once the run should stop. A bench that sees false breaks out of its
+  /// loops and returns exit_code().
+  [[nodiscard]] bool keep_going() {
+    poll_supervision();
+    return !stopped_;
+  }
+
+  /// True once a SIGINT/SIGTERM stopped the run (set at a yield point).
+  [[nodiscard]] bool interrupted() const { return interrupted_; }
+  /// True once the --deadline-ms budget expired (set at a yield point).
+  [[nodiscard]] bool deadline_hit() const { return deadline_hit_; }
+
   /// True while no failure has been recorded (write errors set this false).
   [[nodiscard]] bool ok() const { return ok_; }
 
@@ -157,6 +237,34 @@ class MetricsEmitter {
   /// means every harness takes its exact pre-fault code path.
   [[nodiscard]] const faults::Injector* faults() const {
     return injector_.get();
+  }
+
+  /// The validated fault plan from `--faults`, if any — what engine-backed
+  /// benches embed into their CampaignRequest.
+  [[nodiscard]] std::optional<faults::FaultPlan> fault_plan() const {
+    if (injector_ == nullptr) return std::nullopt;
+    return injector_->plan();
+  }
+
+  /// The metrics document this run accumulates into; engine-backed benches
+  /// hand it to their CampaignContext.
+  [[nodiscard]] engine::MetricsDocument& doc() { return *doc_; }
+
+  /// Runs an engine campaign under this emitter's supervision (signals and
+  /// deadline wired into the runner's yield points, tables printed to
+  /// stdout as the batch benches always have) and returns the bench's exit
+  /// code. The engine-backed mains reduce to: build request, make_campaign,
+  /// `return emitter.run_campaign(*campaign);`.
+  [[nodiscard]] int run_campaign(engine::Campaign& campaign) {
+    engine::CampaignContext ctx{doc(), &std::cout};
+    engine::RunControl control;
+    control.interrupted = [this] {
+      poll_supervision();
+      return interrupted_;
+    };
+    control.over_deadline = [this] { return deadline_hit_; };
+    (void)engine::run_steps(campaign, ctx, control);
+    return exit_code();
   }
 
   /// Public surface for bench-specific flag failures (an unparseable
@@ -193,17 +301,11 @@ class MetricsEmitter {
   /// Default tolerance written into the document; golden_check uses the
   /// GOLDEN file's tolerance, so regenerating goldens is how these take
   /// effect.
-  void set_tolerance(double rel, double abs) {
-    rel_ = rel;
-    abs_ = abs;
-  }
+  void set_tolerance(double rel, double abs) { doc_->set_tolerance(rel, abs); }
 
   /// Per-metric override, keyed by a metric name or a table title.
   void set_tolerance(const std::string& name, double rel, double abs) {
-    json::Value entry = json::Value::object();
-    entry.set("rel", rel);
-    entry.set("abs", abs);
-    tolerances_.set(name, std::move(entry));
+    doc_->set_tolerance(name, rel, abs);
   }
 
   /// Prints the table to stdout (as before) and records it in the document.
@@ -213,39 +315,15 @@ class MetricsEmitter {
   }
 
   /// Records a table without printing (for inventory-only documents).
-  void record(const Table& table) {
-    json::Value entry = json::Value::object();
-    entry.set("title", table.title());
-    json::Value header = json::Value::array();
-    for (const auto& cell : table.header()) header.push_back(cell);
-    entry.set("header", std::move(header));
-    json::Value rows = json::Value::array();
-    for (const auto& row : table.rows()) {
-      json::Value cells = json::Value::array();
-      for (const auto& cell : row) cells.push_back(cell);
-      rows.push_back(std::move(cells));
-    }
-    entry.set("rows", std::move(rows));
-    tables_.push_back(std::move(entry));
-  }
+  void record(const Table& table) { doc_->record(table); }
 
   /// Records a named scalar metric (raw double, not a formatted cell).
   void metric(const std::string& name, double value) {
-    metrics_.set(name, value);
+    doc_->metric(name, value);
   }
 
   /// Assembles the document in its final shape.
-  [[nodiscard]] json::Value document() const {
-    json::Value doc = doc_;
-    json::Value tolerance = json::Value::object();
-    tolerance.set("rel", rel_);
-    tolerance.set("abs", abs_);
-    doc.set("tolerance", std::move(tolerance));
-    if (tolerances_.size() > 0) doc.set("tolerances", tolerances_);
-    doc.set("tables", tables_);
-    doc.set("metrics", metrics_);
-    return doc;
-  }
+  [[nodiscard]] json::Value document() const { return doc_->document(); }
 
   /// Writes the document to `path`; throws wild5g::Error on I/O failure.
   void write(const std::string& path) const {
@@ -302,18 +380,67 @@ class MetricsEmitter {
     }
   }
 
+  /// Test hooks are WILD5G_-prefixed env vars so the supervision tests can
+  /// pin nondeterministic timing without patching the binary. Lenient
+  /// parsing: they are test plumbing, not user flags.
+  void read_test_hooks() {
+    if (const char* text = std::getenv("WILD5G_DEADLINE_AFTER_YIELDS")) {
+      deadline_after_yields_ = std::atol(text);
+    }
+    if (const char* text = std::getenv("WILD5G_TEST_YIELD_DELAY_MS")) {
+      yield_delay_ms_ = std::atol(text);
+    }
+  }
+
+  /// One supervision poll = one yield. Sticky: once stopped, later polls
+  /// change nothing, so a signal can never be overwritten by a deadline
+  /// (or vice versa) and exit_code() reports the first cause.
+  void poll_supervision() {
+    if (stopped_) return;
+    ++yields_;
+    if (yield_delay_ms_ > 0) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(yield_delay_ms_));
+    }
+    const int sig = detail::g_signal.load(std::memory_order_relaxed);
+    if (sig != 0) {
+      stopped_ = true;
+      interrupted_ = true;
+      signal_ = sig;
+      return;
+    }
+    if (deadline_after_yields_ > 0 && yields_ >= deadline_after_yields_) {
+      stopped_ = true;
+      deadline_hit_ = true;
+      return;
+    }
+    if (deadline_ms_ > 0) {
+      // wild5g-lint: allow(ban-wall-clock) the --deadline-ms supervision
+      // check; the engine under this layer never reads a clock
+      const auto elapsed = std::chrono::steady_clock::now() - start_;
+      if (elapsed >= std::chrono::milliseconds(deadline_ms_)) {
+        stopped_ = true;
+        deadline_hit_ = true;
+      }
+    }
+  }
+
   std::string bench_id_;
   std::string json_path_;
   std::unique_ptr<faults::Injector> injector_;
   int uncaught_on_entry_ = 0;
   bool finalized_ = false;
   bool ok_ = true;
-  double rel_ = 1e-6;
-  double abs_ = 1e-9;
-  json::Value doc_;
-  json::Value tables_;
-  json::Value metrics_;
-  json::Value tolerances_;
+  std::optional<engine::MetricsDocument> doc_;
+  // wild5g-lint: allow(ban-wall-clock) supervision state for --deadline-ms
+  std::chrono::steady_clock::time_point start_;
+  int deadline_ms_ = 0;
+  long deadline_after_yields_ = 0;
+  long yield_delay_ms_ = 0;
+  long yields_ = 0;
+  bool stopped_ = false;
+  bool interrupted_ = false;
+  bool deadline_hit_ = false;
+  int signal_ = 0;
 };
 
 }  // namespace wild5g::bench

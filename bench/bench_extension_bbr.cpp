@@ -34,6 +34,7 @@ int main(int argc, char** argv) {
   table.set_header({"region", "km", "UDP", "CUBIC tuned", "BBR",
                     "BBR/CUBIC"});
   for (const auto& region : geo::azure_regions()) {
+    if (!emitter.keep_going()) return emitter.exit_code();
     const double rtt =
         net::path_rtt_ms(network, region.quoted_distance_km) + 8.0;
     transport::PathConfig path;
@@ -69,5 +70,5 @@ int main(int argc, char** argv) {
       "BBR stays within a few percent of UDP at every distance, while CUBIC"
       " decays with RTT: a transport fix recovers the capacity the paper"
       " shows being left on the table.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

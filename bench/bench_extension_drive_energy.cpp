@@ -39,6 +39,7 @@ int main(int argc, char** argv) {
        {mobility::BandSetting::kSaOnly, mobility::BandSetting::kNsaPlusLte,
         mobility::BandSetting::kLteOnly, mobility::BandSetting::kSaPlusLte,
         mobility::BandSetting::kAllBands}) {
+    if (!emitter.keep_going()) return emitter.exit_code();
     double vertical = 0.0;
     double horizontal = 0.0;
     const int drives = 4;
@@ -68,5 +69,5 @@ int main(int argc, char** argv) {
       "NSA's vertical-handoff storm costs an order of magnitude more switch"
       " energy per km than SA — quantifying why the paper recommends"
       " avoiding intermittent 4G/5G toggling.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

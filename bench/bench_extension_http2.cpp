@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   table.set_header({"radio", "protocol", "mean PLT s", "p90 PLT s",
                     "mean energy J"});
   for (const bool is_5g : {true, false}) {
+    if (!emitter.keep_going()) return emitter.exit_code();
     for (const bool multiplexed : {false, true}) {
       auto config = is_5g ? web::mmwave_page_config()
                           : web::lte_page_config();
@@ -53,5 +54,5 @@ int main(int argc, char** argv) {
       "multiplexing compresses the 4G-vs-5G PLT gap on small pages and"
       " widens 5G's lead on heavy ones (bandwidth finally binds); both"
       " radios save energy in proportion to the PLT cut.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

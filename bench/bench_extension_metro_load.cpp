@@ -4,14 +4,20 @@
 // when a corridor of cells serves a whole population — by sweeping the
 // configured background load and the number of sharers per cell.
 //
-// Flags (beyond the common --json/--threads/--faults):
+// Engine-backed (src/engine/): the main assembles a CampaignRequest for the
+// registered "metro_load" campaign and runs it under the emitter's
+// supervision, so the sweep inherits SIGINT/SIGTERM partial flushes and
+// --deadline-ms for free. The emitted document is byte-identical to the
+// pre-engine monolithic main — the committed golden gates that.
+//
+// Flags (beyond the common --json/--threads/--faults/--deadline-ms):
 //   --cells N   corridor length in cells   (default 12)
 //   --ues N     UEs per cell               (default 100)
 #include <iostream>
 #include <string>
-#include <vector>
 
 #include "bench_common.h"
+#include "engine/campaign.h"
 #include "metro/metro.h"
 
 using namespace wild5g;
@@ -19,16 +25,18 @@ using namespace wild5g;
 int main(int argc, char** argv) {
   bench::MetricsEmitter emitter(argc, argv, "extension_metro_load");
 
-  int cells = 12;
-  int ues_per_cell = 100;
+  engine::CampaignRequest request;
+  request.campaign = "metro_load";
+  request.params = json::Value::object();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--cells") {
       if (i + 1 >= argc) emitter.fail_usage("--cells requires a count");
-      cells = emitter.positive_count("--cells", argv[++i]);
+      request.params.set("cells",
+                         emitter.positive_count("--cells", argv[++i]));
     } else if (arg == "--ues") {
       if (i + 1 >= argc) emitter.fail_usage("--ues requires a count");
-      ues_per_cell = emitter.positive_count("--ues", argv[++i]);
+      request.params.set("ues", emitter.positive_count("--ues", argv[++i]));
     } else {
       emitter.fail_usage("unknown flag '" + arg + "'");
     }
@@ -42,6 +50,7 @@ int main(int argc, char** argv) {
           "' windows, which the metro campaign does not model (radio kinds "
           "only: mmwave_blockage, nr_to_lte_outage, radio_outage)");
     }
+    request.fault_plan = emitter.fault_plan();
   }
 
   bench::banner("Extension",
@@ -53,56 +62,9 @@ int main(int argc, char** argv) {
       " every attached user, so per-user throughput is governed by cell"
       " load, not peak capacity.");
 
-  metro::MetroConfig base;
-  base.cells = cells;
-  base.ues_per_cell = ues_per_cell;
-  base.faults = emitter.faults();
-
-  Table load_table(std::to_string(cells) + " cells x " +
-                   std::to_string(ues_per_cell) +
-                   " UEs/cell, 60 s walk, mid-band NSA: background load"
-                   " sweep");
-  load_table.set_header({"bg load", "mean/UE Mbps", "p50 Mbps", "p95 Mbps",
-                         "mean util", "handoffs"});
-  const std::vector<double> load_grid = {0.0, 0.2, 0.4, 0.6, 0.8};
-  for (std::size_t point = 0; point < load_grid.size(); ++point) {
-    const double load = load_grid[point];
-    metro::MetroConfig config = base;
-    config.background_load = load;
-    const auto result = metro::run_campaign(config, Rng(bench::kBenchSeed));
-    load_table.add_row({Table::num(load, 1),
-                        Table::num(result.per_ue_mean_mbps.mean(), 3),
-                        Table::num(result.per_ue_mean_mbps.median(), 3),
-                        Table::num(result.per_ue_mean_mbps.p95(), 3),
-                        Table::num(result.mean_utilization, 3),
-                        Table::num(static_cast<double>(result.handoffs), 0)});
-    if (point == 0) {  // the unloaded anchor point
-      emitter.metric("unloaded_mean_ue_mbps", result.per_ue_mean_mbps.mean());
-      emitter.metric("peak_cell_active",
-                     static_cast<double>(result.peak_cell_active));
-      emitter.metric("attach_ops", static_cast<double>(result.attach_ops));
-    }
-  }
-  emitter.report(load_table);
-
-  Table sharer_table(
-      "Same corridor, background load 0: per-user throughput vs sharers");
-  sharer_table.set_header(
-      {"UEs/cell", "mean/UE Mbps", "p50 Mbps", "p95 Mbps", "step p5 Mbps"});
-  const std::vector<int> sharer_grid = {1, 10, 50, 100};
-  for (const int sharers : sharer_grid) {
-    metro::MetroConfig config = base;
-    config.ues_per_cell = sharers;
-    config.background_load = 0.0;
-    const auto result = metro::run_campaign(config, Rng(bench::kBenchSeed));
-    sharer_table.add_row(
-        {Table::num(static_cast<double>(sharers), 0),
-         Table::num(result.per_ue_mean_mbps.mean(), 3),
-         Table::num(result.per_ue_mean_mbps.median(), 3),
-         Table::num(result.per_ue_mean_mbps.p95(), 3),
-         Table::num(result.step_throughput_mbps.percentile(5.0), 3)});
-  }
-  emitter.report(sharer_table);
+  engine::register_builtin_campaigns();
+  const auto campaign = engine::make_campaign(request);
+  const int code = emitter.run_campaign(*campaign);
 
   bench::measured_note(
       "per-user throughput falls monotonically with both dials: the"
@@ -110,5 +72,5 @@ int main(int argc, char** argv) {
       " sharer sweep splits the same cell capacity ever thinner — the"
       " unloaded single-UE numbers the paper reports are the best case, not"
       " the expectation.");
-  return emitter.finalize() ? 0 : 1;
+  return code;
 }

@@ -5,14 +5,19 @@
 // the whole population at vehicular speed and sweeps the busy-hour
 // activity dial, reporting rebuffering and storm intensity.
 //
-// Flags (beyond the common --json/--threads/--faults):
+// Engine-backed (src/engine/): the main assembles a CampaignRequest for the
+// registered "metro_qoe" campaign and runs it under the emitter's
+// supervision; the emitted document is byte-identical to the pre-engine
+// monolithic main (the committed golden gates that).
+//
+// Flags (beyond the common --json/--threads/--faults/--deadline-ms):
 //   --cells N   corridor length in cells   (default 12)
 //   --ues N     UEs per cell               (default 100)
 #include <iostream>
 #include <string>
-#include <vector>
 
 #include "bench_common.h"
+#include "engine/campaign.h"
 #include "metro/metro.h"
 
 using namespace wild5g;
@@ -20,16 +25,18 @@ using namespace wild5g;
 int main(int argc, char** argv) {
   bench::MetricsEmitter emitter(argc, argv, "extension_metro_qoe");
 
-  int cells = 12;
-  int ues_per_cell = 100;
+  engine::CampaignRequest request;
+  request.campaign = "metro_qoe";
+  request.params = json::Value::object();
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--cells") {
       if (i + 1 >= argc) emitter.fail_usage("--cells requires a count");
-      cells = emitter.positive_count("--cells", argv[++i]);
+      request.params.set("cells",
+                         emitter.positive_count("--cells", argv[++i]));
     } else if (arg == "--ues") {
       if (i + 1 >= argc) emitter.fail_usage("--ues requires a count");
-      ues_per_cell = emitter.positive_count("--ues", argv[++i]);
+      request.params.set("ues", emitter.positive_count("--ues", argv[++i]));
     } else {
       emitter.fail_usage("unknown flag '" + arg + "'");
     }
@@ -43,6 +50,7 @@ int main(int argc, char** argv) {
           "' windows, which the metro campaign does not model (radio kinds "
           "only: mmwave_blockage, nr_to_lte_outage, radio_outage)");
     }
+    request.fault_plan = emitter.fault_plan();
   }
 
   bench::banner("Extension",
@@ -54,46 +62,9 @@ int main(int argc, char** argv) {
       " co-moving UEs cross cell edges together — handoffs arrive in"
       " storms, not one at a time.");
 
-  metro::MetroConfig base;
-  base.cells = cells;
-  base.ues_per_cell = ues_per_cell;
-  base.ue_speed_mps = 14.0;  // vehicular corridor
-  base.background_load = 0.2;
-  base.demand_mbps = 25.0;   // the paper's 4K operating point
-  base.handoff.time_to_trigger_ms = 160.0;  // vehicular-speed A3 tuning
-  base.faults = emitter.faults();
-
-  Table table(std::to_string(cells) + " cells x " +
-              std::to_string(ues_per_cell) +
-              " UEs/cell at 14 m/s, 25 Mbps demand: busy-hour activity"
-              " sweep");
-  table.set_header({"activity", "mean/UE Mbps", "rebuffer mean",
-                    "rebuffer p95", "handoffs", "ping-pongs",
-                    "peak storm"});
-  const std::vector<double> activity_grid = {0.25, 0.5, 0.75, 1.0};
-  for (std::size_t point = 0; point < activity_grid.size(); ++point) {
-    const double activity = activity_grid[point];
-    metro::MetroConfig config = base;
-    config.activity = activity;
-    const auto result = metro::run_campaign(config, Rng(bench::kBenchSeed));
-    table.add_row(
-        {Table::num(activity, 2),
-         Table::num(result.per_ue_mean_mbps.mean(), 3),
-         Table::num(result.per_ue_rebuffer_fraction.mean(), 4),
-         Table::num(result.per_ue_rebuffer_fraction.p95(), 4),
-         Table::num(static_cast<double>(result.handoffs), 0),
-         Table::num(static_cast<double>(result.pingpongs), 0),
-         Table::num(static_cast<double>(result.peak_step_handoffs), 0)});
-    if (point + 1 == activity_grid.size()) {  // the busy-hour anchor point
-      emitter.metric("busy_hour_rebuffer_mean",
-                     result.per_ue_rebuffer_fraction.mean());
-      emitter.metric("busy_hour_peak_storm",
-                     static_cast<double>(result.peak_step_handoffs));
-      emitter.metric("busy_hour_pingpongs",
-                     static_cast<double>(result.pingpongs));
-    }
-  }
-  emitter.report(table);
+  engine::register_builtin_campaigns();
+  const auto campaign = engine::make_campaign(request);
+  const int code = emitter.run_campaign(*campaign);
 
   bench::measured_note(
       "rebuffering grows with the activity dial even though demand per UE"
@@ -101,5 +72,5 @@ int main(int argc, char** argv) {
       " share below the 25 Mbps demand line — and the co-moving population"
       " turns cell edges into handoff storms dozens deep in a single"
       " step.");
-  return emitter.finalize() ? 0 : 1;
+  return code;
 }

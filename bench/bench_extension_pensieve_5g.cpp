@@ -66,6 +66,7 @@ int main(int argc, char** argv) {
                            {"Pensieve-like", "5G traces", &trained_5g},
                            {"robustMPC", "(none)", &robust}};
   for (const auto& row : rows) {
+    if (!emitter.keep_going()) return emitter.exit_code();
     const auto q =
         abr::evaluate_on_traces(video, eval_5g, *row.algorithm, options);
     table.add_row({row.policy, row.data,
@@ -81,5 +82,5 @@ int main(int argc, char** argv) {
       Table::num(100.0 * (stall_4g_trained - stall_5g_trained) /
                      stall_4g_trained, 0) +
       "%, confirming the paper's larger-5G-dataset hypothesis.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

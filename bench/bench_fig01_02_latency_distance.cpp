@@ -42,6 +42,7 @@ int main(int argc, char** argv) {
   Rng rng(bench::kBenchSeed);
 
   for (const auto& server : servers) {
+    if (!emitter.keep_going()) return emitter.exit_code();
     const double km = geo::haversine_km(ue_location, server.location);
     std::vector<std::string> row{server.name, Table::num(km, 0)};
     for (std::size_t r = 0; r < radios.size(); ++r) {
@@ -85,5 +86,5 @@ int main(int argc, char** argv) {
                        " ms over mmWave (paper: 6-8 ms)");
   bench::measured_note("LTE adds " + Table::num(lte_gap, 1) +
                        " ms over low-band (paper: 6-15 ms over 5G)");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -59,6 +59,7 @@ int main(int argc, char** argv) {
   double single_near = 0.0;
   double single_far = 0.0;
   for (std::size_t i = 0; i < servers.size(); ++i) {
+    if (!emitter.keep_going()) return emitter.exit_code();
     const double km =
         geo::haversine_km(config.ue_location, servers[i].location);
     const auto& [multi, single] = results[i];
@@ -78,5 +79,5 @@ int main(int argc, char** argv) {
   bench::measured_note("single-conn near/far = " + Table::num(single_near, 0) +
                        " / " + Table::num(single_far, 0) +
                        " Mbps (paper: ~3 Gbps near, decaying with distance)");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -53,6 +53,7 @@ int main(int argc, char** argv) {
       });
   double peak = 0.0;
   for (std::size_t i = 0; i < servers.size(); ++i) {
+    if (!emitter.keep_going()) return emitter.exit_code();
     const double km =
         geo::haversine_km(config.ue_location, servers[i].location);
     table.add_row({servers[i].name, Table::num(km, 0),
@@ -63,5 +64,5 @@ int main(int argc, char** argv) {
   emitter.report(table);
   bench::measured_note("peak uplink = " + Table::num(peak, 0) +
                        " Mbps (paper: ~220 Mbps)");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -48,6 +48,7 @@ int main(int argc, char** argv) {
   double rtt_gap = 0.0;
   int rows = 0;
   for (const auto& server : servers) {
+    if (!emitter.keep_going()) return emitter.exit_code();
     const double km = geo::haversine_km(ue_location, server.location);
     const auto r_nsa =
         nsa.peak_of(server, net::ConnectionMode::kMultiple, 10, rng);
@@ -73,5 +74,5 @@ int main(int argc, char** argv) {
   bench::measured_note("mean SA-NSA RTT gap = " +
                        Table::num(rtt_gap / rows, 2) +
                        " ms (paper: no significant difference)");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -87,5 +87,5 @@ int main(int argc, char** argv) {
   bench::measured_note("mean UDP - tuned 1-TCP gap = " +
                        Table::num((udp_sum - tuned_sum) / rows, 0) +
                        " Mbps (paper: ~886 Mbps)");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -44,6 +44,7 @@ int main(int argc, char** argv) {
         return mobility::simulate_drive(setting, route, {}, rng);
       });
   for (std::size_t s = 0; s < settings.size(); ++s) {
+    if (!emitter.keep_going()) return emitter.exit_code();
     const auto& [setting, paper_total] = settings[s];
     double total = 0.0;
     double horizontal = 0.0;
@@ -88,5 +89,5 @@ int main(int argc, char** argv) {
               << Table::num(seg.end_s, 1) << "s  "
               << mobility::to_string(seg.radio) << "\n";
   }
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

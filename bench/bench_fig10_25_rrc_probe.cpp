@@ -45,5 +45,5 @@ int main(int argc, char** argv) {
   bench::measured_note(
       "plateau structure per configuration matches the figure: three levels"
       " for SA and NSA low-band, two for mmWave and 4G.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

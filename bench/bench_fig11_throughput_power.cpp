@@ -53,5 +53,5 @@ int main(int argc, char** argv) {
   const auto s20u = DevicePowerProfile::s20u();
   sweep(emitter, s20u, Direction::kDownlink, 2000.0, 200.0);
   sweep(emitter, s20u, Direction::kUplink, 200.0, 20.0);
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -69,5 +69,5 @@ int main(int argc, char** argv) {
                                         std::log10(4.0), 2) +
                          " (theory: -> -1)");
   }
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -103,5 +103,5 @@ int main(int argc, char** argv) {
   bench::measured_note(
       "energy/bit decreases monotonically with RSRP in both cities;"
       " Minneapolis mixes the low-band cluster into the low-RSRP bins.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

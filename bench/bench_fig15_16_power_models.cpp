@@ -122,5 +122,5 @@ int main(int argc, char** argv) {
   bench::measured_note(
       "TH+SS < TH << SS on every setting, and calibrated 10 Hz software"
       " monitoring beats 1 Hz, matching Figs. 15-16.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -81,6 +81,7 @@ int main(int argc, char** argv) {
   double best_5g_stall = 1e18;
   double best_5g_bitrate = 0.0;
   for (std::size_t i = 0; i < algorithms.size(); ++i) {
+    if (!emitter.keep_going()) return emitter.exit_code();
     const auto& [q5, q4] = results[i];
     const double increase =
         q4.mean_stall_percent > 0.05
@@ -122,5 +123,5 @@ int main(int argc, char** argv) {
                        " bitrate, " + Table::num(best_5g_stall, 1) +
                        "% stall) - robustMPC holds the QoE frontier as in"
                        " the paper");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -69,5 +69,5 @@ int main(int argc, char** argv) {
                        std::string(qoe_hm < qoe_gbdt && qoe_gbdt < qoe_truth
                                        ? "reproduced"
                                        : "NOT reproduced"));
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

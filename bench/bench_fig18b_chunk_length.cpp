@@ -62,5 +62,5 @@ int main(int argc, char** argv) {
       "%, stalls " +
       Table::num(100.0 * (c1.stall - c4.stall) / std::max(0.01, c4.stall), 1) +
       "% (paper: +35.9% bitrate, -29.8% stalls)");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

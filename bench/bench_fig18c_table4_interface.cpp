@@ -95,5 +95,5 @@ int main(int argc, char** argv) {
                                            no_overhead.stall_s) /
                                       std::max(1.0, no_overhead.stall_s), 1) +
                        "% (paper: 4.0%)");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -115,5 +115,5 @@ int main(int argc, char** argv) {
                        " s; median energy: 5G " +
                        Table::num(en5.median(), 2) + " J vs 4G " +
                        Table::num(en4.median(), 2) + " J");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -43,5 +43,5 @@ int main(int argc, char** argv) {
       "the saving is largest in the lowest-penalty bin and declines with"
       " the penalty, matching the figure's takeaway that the slightest"
       " permissible PLT penalty yields large energy savings.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

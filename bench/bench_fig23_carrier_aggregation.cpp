@@ -27,6 +27,7 @@ int main(int argc, char** argv) {
   double px5_multi = 0.0;
   double s20_multi = 0.0;
   for (const auto& ue : {radio::pixel5(), radio::galaxy_s20u()}) {
+    if (!emitter.keep_going()) return emitter.exit_code();
     net::SpeedtestConfig config;
     config.network = {radio::Carrier::kVerizon, radio::Band::kNrMmWave,
                       radio::DeploymentMode::kNsa};
@@ -52,5 +53,5 @@ int main(int argc, char** argv) {
                        Table::num(100.0 * (s20_multi - px5_multi) / px5_multi,
                                   0) +
                        "% (paper: +50-60%)");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

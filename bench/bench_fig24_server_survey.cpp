@@ -43,6 +43,7 @@ int main(int argc, char** argv) {
   std::string best_name;
   int errors = 0;
   for (std::size_t i = 0; i < servers.size(); ++i) {
+    if (!emitter.keep_going()) return emitter.exit_code();
     errors += results[i].errors;
     table.add_row({std::to_string(i + 1), servers[i].name,
                    servers[i].port_cap_mbps > 0.0
@@ -65,5 +66,5 @@ int main(int argc, char** argv) {
   bench::measured_note("best server = " + best_name + " at " +
                        Table::num(best, 0) +
                        " Mbps (paper: Verizon's own server, >3 Gbps)");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

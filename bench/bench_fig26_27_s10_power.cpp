@@ -48,5 +48,5 @@ int main(int argc, char** argv) {
                          Table::num(*crossover, 1) + " Mbps (paper: " +
                          (dl ? "213" : "44") + " Mbps)");
   }
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -205,12 +205,12 @@ int main(int argc, char** argv) {
   inventory.add_row({"BM_StreamingSession", "1"});
   emitter.record(inventory);
   if (emitter.json_requested()) {
-    return emitter.finalize() ? 0 : 1;  // golden run: inventory only
+    return emitter.exit_code();  // golden run: inventory only
   }
 
   benchmark::Initialize(&argc, argv);
   if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

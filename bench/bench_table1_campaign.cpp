@@ -54,5 +54,5 @@ int main(int argc, char** argv) {
   bench::measured_note(
       "the simulated campaign matches or exceeds the paper's per-experiment"
       " sample counts; wall-clock field time is replaced by simulation.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

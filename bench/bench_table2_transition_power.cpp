@@ -58,5 +58,5 @@ int main(int argc, char** argv) {
       "5G tails cost more than 4G (mmWave most of all), and the 4G->5G"
       " switch adds a further burst, matching the paper's conclusion that"
       " intermittent transfer patterns should avoid 5G.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -90,5 +90,5 @@ int main(int argc, char** argv) {
   bench::measured_note(
       "software always under-reads; the 10 Hz column is uniformly closer to"
       " 100%, and the polling overhead grows with rate (Table 3's tradeoff).");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -75,5 +75,5 @@ int main(int argc, char** argv) {
                        "(paper: PS, DNO)");
   bench::measured_note("M4 dominant features: " + top_features(selectors[3]) +
                        "(paper: NO, DNO)");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -59,5 +59,5 @@ int main(int argc, char** argv) {
   bench::measured_note(
       "every timer recovered blind (no access to the generating config)"
       " within a few probe steps of its configured value.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -76,5 +76,5 @@ int main(int argc, char** argv) {
   bench::measured_note(
       "fitted slopes recover the configured (paper) values within meter"
       " noise; every UL/DL ratio falls in the paper's 2.2-5.9x band.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -85,6 +85,7 @@ int main(int argc, char** argv) {
     double estimated_sum = 0.0;
     double rel_err_sum = 0.0;
     for (const auto& trace : video_traces) {
+      if (!emitter.keep_going()) return emitter.exit_code();
       abr::HarmonicMeanPredictor predictor;
       abr::ModelPredictiveAbr robust(
           abr::ModelPredictiveAbr::Variant::kRobust, predictor);
@@ -122,6 +123,7 @@ int main(int argc, char** argv) {
     double estimated_sum = 0.0;
     double rel_err_sum = 0.0;
     for (const auto& site : corpus) {
+      if (!emitter.keep_going()) return emitter.exit_code();
       const auto load = web::load_page(site, config, device, web_rng);
       std::vector<double> rsrp(load.per_second_dl_mbps.size(),
                                config.rsrp_dbm);
@@ -149,5 +151,5 @@ int main(int argc, char** argv) {
       "the data-driven model transfers from the walking campaign to unseen"
       " application workloads with single-digit relative error, as in the"
       " paper's validation.");
-  return emitter.finalize() ? 0 : 1;
+  return emitter.exit_code();
 }

@@ -174,6 +174,45 @@ void dump_value(const Value& value, int indent, std::string& out) {
   }
 }
 
+void dump_value_compact(const Value& value, std::string& out) {
+  switch (value.type()) {
+    case Value::Type::kNull:
+      out += "null";
+      break;
+    case Value::Type::kBool:
+      out += value.as_bool() ? "true" : "false";
+      break;
+    case Value::Type::kNumber:
+      out += format_number(value.as_number());
+      break;
+    case Value::Type::kString:
+      escape_string(value.as_string(), out);
+      break;
+    case Value::Type::kArray: {
+      const auto& elements = value.as_array();
+      out += '[';
+      for (std::size_t i = 0; i < elements.size(); ++i) {
+        if (i > 0) out += ',';
+        dump_value_compact(elements[i], out);
+      }
+      out += ']';
+      break;
+    }
+    case Value::Type::kObject: {
+      const auto& members = value.as_object();
+      out += '{';
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out += ',';
+        escape_string(members[i].key, out);
+        out += ':';
+        dump_value_compact(members[i].value, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
 class Parser {
  public:
   explicit Parser(std::string_view text) : text_(text) {}
@@ -400,6 +439,12 @@ std::string dump(const Value& value) {
   std::string out;
   dump_value(value, 0, out);
   out += '\n';
+  return out;
+}
+
+std::string dump_compact(const Value& value) {
+  std::string out;
+  dump_value_compact(value, out);
   return out;
 }
 

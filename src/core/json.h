@@ -95,6 +95,11 @@ struct Member {
 /// newline at top level). Deterministic: same document -> same bytes.
 [[nodiscard]] std::string dump(const Value& value);
 
+/// Serializes `value` as single-line JSON with no whitespace. Backs the
+/// campaign server's line-oriented protocol, where every metric frame must
+/// fit one line and byte-identical streams are the determinism gate.
+[[nodiscard]] std::string dump_compact(const Value& value);
+
 /// Parses a JSON document. Throws wild5g::Error with a position-annotated
 /// message on malformed input (truncated document, bad escapes, trailing
 /// garbage, non-finite numbers, nesting deeper than 200 levels).

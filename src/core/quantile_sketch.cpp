@@ -168,6 +168,107 @@ std::size_t QuantileSketch::memory_bytes() const {
   return sizeof(*this) + positive_.memory_bytes() + negative_.memory_bytes();
 }
 
+namespace {
+
+// Checkpoint field helpers: every lookup failure names the missing key so a
+// truncated or hand-edited snapshot fails with an actionable message.
+const json::Value& checkpoint_field(const json::Value& object,
+                                    const char* key) {
+  const json::Value* field = object.find(key);
+  require(field != nullptr,
+          std::string("sketch state: missing field '") + key + "'");
+  return *field;
+}
+
+double checkpoint_number(const json::Value& object, const char* key) {
+  const json::Value& field = checkpoint_field(object, key);
+  require(field.is_number(),
+          std::string("sketch state: field '") + key + "' is not a number");
+  return field.as_number();
+}
+
+std::uint64_t checkpoint_count(const json::Value& object, const char* key) {
+  const double raw = checkpoint_number(object, key);
+  require(raw >= 0.0 && raw == std::floor(raw) && raw < 0x1p53,
+          std::string("sketch state: field '") + key +
+              "' is not a non-negative integer");
+  return static_cast<std::uint64_t>(raw);
+}
+
+json::Value store_to_json(const std::vector<std::uint64_t>& counts,
+                          int base) {
+  json::Value out = json::Value::object();
+  out.set("base", base);
+  json::Value array = json::Value::array();
+  for (const std::uint64_t c : counts) {
+    array.push_back(static_cast<double>(c));
+  }
+  out.set("counts", std::move(array));
+  return out;
+}
+
+}  // namespace
+
+json::Value QuantileSketch::to_json() const {
+  json::Value out = json::Value::object();
+  out.set("alpha", alpha_);
+  out.set("count", static_cast<double>(count_));
+  out.set("zero_count", static_cast<double>(zero_count_));
+  if (count_ > 0) {
+    out.set("min", min_);
+    out.set("max", max_);
+  }
+  out.set("positive", store_to_json(positive_.counts, positive_.base));
+  out.set("negative", store_to_json(negative_.counts, negative_.base));
+  return out;
+}
+
+QuantileSketch QuantileSketch::from_json(const json::Value& value) {
+  require(value.is_object(), "sketch state: not an object");
+  QuantileSketch sketch(checkpoint_number(value, "alpha"));
+  sketch.count_ = checkpoint_count(value, "count");
+  sketch.zero_count_ = checkpoint_count(value, "zero_count");
+  if (sketch.count_ > 0) {
+    sketch.min_ = checkpoint_number(value, "min");
+    sketch.max_ = checkpoint_number(value, "max");
+    require(sketch.min_ <= sketch.max_, "sketch state: min > max");
+  }
+  const auto load_store = [&](const char* key, DenseStore& store) {
+    const json::Value& node = checkpoint_field(value, key);
+    require(node.is_object(),
+            std::string("sketch state: field '") + key + "' is not an object");
+    const double base = checkpoint_number(node, "base");
+    require(base == std::floor(base) && std::abs(base) < 1e9,
+            std::string("sketch state: '") + key + "' base is not an integer");
+    store.base = static_cast<int>(base);
+    const json::Value& counts = checkpoint_field(node, "counts");
+    require(counts.is_array(),
+            std::string("sketch state: '") + key + "' counts is not an array");
+    store.total = 0;
+    for (const json::Value& element : counts.as_array()) {
+      require(element.is_number() && element.as_number() >= 0.0 &&
+                  element.as_number() == std::floor(element.as_number()),
+              std::string("sketch state: '") + key +
+                  "' count is not a non-negative integer");
+      const auto c = static_cast<std::uint64_t>(element.as_number());
+      store.counts.push_back(c);
+      store.total += c;
+    }
+    // bump() never leaves the window empty once anything landed; reject a
+    // store whose edges are zero so round-tripped state stays canonical.
+    require(store.counts.empty() ||
+                (store.counts.front() > 0 && store.counts.back() > 0),
+            std::string("sketch state: '") + key +
+                "' counts window has zero-valued edges");
+  };
+  load_store("positive", sketch.positive_);
+  load_store("negative", sketch.negative_);
+  require(sketch.count_ == sketch.zero_count_ + sketch.positive_.total +
+                               sketch.negative_.total,
+          "sketch state: counts do not sum to total");
+  return sketch;
+}
+
 // ---------------------------------------------------------------------------
 // SampleAccumulator
 
@@ -255,6 +356,54 @@ double SampleAccumulator::max() const {
 std::size_t SampleAccumulator::memory_bytes() const {
   return sizeof(*this) + exact_.capacity() * sizeof(double) +
          (sketch_.has_value() ? sketch_->memory_bytes() : 0);
+}
+
+json::Value SampleAccumulator::to_json() const {
+  json::Value out = json::Value::object();
+  out.set("exact_limit", static_cast<double>(exact_limit_));
+  out.set("alpha", relative_accuracy_);
+  out.set("sum", sum_);
+  if (sketch_.has_value()) {
+    out.set("sketch", sketch_->to_json());
+  } else {
+    json::Value samples = json::Value::array();
+    for (const double x : exact_) samples.push_back(x);
+    out.set("exact", std::move(samples));
+  }
+  return out;
+}
+
+SampleAccumulator SampleAccumulator::from_json(const json::Value& value) {
+  require(value.is_object(), "accumulator state: not an object");
+  const double limit = checkpoint_number(value, "exact_limit");
+  require(limit >= 0.0 && limit == std::floor(limit) && limit < 0x1p53,
+          "accumulator state: exact_limit is not a non-negative integer");
+  SampleAccumulator acc(static_cast<std::size_t>(limit),
+                        checkpoint_number(value, "alpha"));
+  acc.sum_ = checkpoint_number(value, "sum");
+  const json::Value* sketch = value.find("sketch");
+  const json::Value* exact = value.find("exact");
+  require((sketch != nullptr) != (exact != nullptr),
+          "accumulator state: expected exactly one of 'sketch'/'exact'");
+  if (sketch != nullptr) {
+    acc.sketch_ = QuantileSketch::from_json(*sketch);
+    // wild5g-lint: allow(float-equality) configs are copied verbatim, never
+    // recomputed, so exact equality is the correct compatibility check.
+    require(acc.sketch_->relative_accuracy() == acc.relative_accuracy_,
+            "accumulator state: sketch accuracy differs from accumulator");
+    require(acc.sketch_->count() > acc.exact_limit_,
+            "accumulator state: sketch mode below the exact limit");
+  } else {
+    require(exact->is_array(), "accumulator state: 'exact' is not an array");
+    require(exact->size() <= acc.exact_limit_,
+            "accumulator state: exact samples exceed the limit");
+    for (const json::Value& element : exact->as_array()) {
+      require(element.is_number(),
+              "accumulator state: exact sample is not a number");
+      acc.exact_.push_back(element.as_number());
+    }
+  }
+  return acc;
 }
 
 }  // namespace wild5g::stats

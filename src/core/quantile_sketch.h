@@ -24,6 +24,7 @@
 #include <span>
 #include <vector>
 
+#include "core/json.h"
 #include "core/stats.h"
 
 namespace wild5g::stats {
@@ -68,6 +69,16 @@ class QuantileSketch {
 
   /// Heap + object bytes held; O(bucket range), never O(sample count).
   [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Lossless JSON round-trip of the full sketch state, for the campaign
+  /// engine's checkpoint/resume. Doubles render via the shortest
+  /// round-tripping form, so from_json(to_json(s)) answers every query
+  /// byte-identically to `s`. Bucket counts are serialized as JSON numbers,
+  /// exact below 2^53 — far beyond any campaign's sample population.
+  [[nodiscard]] json::Value to_json() const;
+  /// Inverse of to_json(); throws wild5g::Error on malformed or
+  /// inconsistent state (e.g. counts that do not sum to the total).
+  [[nodiscard]] static QuantileSketch from_json(const json::Value& value);
 
  private:
   /// Contiguous bucket counters over a lazily-grown index window.
@@ -139,6 +150,15 @@ class SampleAccumulator {
 
   /// Bytes held; bounded by exact_limit + the sketch's bucket range.
   [[nodiscard]] std::size_t memory_bytes() const;
+
+  /// Lossless JSON round-trip of the accumulator (mode, stored samples or
+  /// sketch state, running sum), for the campaign engine's
+  /// checkpoint/resume. The exact-mode sample order is preserved so a
+  /// resumed accumulator spills into its sketch at the same point, with the
+  /// same stream order, as the uninterrupted run.
+  [[nodiscard]] json::Value to_json() const;
+  /// Inverse of to_json(); throws wild5g::Error on malformed state.
+  [[nodiscard]] static SampleAccumulator from_json(const json::Value& value);
 
  private:
   void spill_to_sketch();

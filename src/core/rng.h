@@ -22,6 +22,8 @@
 #include <numbers>
 #include <random>
 #include <span>
+#include <sstream>
+#include <string>
 
 #include "core/error.h"
 
@@ -123,6 +125,33 @@ class Rng {
     z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
     z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
     return Rng(z ^ (z >> 31));
+  }
+
+  /// Serializes the full generator state (construction seed + engine
+  /// position) as text. The mt19937_64 textual representation is specified
+  /// by the C++ standard (decimal state words separated by spaces), so the
+  /// string is portable across standard libraries — the same property the
+  /// hand-rolled distributions give the draw stream. Backs the campaign
+  /// engine's checkpoint/resume: a deserialized Rng continues the exact
+  /// draw sequence, and fork() children stay identical because the
+  /// construction seed rides along.
+  [[nodiscard]] std::string serialize_state() const {
+    std::ostringstream out;
+    out << seed_ << ' ' << engine_;
+    return out.str();
+  }
+
+  /// Inverse of serialize_state(); throws wild5g::Error on malformed text.
+  [[nodiscard]] static Rng deserialize_state(const std::string& text) {
+    std::istringstream in(text);
+    std::uint64_t seed = 0;
+    in >> seed;
+    WILD5G_REQUIRE(!in.fail(), "Rng::deserialize_state: malformed state");
+    Rng rng(seed);
+    in >> rng.engine_;
+    WILD5G_REQUIRE(!in.fail(),
+                   "Rng::deserialize_state: malformed engine state");
+    return rng;
   }
 
   /// Fisher-Yates shuffle.

@@ -1,0 +1,116 @@
+#include "engine/metrics.h"
+
+#include <utility>
+
+#include "core/error.h"
+
+namespace wild5g::engine {
+
+MetricsDocument::MetricsDocument(std::string bench_id, std::uint64_t seed,
+                                 std::string fault_plan_name)
+    : bench_id_(std::move(bench_id)),
+      seed_(seed),
+      fault_plan_name_(std::move(fault_plan_name)),
+      tables_(json::Value::array()),
+      metrics_(json::Value::object()),
+      tolerances_(json::Value::object()),
+      flags_(json::Value::object()) {}
+
+void MetricsDocument::set_tolerance(double rel, double abs) {
+  rel_ = rel;
+  abs_ = abs;
+}
+
+void MetricsDocument::set_tolerance(const std::string& name, double rel,
+                                    double abs) {
+  json::Value entry = json::Value::object();
+  entry.set("rel", rel);
+  entry.set("abs", abs);
+  tolerances_.set(name, std::move(entry));
+}
+
+void MetricsDocument::record(const Table& table) {
+  json::Value entry = json::Value::object();
+  entry.set("title", table.title());
+  json::Value header = json::Value::array();
+  for (const auto& cell : table.header()) header.push_back(cell);
+  entry.set("header", std::move(header));
+  json::Value rows = json::Value::array();
+  for (const auto& row : table.rows()) {
+    json::Value cells = json::Value::array();
+    for (const auto& cell : row) cells.push_back(cell);
+    rows.push_back(std::move(cells));
+  }
+  entry.set("rows", std::move(rows));
+  tables_.push_back(std::move(entry));
+}
+
+void MetricsDocument::metric(const std::string& name, double value) {
+  metrics_.set(name, value);
+}
+
+void MetricsDocument::set_flag(const std::string& name) {
+  flags_.set(name, true);
+}
+
+json::Value MetricsDocument::document() const {
+  json::Value doc = json::Value::object();
+  doc.set("bench", bench_id_);
+  doc.set("seed", seed_);
+  if (!fault_plan_name_.empty()) doc.set("fault_plan", fault_plan_name_);
+  json::Value tolerance = json::Value::object();
+  tolerance.set("rel", rel_);
+  tolerance.set("abs", abs_);
+  doc.set("tolerance", std::move(tolerance));
+  if (tolerances_.size() > 0) doc.set("tolerances", tolerances_);
+  doc.set("tables", tables_);
+  doc.set("metrics", metrics_);
+  for (const auto& flag : flags_.as_object()) {
+    doc.set(flag.key, flag.value);
+  }
+  return doc;
+}
+
+json::Value MetricsDocument::checkpoint_state() const {
+  json::Value state = json::Value::object();
+  state.set("rel", rel_);
+  state.set("abs", abs_);
+  state.set("tolerances", tolerances_);
+  state.set("tables", tables_);
+  state.set("metrics", metrics_);
+  state.set("flags", flags_);
+  return state;
+}
+
+void MetricsDocument::restore_state(const json::Value& state) {
+  require(state.is_object(), "MetricsDocument: state is not an object");
+  const auto field = [&](const char* key) -> const json::Value& {
+    const json::Value* value = state.find(key);
+    require(value != nullptr,
+            std::string("MetricsDocument: state missing '") + key + "'");
+    return *value;
+  };
+  const json::Value& rel = field("rel");
+  const json::Value& abs = field("abs");
+  require(rel.is_number() && abs.is_number(),
+          "MetricsDocument: tolerance state is not numeric");
+  const json::Value& tolerances = field("tolerances");
+  const json::Value& tables = field("tables");
+  const json::Value& metrics = field("metrics");
+  const json::Value& flags = field("flags");
+  require(tolerances.is_object() && metrics.is_object() && flags.is_object(),
+          "MetricsDocument: tolerances/metrics/flags state is not an object");
+  require(tables.is_array(), "MetricsDocument: tables state is not an array");
+  for (const auto& member : metrics.as_object()) {
+    require(member.value.is_number(),
+            "MetricsDocument: metric '" + member.key + "' is not a number");
+  }
+  rel_ = rel.as_number();
+  abs_ = abs.as_number();
+  tolerances_ = tolerances;
+  tables_ = tables;
+  metrics_ = metrics;
+  flags_ = flags;
+}
+
+}  // namespace wild5g::engine

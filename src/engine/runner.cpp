@@ -1,0 +1,51 @@
+#include "engine/runner.h"
+
+#include "core/error.h"
+
+namespace wild5g::engine {
+
+const char* to_string(RunStatus status) {
+  switch (status) {
+    case RunStatus::kCompleted: return "completed";
+    case RunStatus::kDeadline: return "deadline_partial";
+    case RunStatus::kInterrupted: return "interrupted";
+    case RunStatus::kCancelled: return "cancelled";
+  }
+  throw Error("RunStatus: invalid value");
+}
+
+RunOutcome run_steps(Campaign& campaign, CampaignContext& ctx,
+                     const RunControl& control) {
+  const std::size_t total = campaign.total_steps();
+  require(control.start_step <= total,
+          "run_steps: start_step is past the end of the campaign");
+  RunOutcome outcome;
+  outcome.next_step = control.start_step;
+  for (std::size_t step = control.start_step; step < total; ++step) {
+    // Yield point: supervision is consulted *before* a step executes, so a
+    // stop never discards a step's work — the document always reflects a
+    // whole number of completed steps.
+    if (control.interrupted && control.interrupted()) {
+      outcome.status = RunStatus::kInterrupted;
+      return outcome;
+    }
+    if (control.cancelled && control.cancelled()) {
+      outcome.status = RunStatus::kCancelled;
+      return outcome;
+    }
+    if ((control.deadline_steps != 0 && step >= control.deadline_steps) ||
+        (control.over_deadline && control.over_deadline())) {
+      outcome.status = RunStatus::kDeadline;
+      return outcome;
+    }
+    const json::Value frame = campaign.execute_step(step, ctx);
+    ++outcome.steps_executed;
+    outcome.next_step = step + 1;
+    if (control.on_frame) control.on_frame(step, frame);
+    if (control.on_yield) control.on_yield(step + 1);
+  }
+  outcome.status = RunStatus::kCompleted;
+  return outcome;
+}
+
+}  // namespace wild5g::engine

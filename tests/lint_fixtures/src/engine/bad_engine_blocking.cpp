@@ -1,0 +1,29 @@
+// Fixture: blocking filesystem and sleep calls inside src/engine compute
+// code (outside the sanctioned snapshot writer) must trip
+// engine-blocking-call — and only that rule, so the ident set deliberately
+// avoids clocks (ban-wall-clock's territory).
+#include <chrono>
+#include <fstream>
+#include <string>
+#include <thread>
+
+namespace wild5g::engine {
+
+std::string slurp_progress(const std::string& path) {
+  std::ifstream in(path);  // BAD: engine code opening the filesystem
+  std::string text;
+  std::getline(in, text);
+  return text;
+}
+
+void spill_progress(const std::string& path, const std::string& text) {
+  std::ofstream out(path);  // BAD: only snapshot.cpp may write checkpoints
+  out << text;
+}
+
+void throttle_step() {
+  // BAD: sleeping on the compute thread stalls every queued campaign.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+}
+
+}  // namespace wild5g::engine

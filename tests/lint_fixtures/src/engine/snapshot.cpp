@@ -1,0 +1,22 @@
+// Fixture: the sanctioned checkpoint writer. Its virtual path is exactly
+// src/engine/snapshot.cpp, so the same stream calls that trip
+// engine-blocking-call in bad_engine_blocking.cpp are exempt here — the
+// snapshot writer is the one engine file allowed to touch the filesystem.
+#include <fstream>
+#include <string>
+
+namespace wild5g::engine {
+
+void write_checkpoint(const std::string& path, const std::string& body) {
+  std::ofstream out(path);  // OK: snapshot.cpp is the sanctioned writer
+  out << body;
+}
+
+std::string read_checkpoint(const std::string& path) {
+  std::ifstream in(path);  // OK: snapshot.cpp is the sanctioned writer
+  std::string text;
+  std::getline(in, text);
+  return text;
+}
+
+}  // namespace wild5g::engine

@@ -192,6 +192,19 @@ TEST(lint, fixture_bad_arena_escape) {
   expect_only_rule("src/sim/bad_arena_escape.cpp", "arena-escape");
 }
 
+TEST(lint, fixture_engine_blocking_call) {
+  // Virtual path maps tests/lint_fixtures/src/engine/... to src/engine/...,
+  // so blocking filesystem/sleep calls trip the compute-thread purity rule.
+  expect_only_rule("src/engine/bad_engine_blocking.cpp",
+                   "engine-blocking-call");
+}
+
+TEST(lint, fixture_engine_snapshot_writer_is_exempt) {
+  // The sanctioned checkpoint writer (virtual path src/engine/snapshot.cpp)
+  // may touch the filesystem without a finding.
+  expect_clean("src/engine/snapshot.cpp");
+}
+
 TEST(lint, fixture_good_effect_cycle) {
   expect_clean("good_effect_cycle.cpp");
 }
@@ -271,6 +284,7 @@ TEST(lint, every_bad_fixture_has_a_test) {
       "bad_effect_alias.cpp",     "bad_effect_unknown.cpp",
       "bad_effect_cycle.cpp",     "bad_effect_splice.cpp",
       "src/core/bad_global_state.cpp", "src/sim/bad_arena_escape.cpp",
+      "src/engine/bad_engine_blocking.cpp", "src/engine/snapshot.cpp",
       "good_allow.cpp",           "good_clean.cpp",
       "good_tokenizer_edges.cpp", "good_effect_cycle.cpp",
       "good_effect_edges.cpp",    "src/core/good_global_state.cpp"};
@@ -299,7 +313,8 @@ TEST(lint, list_rules_covers_registry) {
   for (const std::string rule :
        {"ban-random-device", "ban-c-rand", "ban-wall-clock", "ban-raw-engine",
         "unordered-iteration", "float-equality", "printf-float",
-        "catch-swallow", "bench-sample-hoard", "unit-mismatch-assign",
+        "catch-swallow", "bench-sample-hoard", "engine-blocking-call",
+        "unit-mismatch-assign",
         "unit-mismatch-call",
         "unit-double-conversion", "parallel-rng-capture",
         "parallel-rng-stream", "parallel-effect-write", "parallel-effect-rng",

@@ -1,0 +1,222 @@
+// Supervision suite (`ctest -R supervision`): the batch benches' signal and
+// deadline behavior, exercised end to end on real bench binaries.
+//
+// Contracts under test (bench/bench_common.h):
+//   - SIGTERM/SIGINT mid-run: the bench stops at its next keep_going()
+//     yield, flushes a *valid* partial metrics document annotated with a
+//     top-level "interrupted": true, and exits 128+signo;
+//   - --deadline-ms: wall-clock budget; expiry stops the run at a yield,
+//     the partial document carries a "deadline_hit" metric, exit code 0.
+//     The WILD5G_DEADLINE_AFTER_YIELDS env hook trips the same path after
+//     a fixed yield count, making the partial document deterministic;
+//   - garbage / non-positive --deadline-ms values exit 2 (usage error).
+#include <gtest/gtest.h>
+
+#include <fcntl.h>
+#include <signal.h>
+#include <spawn.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/json.h"
+
+extern char** environ;
+
+namespace {
+
+using namespace wild5g;
+
+std::string bench_path(const std::string& bench) {
+  return std::string(WILD5G_BENCH_DIR) + "/" + bench;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+struct RunResult {
+  int exit_code = -1;
+  std::string document;  // contents of the --json file ("" if missing)
+};
+
+/// Spawns a bench with --json and optional env hooks; when `kill_after_ms`
+/// is positive, delivers `signo` after that delay. Reaps and returns the
+/// raw exit status semantics: exit code, or 128+signo if the process died
+/// to an unhandled signal (it should not — the handler converts it).
+RunResult run_bench(const std::string& bench,
+                    const std::vector<std::string>& extra_args,
+                    const std::vector<std::string>& extra_env,
+                    int kill_after_ms = 0, int signo = SIGTERM) {
+  const std::string out_path = ::testing::TempDir() + "wild5g_supervision_" +
+                               bench + "_" + std::to_string(::getpid()) +
+                               ".json";
+  std::remove(out_path.c_str());
+
+  std::vector<std::string> args = {bench_path(bench), "--json", out_path};
+  args.insert(args.end(), extra_args.begin(), extra_args.end());
+  std::vector<char*> argv;
+  argv.reserve(args.size() + 1);
+  for (auto& arg : args) argv.push_back(arg.data());
+  argv.push_back(nullptr);
+
+  std::vector<std::string> env;
+  for (char** e = environ; *e != nullptr; ++e) env.emplace_back(*e);
+  env.insert(env.end(), extra_env.begin(), extra_env.end());
+  std::vector<char*> envp;
+  envp.reserve(env.size() + 1);
+  for (auto& entry : env) envp.push_back(entry.data());
+  envp.push_back(nullptr);
+
+  // Silence the bench's stdout so test logs stay readable.
+  posix_spawn_file_actions_t actions;
+  posix_spawn_file_actions_init(&actions);
+  posix_spawn_file_actions_addopen(&actions, 1, "/dev/null", O_WRONLY, 0);
+
+  pid_t pid = -1;
+  const int rc = ::posix_spawn(&pid, argv[0], &actions, nullptr, argv.data(),
+                               envp.data());
+  posix_spawn_file_actions_destroy(&actions);
+  EXPECT_EQ(rc, 0) << "posix_spawn failed for " << argv[0];
+  RunResult result;
+  if (rc != 0) return result;
+
+  if (kill_after_ms > 0) {
+    ::usleep(static_cast<useconds_t>(kill_after_ms) * 1000);
+    ::kill(pid, signo);
+  }
+  int status = 0;
+  EXPECT_EQ(::waitpid(pid, &status, 0), pid);
+  if (WIFEXITED(status)) {
+    result.exit_code = WEXITSTATUS(status);
+  } else if (WIFSIGNALED(status)) {
+    result.exit_code = 128 + WTERMSIG(status);
+    ADD_FAILURE() << bench << " died to unhandled signal "
+                  << WTERMSIG(status);
+  }
+  result.document = read_file(out_path);
+  std::remove(out_path.c_str());
+  return result;
+}
+
+// The regression target: a bench with many yield points and a long enough
+// runtime that a mid-run signal lands between them.
+constexpr const char* kSweepBench = "bench_fig24_server_survey";
+
+TEST(supervision, sigterm_flushes_valid_partial_with_interrupted_key) {
+  // The dwell hook stretches each yield to 40 ms so a 200 ms kill lands
+  // mid-sweep deterministically enough to matter, while the handler-based
+  // design keeps any landing spot valid.
+  const RunResult run =
+      run_bench(kSweepBench, {}, {"WILD5G_TEST_YIELD_DELAY_MS=40"},
+                /*kill_after_ms=*/200, SIGTERM);
+  EXPECT_EQ(run.exit_code, 128 + SIGTERM);
+  ASSERT_FALSE(run.document.empty())
+      << "interrupted bench left no partial document";
+  const json::Value doc = json::parse(run.document);  // valid JSON or throw
+  const json::Value* interrupted = doc.find("interrupted");
+  ASSERT_NE(interrupted, nullptr) << run.document.substr(0, 200);
+  EXPECT_TRUE(interrupted->as_bool());
+  // Identity fields must survive the partial flush.
+  ASSERT_NE(doc.find("bench"), nullptr);
+  EXPECT_EQ(doc.find("bench")->as_string(), "fig24_server_survey");
+}
+
+TEST(supervision, sigint_behaves_like_sigterm_with_its_own_code) {
+  const RunResult run =
+      run_bench(kSweepBench, {}, {"WILD5G_TEST_YIELD_DELAY_MS=40"},
+                /*kill_after_ms=*/200, SIGINT);
+  EXPECT_EQ(run.exit_code, 128 + SIGINT);
+  ASSERT_FALSE(run.document.empty());
+  const json::Value doc = json::parse(run.document);
+  ASSERT_NE(doc.find("interrupted"), nullptr);
+}
+
+TEST(supervision, deadline_yield_hook_is_deterministic_and_exits_zero) {
+  // Trip the deadline path after exactly 3 yields — no clock involved, so
+  // two runs must produce byte-identical partial documents.
+  const RunResult first = run_bench(
+      kSweepBench, {"--deadline-ms", "3600000"},
+      {"WILD5G_DEADLINE_AFTER_YIELDS=3"});
+  const RunResult second = run_bench(
+      kSweepBench, {"--deadline-ms", "3600000"},
+      {"WILD5G_DEADLINE_AFTER_YIELDS=3"});
+  EXPECT_EQ(first.exit_code, 0) << "a deadline is a supervised outcome";
+  ASSERT_FALSE(first.document.empty());
+  EXPECT_EQ(first.document, second.document)
+      << "deterministic deadline partials diverged";
+  const json::Value doc = json::parse(first.document);
+  const json::Value* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  const json::Value* deadline = metrics->find("deadline_hit");
+  ASSERT_NE(deadline, nullptr) << first.document.substr(0, 200);
+  EXPECT_EQ(deadline->as_number(), 1.0);
+  EXPECT_EQ(doc.find("interrupted"), nullptr)
+      << "deadline and interruption are distinct outcomes";
+}
+
+TEST(supervision, wall_clock_deadline_stops_a_long_run) {
+  // A real (clock-based) deadline: 1 ms budget plus a 20 ms dwell per
+  // yield guarantees expiry at the first yield checked after the budget.
+  const RunResult run = run_bench(kSweepBench, {"--deadline-ms", "1"},
+                                  {"WILD5G_TEST_YIELD_DELAY_MS=20"});
+  EXPECT_EQ(run.exit_code, 0);
+  ASSERT_FALSE(run.document.empty());
+  const json::Value doc = json::parse(run.document);
+  const json::Value* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_NE(metrics->find("deadline_hit"), nullptr);
+}
+
+TEST(supervision, garbage_deadline_values_are_usage_errors) {
+  for (const auto& args :
+       {std::vector<std::string>{"--deadline-ms", "soon"},
+        std::vector<std::string>{"--deadline-ms", "0"},
+        std::vector<std::string>{"--deadline-ms", "-5"},
+        std::vector<std::string>{"--deadline-ms", "10x"}}) {
+    const RunResult run = run_bench(kSweepBench, args, {});
+    EXPECT_EQ(run.exit_code, 2) << args[1];
+    EXPECT_TRUE(run.document.empty())
+        << "usage errors must not leave a document behind";
+  }
+}
+
+TEST(supervision, clean_run_document_mentions_no_supervision_keys) {
+  // Golden byte-identity depends on supervision being invisible when no
+  // supervision event fired.
+  const RunResult run = run_bench(kSweepBench, {}, {});
+  EXPECT_EQ(run.exit_code, 0);
+  ASSERT_FALSE(run.document.empty());
+  EXPECT_EQ(run.document.find("interrupted"), std::string::npos);
+  EXPECT_EQ(run.document.find("deadline_hit"), std::string::npos);
+}
+
+TEST(supervision, engine_backed_bench_honors_deadline_hook) {
+  // The metro shells route supervision through engine::run_steps rather
+  // than a hand-written loop; the same deterministic-deadline contract
+  // must hold there.
+  const RunResult first = run_bench(
+      "bench_extension_metro_load", {"--cells", "4", "--ues", "10"},
+      {"WILD5G_DEADLINE_AFTER_YIELDS=2"});
+  const RunResult second = run_bench(
+      "bench_extension_metro_load", {"--cells", "4", "--ues", "10"},
+      {"WILD5G_DEADLINE_AFTER_YIELDS=2"});
+  EXPECT_EQ(first.exit_code, 0);
+  ASSERT_FALSE(first.document.empty());
+  EXPECT_EQ(first.document, second.document);
+  const json::Value doc = json::parse(first.document);
+  const json::Value* metrics = doc.find("metrics");
+  ASSERT_NE(metrics, nullptr);
+  EXPECT_NE(metrics->find("deadline_hit"), nullptr);
+}
+
+}  // namespace

@@ -81,7 +81,7 @@ struct RuleInfo {
   std::string_view effects = {};  // effect bits the rule keys on ("" = none)
 };
 
-constexpr std::array<RuleInfo, 24> kRules = {{
+constexpr std::array<RuleInfo, 25> kRules = {{
     {"ban-random-device", "determinism",
      "std::random_device is nondeterministic; seed a wild5g::Rng instead",
      ""},
@@ -117,6 +117,13 @@ constexpr std::array<RuleInfo, 24> kRules = {{
      "samples through stats::SampleAccumulator",
      "accumulate into a stats::SampleAccumulator and query its "
      "percentile()/median()/p95() instead of sorting a hoarded vector"},
+    {"engine-blocking-call", "hygiene",
+     "blocking filesystem or sleep call inside src/engine compute-thread "
+     "code; campaigns run on the service compute thread, so a blocking call "
+     "stalls every queued campaign and defeats the watchdog — "
+     "engine/snapshot.{h,cpp} is the sole sanctioned checkpoint writer",
+     "move the I/O into engine/snapshot.cpp or hoist it to the supervising "
+     "layer (bench_common.h, tools/wild5g_serve.cpp)"},
     {"unit-mismatch-assign", "units",
      "assignment or initialization whose unit suffixes disagree; route the "
      "value through a units.h conversion helper",
@@ -778,6 +785,40 @@ void check_sample_hoard(const std::vector<Token>& toks,
                    "through a stats::SampleAccumulator and query its " +
                        toks[i].text + "() instead",
                    {}});
+  }
+}
+
+/// engine-blocking-call: src/engine/ code executes on the service compute
+/// thread (wild5g_serve) or under a bench's supervision loop; a blocking
+/// filesystem or sleep call there stalls every queued campaign and breaks
+/// the watchdog's liveness assumptions. engine/snapshot.{h,cpp} is the one
+/// sanctioned checkpoint writer; supervision sleeps and wall-clock waits
+/// belong to the layer driving the engine (bench_common.h, wild5g_serve).
+/// Clock reads are already covered by ban-wall-clock, so this rule only
+/// names the filesystem and sleep families.
+void check_engine_blocking(const std::vector<Token>& toks,
+                           const FileContext& ctx, const std::string& vpath,
+                           std::vector<Finding>& out) {
+  if (vpath.rfind("src/engine/", 0) != 0) return;
+  if (vpath == "src/engine/snapshot.h" ||
+      vpath == "src/engine/snapshot.cpp") {
+    return;
+  }
+  static const std::set<std::string> kBlocking = {
+      "ifstream",  "ofstream",    "fstream", "fopen",     "freopen",
+      "tmpfile",   "fread",       "fwrite",  "system",    "popen",
+      "sleep_for", "sleep_until", "usleep",  "nanosleep"};
+  for (const auto& tok : toks) {
+    if (tok.kind != Token::Kind::kIdent || kBlocking.count(tok.text) == 0) {
+      continue;
+    }
+    out.push_back(
+        {ctx.display_path, tok.line, "engine-blocking-call",
+         "'" + tok.text + "' blocks the engine compute thread; src/engine "
+         "must stay pure — checkpoint I/O belongs in engine/snapshot.cpp "
+         "and supervision waits in the driving layer (bench_common.h, "
+         "tools/wild5g_serve.cpp)",
+         {}});
   }
 }
 
@@ -2749,7 +2790,8 @@ const std::map<std::string, int>& layer_ranks() {
       {"radio", 2},    {"ml", 2},        {"mobility", 2},
       {"transport", 2}, {"rrc", 3},      {"faults", 3},
       {"net", 4},      {"power", 4},     {"metro", 4},
-      {"traces", 5},   {"abr", 6},       {"web", 6}};
+      {"traces", 5},   {"engine", 5},    {"abr", 6},
+      {"web", 6}};
   return kRanks;
 }
 
@@ -3059,6 +3101,7 @@ std::vector<Finding> run_checks(std::vector<FileUnit>& units) {
     check_printf_float(toks, unit.ctx, unit.raw);
     check_catch_swallow(toks, unit.ctx, unit.raw);
     check_sample_hoard(toks, unit.ctx, unit.raw);
+    check_engine_blocking(toks, unit.ctx, unit.vpath, unit.raw);
     check_unordered_iteration(toks, unit.ctx, unit.raw);
     check_unit_assign(toks, unit.ctx, unit.raw);
     check_unit_conversion_calls(toks, unit.ctx, unit.raw);
