@@ -1,0 +1,33 @@
+// Fixture: checkpoint/restore symmetry. The checkpoint body serializes
+// "rows" and "handoffs" but restore_state only reads "rows" back — a resumed
+// campaign would silently restart the handoff counter at zero, breaking the
+// byte-identical-resume contract. Must trip checkpoint-restore-symmetry.
+namespace wild5g::fixture_ckpt {
+
+struct CksValue {
+  static CksValue object();
+  void set(const char* key, long long v);
+};
+
+const CksValue& state_field(const CksValue& state, const char* key,
+                            const char* what);
+
+class CksCampaign {
+ public:
+  CksValue checkpoint_state() const {
+    CksValue state = CksValue::object();
+    state.set("rows", rows_);
+    state.set("handoffs", handoffs_);  // BAD: never restored below
+    return state;
+  }
+
+  void restore_state(const CksValue& state) {
+    (void)state_field(state, "rows", "cks_fixture");
+  }
+
+ private:
+  long long rows_ = 0;
+  long long handoffs_ = 0;
+};
+
+}  // namespace wild5g::fixture_ckpt

@@ -1,0 +1,33 @@
+// Fixture: checkpoint/restore symmetry, negative case. Every key the
+// checkpoint body writes is read back by the paired restore_state and vice
+// versa, so the resume byte-identity contract holds and nothing fires.
+namespace wild5g::fixture_ckpt_ok {
+
+struct CksOkValue {
+  static CksOkValue object();
+  void set(const char* key, long long v);
+};
+
+const CksOkValue& state_field(const CksOkValue& state, const char* key,
+                              const char* what);
+
+class CksOkCampaign {
+ public:
+  CksOkValue checkpoint_state() const {
+    CksOkValue state = CksOkValue::object();
+    state.set("rows", rows_);
+    state.set("handoffs", handoffs_);
+    return state;
+  }
+
+  void restore_state(const CksOkValue& state) {
+    (void)state_field(state, "rows", "cks_ok_fixture");
+    (void)state_field(state, "handoffs", "cks_ok_fixture");
+  }
+
+ private:
+  long long rows_ = 0;
+  long long handoffs_ = 0;
+};
+
+}  // namespace wild5g::fixture_ckpt_ok

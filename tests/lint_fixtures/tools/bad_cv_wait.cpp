@@ -1,0 +1,24 @@
+// Fixture: condition_variable::wait without a predicate. A bare wait(lock)
+// returns on spurious wakeups and lost notifications alike; the two-argument
+// predicate overload (or an explicit re-checked loop condition the analyzer
+// cannot see) is the contract. Must trip cv-wait-no-predicate only.
+#include <condition_variable>
+#include <mutex>
+
+namespace wild5g::fixture_cv_wait {
+
+class CvwQueue {
+ public:
+  void wake() { cv_.notify_one(); }
+
+  void wait_for_work() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock);  // BAD: no predicate, spurious wakeup falls through
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+};
+
+}  // namespace wild5g::fixture_cv_wait

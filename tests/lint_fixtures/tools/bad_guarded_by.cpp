@@ -1,0 +1,35 @@
+// Fixture: guarded-by inference. Three of four accesses to total_ hold
+// mutex_, so the analyzer infers GlkStats::total_ is guarded by it — and the
+// fourth access, reached through peek() -> glk_raw() with no lock anywhere
+// on the path, must trip guarded-by-violation with that call chain printed.
+#include <mutex>
+
+namespace wild5g::fixture_guarded {
+
+class GlkStats {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ += v;
+  }
+
+  int snapshot() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return total_;
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ = 0;
+  }
+
+  int peek() { return glk_raw(); }  // BAD: no lock on this path
+
+ private:
+  int glk_raw() { return total_; }
+
+  std::mutex mutex_;
+  int total_ = 0;
+};
+
+}  // namespace wild5g::fixture_guarded

@@ -1,0 +1,18 @@
+// Fixture: blocking while holding a lock. The sleep runs with g_blk_m held,
+// so every thread contending for the mutex inherits the full sleep latency —
+// the lock-held-blocking-call rule composes the engine-blocking-call
+// identifier set with the lock-tracking walk. Must trip only that rule.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace wild5g::fixture_lock_blocking {
+
+std::mutex g_blk_m;
+
+void blk_throttle() {
+  std::lock_guard<std::mutex> lock(g_blk_m);
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // BAD
+}
+
+}  // namespace wild5g::fixture_lock_blocking

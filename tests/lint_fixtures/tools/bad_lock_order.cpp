@@ -1,0 +1,25 @@
+// Fixture: lock-order cycle. lck_forward() holds g_lck_a while calling
+// lck_grab_b(), which acquires g_lck_b — an a->b edge that only exists
+// through the call graph. lck_reverse() acquires b then a directly. The
+// cycle must be reported with the interprocedural witness chain for the
+// call-edge hop (lck_forward -> lck_grab_b).
+#include <mutex>
+
+namespace wild5g::fixture_lock_order {
+
+std::mutex g_lck_a;
+std::mutex g_lck_b;
+
+void lck_grab_b() { std::lock_guard<std::mutex> lock(g_lck_b); }
+
+void lck_forward() {
+  std::lock_guard<std::mutex> lock(g_lck_a);
+  lck_grab_b();  // BAD: acquires b while holding a
+}
+
+void lck_reverse() {
+  std::lock_guard<std::mutex> lock_b(g_lck_b);
+  std::lock_guard<std::mutex> lock_a(g_lck_a);  // BAD: b -> a closes the cycle
+}
+
+}  // namespace wild5g::fixture_lock_order

@@ -1,0 +1,24 @@
+// Fixture: async-signal-safety. sig_on_alarm is installed as a handler via
+// sigaction, making it a handler root; it reaches std::malloc through
+// sig_record(), and malloc is not async-signal-safe (a handler interrupting
+// malloc's own critical section deadlocks). Must trip signal-unsafe-call
+// with the handler -> helper -> malloc chain printed.
+#include <csignal>
+#include <cstdlib>
+
+namespace wild5g::fixture_signal {
+
+void sig_record() {
+  void* scratch = std::malloc(16);  // BAD: reached from a handler root
+  std::free(scratch);
+}
+
+void sig_on_alarm(int) { sig_record(); }
+
+void sig_install() {
+  struct sigaction action = {};
+  action.sa_handler = sig_on_alarm;
+  sigaction(SIGALRM, &action, nullptr);
+}
+
+}  // namespace wild5g::fixture_signal

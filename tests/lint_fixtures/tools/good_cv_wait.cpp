@@ -1,0 +1,30 @@
+// Fixture: condition_variable::wait with a predicate — the overload that
+// re-checks the condition around spurious wakeups. Nothing fires; the
+// ready_ member is also proved mutex-confined (set and read under mutex_).
+#include <condition_variable>
+#include <mutex>
+
+namespace wild5g::fixture_cv_wait_ok {
+
+class CvwOkQueue {
+ public:
+  void wake() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ready_ = true;
+    }
+    cv_.notify_one();
+  }
+
+  void wait_for_work() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return ready_; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool ready_ = false;
+};
+
+}  // namespace wild5g::fixture_cv_wait_ok

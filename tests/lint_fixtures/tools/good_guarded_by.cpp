@@ -1,0 +1,33 @@
+// Fixture: guarded-by inference, negative case. Every access to total_
+// either holds mutex_ lexically or sits in a helper whose every caller holds
+// it — the interprocedural held-set H(glk_ok_raw) inherits the guard, so the
+// member is proved mutex-confined and nothing fires.
+#include <mutex>
+
+namespace wild5g::fixture_guarded_ok {
+
+class GlkOkStats {
+ public:
+  void add(int v) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ += v;
+  }
+
+  int snapshot() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return glk_ok_raw();  // helper inherits the guard context
+  }
+
+  void reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    total_ = 0;
+  }
+
+ private:
+  int glk_ok_raw() { return total_; }
+
+  std::mutex mutex_;
+  int total_ = 0;
+};
+
+}  // namespace wild5g::fixture_guarded_ok

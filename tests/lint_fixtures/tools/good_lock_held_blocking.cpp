@@ -1,0 +1,19 @@
+// Fixture: blocking outside the critical section. The guard's scope closes
+// before the sleep, so no lock is held across the blocking call and nothing
+// fires — the copy-out-then-unlock idiom the fix-it recommends.
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+namespace wild5g::fixture_lock_blocking_ok {
+
+std::mutex g_blk_ok_m;
+
+void blk_ok_throttle() {
+  {
+    std::lock_guard<std::mutex> lock(g_blk_ok_m);
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+}
+
+}  // namespace wild5g::fixture_lock_blocking_ok

@@ -1,0 +1,23 @@
+// Fixture: lock-order, negative case. Both call paths acquire g_lck_ok_a
+// before g_lck_ok_b — including one nesting that only happens through a
+// call — so the acquired-while-held graph is acyclic and nothing fires.
+#include <mutex>
+
+namespace wild5g::fixture_lock_order_ok {
+
+std::mutex g_lck_ok_a;
+std::mutex g_lck_ok_b;
+
+void lck_ok_grab_b() { std::lock_guard<std::mutex> lock(g_lck_ok_b); }
+
+void lck_ok_forward() {
+  std::lock_guard<std::mutex> lock(g_lck_ok_a);
+  lck_ok_grab_b();
+}
+
+void lck_ok_same_order() {
+  std::lock_guard<std::mutex> lock_a(g_lck_ok_a);
+  std::lock_guard<std::mutex> lock_b(g_lck_ok_b);
+}
+
+}  // namespace wild5g::fixture_lock_order_ok

@@ -1,0 +1,20 @@
+// Fixture: async-signal-safety, negative case. The handler stores to an
+// atomic flag and issues a raw write(2) — both on the async-signal-safe
+// allowlist — so the transitive reachability check finds nothing to flag.
+#include <atomic>
+#include <csignal>
+#include <unistd.h>
+
+namespace wild5g::fixture_signal_ok {
+
+std::atomic<int> g_sig_ok_flag{0};
+
+void sig_ok_handler(int) {
+  g_sig_ok_flag.store(1);
+  const char msg[] = "sig\n";
+  write(2, msg, sizeof msg - 1);
+}
+
+void sig_ok_install() { std::signal(SIGINT, sig_ok_handler); }
+
+}  // namespace wild5g::fixture_signal_ok

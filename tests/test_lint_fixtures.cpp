@@ -10,6 +10,7 @@
 #include <gtest/gtest.h>
 #include <sys/wait.h>
 
+#include <chrono>
 #include <cstdio>
 #include <fstream>
 #include <map>
@@ -240,6 +241,120 @@ TEST(lint, effect_chain_names_every_hop) {
   EXPECT_NE(text.find(" -> "), std::string::npos) << text;
 }
 
+TEST(lint, fixture_guarded_by_violation) {
+  expect_only_rule("tools/bad_guarded_by.cpp", "guarded-by-violation");
+}
+
+TEST(lint, fixture_good_guarded_by) {
+  // The helper is only ever called under the lock, so H(glk_ok_raw) carries
+  // the guard and the member is proved mutex-confined.
+  expect_clean("tools/good_guarded_by.cpp");
+}
+
+TEST(lint, guarded_by_chain_names_the_unguarded_path) {
+  // The violation message must print the interprocedural unguarded path:
+  // the caller that reaches the access with no lock held, hop by hop.
+  const LintRun run =
+      run_lint("--json " + fixture("tools/bad_guarded_by.cpp"));
+  ASSERT_EQ(run.exit_code, 1);
+  const json::Value doc = json::parse(run.output);
+  const json::Value* findings = doc.find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->size(), 1u);
+  const json::Value* message = findings->as_array()[0].find("message");
+  ASSERT_NE(message, nullptr);
+  const std::string text = message->as_string();
+  for (const std::string part :
+       {"GlkStats::total_", "GlkStats::mutex_", "3 of 4",
+        "unguarded path: peek (", "-> glk_raw ("}) {
+    EXPECT_NE(text.find(part), std::string::npos) << text;
+  }
+}
+
+TEST(lint, fixture_lock_order_cycle) {
+  expect_only_rule("tools/bad_lock_order.cpp", "lock-order-cycle");
+}
+
+TEST(lint, fixture_good_lock_order) {
+  expect_clean("tools/good_lock_order.cpp");
+}
+
+TEST(lint, lock_order_chain_names_the_call_edge) {
+  // The seeded inversion's a->b edge only exists through lck_forward's call
+  // into lck_grab_b; the finding must name both inverted acquisitions with
+  // their witness locations.
+  const LintRun run =
+      run_lint("--json " + fixture("tools/bad_lock_order.cpp"));
+  ASSERT_EQ(run.exit_code, 1);
+  const json::Value doc = json::parse(run.output);
+  const json::Value* findings = doc.find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_GE(findings->size(), 1u);
+  const json::Value* message = findings->as_array()[0].find("message");
+  ASSERT_NE(message, nullptr);
+  const std::string text = message->as_string();
+  for (const std::string part :
+       {"lock-order cycle", "g_lck_a", "g_lck_b",
+        "'g_lck_b' acquired while holding 'g_lck_a'", "lck_grab_b (",
+        "'g_lck_a' acquired while holding 'g_lck_b'", "lck_reverse ("}) {
+    EXPECT_NE(text.find(part), std::string::npos) << text;
+  }
+}
+
+TEST(lint, fixture_cv_wait_no_predicate) {
+  expect_only_rule("tools/bad_cv_wait.cpp", "cv-wait-no-predicate");
+}
+
+TEST(lint, fixture_good_cv_wait) { expect_clean("tools/good_cv_wait.cpp"); }
+
+TEST(lint, fixture_lock_held_blocking_call) {
+  expect_only_rule("tools/bad_lock_held_blocking.cpp",
+                   "lock-held-blocking-call");
+}
+
+TEST(lint, fixture_good_lock_held_blocking) {
+  expect_clean("tools/good_lock_held_blocking.cpp");
+}
+
+TEST(lint, fixture_signal_unsafe_call) {
+  expect_only_rule("tools/bad_signal_unsafe.cpp", "signal-unsafe-call");
+}
+
+TEST(lint, fixture_good_signal_unsafe) {
+  // Atomic store + raw write(2): the whole handler tree stays on the
+  // async-signal-safe allowlist.
+  expect_clean("tools/good_signal_unsafe.cpp");
+}
+
+TEST(lint, signal_chain_names_every_hop_from_the_root) {
+  // The handler is installed via sigaction; the malloc sits two hops down.
+  // The finding must walk handler root -> helper -> unsafe call.
+  const LintRun run =
+      run_lint("--json " + fixture("tools/bad_signal_unsafe.cpp"));
+  ASSERT_EQ(run.exit_code, 1);
+  const json::Value doc = json::parse(run.output);
+  const json::Value* findings = doc.find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_GE(findings->size(), 1u);
+  const json::Value* message = findings->as_array()[0].find("message");
+  ASSERT_NE(message, nullptr);
+  const std::string text = message->as_string();
+  for (const std::string part :
+       {"'malloc' inside the signal-handler call tree",
+        "handler 'sig_on_alarm' (installed at", "-> sig_record ("}) {
+    EXPECT_NE(text.find(part), std::string::npos) << text;
+  }
+}
+
+TEST(lint, fixture_checkpoint_restore_symmetry) {
+  expect_only_rule("src/engine/bad_ckpt_symmetry.cpp",
+                   "checkpoint-restore-symmetry");
+}
+
+TEST(lint, fixture_good_checkpoint_restore_symmetry) {
+  expect_clean("src/engine/good_ckpt_symmetry.cpp");
+}
+
 TEST(lint, fixture_layering) {
   // The fixture's virtual path (…/src/core/…) puts it in src/core, so its
   // radio include violates the layer DAG.
@@ -287,7 +402,15 @@ TEST(lint, every_bad_fixture_has_a_test) {
       "src/engine/bad_engine_blocking.cpp", "src/engine/snapshot.cpp",
       "good_allow.cpp",           "good_clean.cpp",
       "good_tokenizer_edges.cpp", "good_effect_cycle.cpp",
-      "good_effect_edges.cpp",    "src/core/good_global_state.cpp"};
+      "good_effect_edges.cpp",    "src/core/good_global_state.cpp",
+      "tools/bad_guarded_by.cpp", "tools/good_guarded_by.cpp",
+      "tools/bad_lock_order.cpp", "tools/good_lock_order.cpp",
+      "tools/bad_cv_wait.cpp",    "tools/good_cv_wait.cpp",
+      "tools/bad_lock_held_blocking.cpp",
+      "tools/good_lock_held_blocking.cpp",
+      "tools/bad_signal_unsafe.cpp", "tools/good_signal_unsafe.cpp",
+      "src/engine/bad_ckpt_symmetry.cpp",
+      "src/engine/good_ckpt_symmetry.cpp"};
   const LintRun listing =
       run_lint("--json " + std::string(WILD5G_LINT_FIXTURES));
   const json::Value doc = json::parse(listing.output);
@@ -307,6 +430,44 @@ TEST(lint, clean_tree) {
   EXPECT_EQ(run.exit_code, 0) << "tree has lint findings:\n" << run.output;
 }
 
+TEST(lint, full_tree_sweep_stays_inside_the_time_budget) {
+  // Analyzer-scale gate: the concurrency fixpoints (held-set H(f), the
+  // acquired-while-held closure, signal reachability) are all bounded, and
+  // this test keeps them honest — a rule whose cost goes superlinear in the
+  // call graph blows the budget here long before it times CI out. The budget
+  // is deliberately generous (the sweep takes ~2s on an unloaded machine;
+  // sanitizer builds and loaded runners are slower).
+  const std::string root(WILD5G_SOURCE_ROOT);
+  const auto start = std::chrono::steady_clock::now();
+  const LintRun run = run_lint("--json " + root + "/src " + root + "/bench " +
+                               root + "/tools " + root + "/examples");
+  const auto elapsed = std::chrono::steady_clock::now() - start;
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  EXPECT_LT(std::chrono::duration_cast<std::chrono::seconds>(elapsed).count(),
+            120)
+      << "full-tree sweep blew the wall-clock budget";
+}
+
+TEST(lint, lexed_file_cache_prevents_re_lexing) {
+  // src/core/rng.h is scanned once as part of the src/ walk and then named
+  // again explicitly; the second load must come from the LexedFile cache.
+  // The --json counters make the assertion exact: files_lexed counts cold
+  // loads, lex_cache_hits counts avoided re-lexes.
+  const std::string root(WILD5G_SOURCE_ROOT);
+  const LintRun run =
+      run_lint("--json " + root + "/src " + root + "/src/core/rng.h");
+  EXPECT_EQ(run.exit_code, 0) << run.output;
+  const json::Value doc = json::parse(run.output);
+  const json::Value* lexed = doc.find("files_lexed");
+  const json::Value* hits = doc.find("lex_cache_hits");
+  ASSERT_NE(lexed, nullptr);
+  ASSERT_NE(hits, nullptr);
+  EXPECT_GE(hits->as_number(), 1) << "duplicate path was re-lexed";
+  const json::Value* scanned = doc.find("files_scanned");
+  ASSERT_NE(scanned, nullptr);
+  EXPECT_EQ(lexed->as_number() + hits->as_number(), scanned->as_number());
+}
+
 TEST(lint, list_rules_covers_registry) {
   const LintRun run = run_lint("--list-rules");
   EXPECT_EQ(run.exit_code, 0);
@@ -320,7 +481,9 @@ TEST(lint, list_rules_covers_registry) {
         "parallel-rng-stream", "parallel-effect-write", "parallel-effect-rng",
         "parallel-effect-alias", "parallel-effect-unknown",
         "global-mutable-state", "arena-escape", "layering",
-        "include-cycle"}) {
+        "include-cycle", "guarded-by-violation", "lock-order-cycle",
+        "cv-wait-no-predicate", "lock-held-blocking-call",
+        "signal-unsafe-call", "checkpoint-restore-symmetry"}) {
     EXPECT_NE(run.output.find(rule), std::string::npos) << rule;
   }
 }
@@ -349,8 +512,8 @@ TEST(lint, list_rules_json_is_machine_readable) {
     families.insert(family->as_string());
   }
   for (const std::string family :
-       {"determinism", "units", "parallel", "effects", "layering", "hygiene",
-        "meta"}) {
+       {"determinism", "units", "parallel", "effects", "concurrency",
+        "layering", "hygiene", "meta"}) {
     EXPECT_EQ(families.count(family), 1u) << family;
   }
 }
